@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures as
+// measured data (see internal/exp and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run E1,E4,...] [-seed N] [-quick] [-list]
+//
+// With no -run flag every experiment executes, in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"memverify/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	which := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := fs.Int64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	var ids []string
+	if *which != "" {
+		for _, id := range strings.Split(*which, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	if err := exp.Run(stdout, exp.Config{Seed: *seed, Quick: *quick}, ids...); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String()
+}
+
+func TestList(t *testing.T) {
+	code, out := runExp(t, "-list")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, id := range []string{"E1", "E4", "E8", "A1"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %s", id)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	code, out := runExp(t, "-quick", "-run", "E1", "-seed", "4")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "E1:") || strings.Contains(out, "E2:") {
+		t.Errorf("wrong experiments ran:\n%s", out)
+	}
+}
+
+func TestRunSeveral(t *testing.T) {
+	code, out := runExp(t, "-quick", "-run", "E5, E6")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "E5:") || !strings.Contains(out, "E6:") {
+		t.Errorf("requested experiments missing:\n%s", out)
+	}
+}

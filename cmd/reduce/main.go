@@ -1,0 +1,113 @@
+// Command reduce compiles a DIMACS CNF formula into a shared-memory
+// verification instance, executing the paper's hardness constructions.
+//
+// Usage:
+//
+//	reduce [-to vmc|vmc-restricted|vmc-rmw|vmc-sync|vscc] [file.cnf]
+//
+// The resulting execution is written to standard output in the
+// internal/trace format, ready for vmcheck:
+//
+//	reduce -to vmc q.cnf | vmcheck          # coherent iff q satisfiable
+//	reduce -to vscc q.cnf | vmcheck -model sc
+//
+// vmc-restricted and vmc-rmw first convert the formula to 3SAT when a
+// clause is wider than three literals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memverify/internal/memory"
+	"memverify/internal/reduction"
+	"memverify/internal/sat"
+	"memverify/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("to", "vmc", "construction: vmc (Fig 4.1), vmc-restricted (Fig 5.1), vmc-rmw (Fig 5.2), vmc-sync (Fig 6.1), vscc (Fig 6.2)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "reduce: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	q, err := sat.ReadDIMACS(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "reduce: %v\n", err)
+		return 2
+	}
+
+	var exec *memory.Execution
+	switch *target {
+	case "vmc":
+		inst, err := reduction.SATToVMC(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		exec = inst.Exec
+	case "vmc-restricted":
+		if q.MaxClauseLen() > 3 {
+			q = sat.ToThreeSAT(q)
+		}
+		inst, err := reduction.ThreeSATToVMCRestricted(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		exec = inst.Exec
+	case "vmc-rmw":
+		if q.MaxClauseLen() > 3 {
+			q = sat.ToThreeSAT(q)
+		}
+		inst, err := reduction.ThreeSATToVMCRMW(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		exec = inst.Exec
+	case "vmc-sync":
+		inst, err := reduction.SATToVMCSynchronized(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		exec = inst.Exec
+	case "vscc":
+		inst, err := reduction.SATToVSCC(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "reduce: %v\n", err)
+			return 2
+		}
+		exec = inst.Exec
+	default:
+		fmt.Fprintf(stderr, "reduce: unknown construction %q\n", *target)
+		return 2
+	}
+	if err := trace.Write(stdout, trace.New(exec)); err != nil {
+		fmt.Fprintf(stderr, "reduce: %v\n", err)
+		return 2
+	}
+	return 0
+}

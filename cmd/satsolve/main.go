@@ -1,0 +1,90 @@
+// Command satsolve decides satisfiability of a DIMACS CNF formula.
+//
+// Usage:
+//
+//	satsolve [-solver cdcl|dpll|brute] [-stats] [file.cnf]
+//
+// Output follows SAT-competition conventions: an "s" status line and,
+// for satisfiable formulas, a "v" line with a satisfying assignment.
+// Exit status: 10 satisfiable, 20 unsatisfiable, 2 error (matching the
+// conventional solver exit codes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memverify/internal/sat"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("satsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	solver := fs.String("solver", "cdcl", "decision procedure: cdcl, dpll or brute")
+	stats := fs.Bool("stats", false, "print solver statistics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "satsolve: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "satsolve: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, err := sat.ReadDIMACS(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "satsolve: %v\n", err)
+		return 2
+	}
+
+	var res *sat.Result
+	switch *solver {
+	case "cdcl":
+		res, err = sat.SolveCDCL(formula)
+	case "dpll":
+		res, err = sat.SolveDPLL(formula)
+	case "brute":
+		res, err = sat.SolveBrute(formula)
+	default:
+		fmt.Fprintf(stderr, "satsolve: unknown solver %q\n", *solver)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "satsolve: %v\n", err)
+		return 2
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "c decisions=%d propagations=%d conflicts=%d learned=%d restarts=%d\n",
+			res.Stats.Decisions, res.Stats.Propagations, res.Stats.Conflicts,
+			res.Stats.Learned, res.Stats.Restarts)
+	}
+	if !res.Satisfiable {
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
+	}
+	fmt.Fprintln(stdout, "s SATISFIABLE")
+	fmt.Fprint(stdout, "v")
+	for v := 1; v <= formula.NumVars; v++ {
+		lit := v
+		if !res.Assignment[v] {
+			lit = -v
+		}
+		fmt.Fprintf(stdout, " %d", lit)
+	}
+	fmt.Fprintln(stdout, " 0")
+	return 10
+}

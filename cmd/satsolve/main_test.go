@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSolve(t *testing.T, args []string, input string) (int, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(input), &out, &errBuf)
+	return code, out.String()
+}
+
+func TestSatisfiable(t *testing.T) {
+	for _, solver := range []string{"cdcl", "dpll", "brute"} {
+		code, out := runSolve(t, []string{"-solver", solver}, "p cnf 2 2\n1 2 0\n-1 0\n")
+		if code != 10 || !strings.Contains(out, "s SATISFIABLE") {
+			t.Errorf("%s: code=%d out=%q", solver, code, out)
+		}
+		if !strings.Contains(out, "v -1 2 0") {
+			t.Errorf("%s: assignment line wrong: %q", solver, out)
+		}
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	code, out := runSolve(t, nil, "p cnf 1 2\n1 0\n-1 0\n")
+	if code != 20 || !strings.Contains(out, "s UNSATISFIABLE") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	_, out := runSolve(t, []string{"-stats"}, "p cnf 1 1\n1 0\n")
+	if !strings.Contains(out, "c decisions=") {
+		t.Errorf("stats line missing: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _ := runSolve(t, nil, "garbage"); code != 2 {
+		t.Error("bad DIMACS accepted")
+	}
+	if code, _ := runSolve(t, []string{"-solver", "magic"}, "p cnf 1 1\n1 0\n"); code != 2 {
+		t.Error("unknown solver accepted")
+	}
+	if code, _ := runSolve(t, []string{"a", "b"}, ""); code != 2 {
+		t.Error("two files accepted")
+	}
+}

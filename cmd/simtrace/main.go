@@ -1,0 +1,177 @@
+// Command simtrace runs a simulated multiprocessor on a random program
+// and emits the observed execution as a trace.
+//
+// Usage:
+//
+//	simtrace [-machine mesi|tso|pso] [-procs N] [-ops N] [-addrs N]
+//	         [-seed N] [-fault kind] [-fault-nth N | -fault-p P]
+//	         [-record-order]
+//
+// With -machine mesi (default), a bus-based MESI system executes the
+// program; -fault injects a protocol error (one of drop-invalidate,
+// lose-writeback, stale-memory, corrupt-fill, drop-write). With tso/pso,
+// a store-buffer machine executes it instead, producing relaxed traces.
+// The trace goes to standard output, ready for vmcheck:
+//
+//	simtrace -fault drop-write -fault-nth 1 | vmcheck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"memverify/internal/directory"
+	"memverify/internal/memory"
+	"memverify/internal/mesi"
+	"memverify/internal/trace"
+	"memverify/internal/tsomachine"
+	"memverify/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "mesi", "machine model: mesi, directory, tso or pso")
+	procs := fs.Int("procs", 2, "processors")
+	ops := fs.Int("ops", 12, "operations per processor")
+	addrs := fs.Int("addrs", 2, "distinct addresses")
+	seed := fs.Int64("seed", 1, "random seed")
+	faultName := fs.String("fault", "", "MESI fault kind to inject (see package docs); empty = correct protocol")
+	faultNth := fs.Int("fault-nth", 1, "fire the fault at its Nth opportunity")
+	faultP := fs.Float64("fault-p", 0, "fire the fault with this probability at every opportunity (overrides -fault-nth)")
+	recordOrder := fs.Bool("record-order", false, "emit per-address write-order lines (atomic-memory generator instead of a machine)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *recordOrder {
+		exec, orders := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: *procs, OpsPerProc: *ops, Addresses: *addrs, Values: 4,
+			WriteFraction: 0.4, RMWFraction: 0.1,
+		})
+		t := trace.New(exec)
+		t.WriteOrders = orders
+		if err := trace.Write(stdout, t); err != nil {
+			fmt.Fprintf(stderr, "simtrace: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	prog := mesi.RandomProgram(rng, *procs, *ops, *addrs, 0.4, 0.1)
+	var exec *memory.Execution
+	var arrival []memory.Ref
+	switch *machine {
+	case "mesi":
+		var faults *mesi.Faults
+		if *faultName != "" {
+			kind, ok := faultByName(*faultName)
+			if !ok {
+				fmt.Fprintf(stderr, "simtrace: unknown fault %q\n", *faultName)
+				return 2
+			}
+			if *faultP > 0 {
+				faults = mesi.WithProbability(kind, *faultP, rng)
+			} else {
+				faults = mesi.Once(kind, *faultNth)
+			}
+		}
+		sys := mesi.New(mesi.Config{Processors: *procs, Faults: faults})
+		exec = mesi.Run(sys, prog, rng)
+		arrival = sys.Arrival()
+		fmt.Fprintf(stderr, "simtrace: %+v\n", sys.Stats())
+	case "directory":
+		var faults *directory.Faults
+		if *faultName != "" {
+			kind, ok := dirFaultByName(*faultName)
+			if !ok {
+				fmt.Fprintf(stderr, "simtrace: unknown directory fault %q\n", *faultName)
+				return 2
+			}
+			if *faultP > 0 {
+				faults = directory.WithProbability(kind, *faultP, rng)
+			} else {
+				faults = directory.Once(kind, *faultNth)
+			}
+		}
+		sys := directory.New(directory.Config{Nodes: *procs, Faults: faults})
+		exec = runDirectory(sys, prog, rng)
+		arrival = sys.Arrival()
+		fmt.Fprintf(stderr, "simtrace: %+v\n", sys.Stats())
+	case "tso", "pso":
+		disc := tsomachine.TSO
+		if *machine == "pso" {
+			disc = tsomachine.PSO
+		}
+		m := tsomachine.New(*procs, disc)
+		exec = tsomachine.Run(m, prog, rng, 0.3)
+	default:
+		fmt.Fprintf(stderr, "simtrace: unknown machine %q\n", *machine)
+		return 2
+	}
+	t := trace.New(exec)
+	t.Arrival = arrival
+	if err := trace.Write(stdout, t); err != nil {
+		fmt.Fprintf(stderr, "simtrace: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func faultByName(name string) (mesi.FaultKind, bool) {
+	for _, k := range mesi.FaultKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func dirFaultByName(name string) (directory.FaultKind, bool) {
+	for _, k := range directory.FaultKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// runDirectory executes a program on the directory system with random
+// interleaving and occasional evictions.
+func runDirectory(s *directory.System, p mesi.Program, rng *rand.Rand) *memory.Execution {
+	pos := make([]int, len(p))
+	remaining := 0
+	for _, insts := range p {
+		remaining += len(insts)
+	}
+	for remaining > 0 {
+		node := rng.Intn(len(p))
+		if rng.Intn(10) == 0 {
+			s.Evict(node, memory.Addr(rng.Intn(4)))
+			continue
+		}
+		if pos[node] >= len(p[node]) {
+			continue
+		}
+		in := p[node][pos[node]]
+		pos[node]++
+		remaining--
+		switch in.Kind {
+		case mesi.InstrRead:
+			s.Read(node, in.Addr)
+		case mesi.InstrWrite:
+			s.Write(node, in.Addr, in.Value)
+		case mesi.InstrRMW:
+			s.RMW(node, in.Addr, in.Value)
+		}
+	}
+	return s.Execution(true)
+}

@@ -1,0 +1,220 @@
+// Command vmcheck verifies a memory trace against a consistency model.
+//
+// Usage:
+//
+//	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-max-states N] [-cert] [trace-file]
+//
+// The trace is read from the file argument or standard input, in the
+// format of internal/trace. The exit status is 0 when the trace adheres
+// to the model, 1 when it does not, and 2 on usage or input errors.
+// With -use-order, per-address "order" lines in the trace are used to
+// run the polynomial write-order algorithms of §5.2 for coherence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"memverify/internal/coherence"
+	"memverify/internal/consistency"
+	"memverify/internal/memory"
+	"memverify/internal/monitor"
+	"memverify/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vmcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "coherence", "model to verify: coherence, sc, tso, pso or lrc")
+	useOrder := fs.Bool("use-order", false, "use the trace's per-address write orders (polynomial algorithms of §5.2)")
+	maxStates := fs.Int("max-states", 0, "abort search after N states (0 = unlimited)")
+	cert := fs.Bool("cert", false, "print the certificate schedule or witness on success")
+	diagnose := fs.Bool("diagnose", false, "on a coherence violation, shrink it to a minimal core (implies -model coherence)")
+	online := fs.Bool("online", false, "replay the trace in file order through the incremental monitor (requires the file order to be the completion order, as simtrace emits)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "vmcheck: at most one trace file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Read(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+		return 2
+	}
+
+	opts := &consistency.Options{MaxStates: *maxStates}
+	cohOpts := &coherence.Options{MaxStates: *maxStates}
+
+	if *online {
+		return checkOnline(tr, stdout)
+	}
+
+	switch *model {
+	case "coherence":
+		return checkCoherence(tr, *useOrder, cohOpts, *cert, *diagnose, stdout, stderr)
+	case "sc", "tso", "pso", "lrc":
+		m := map[string]consistency.Model{
+			"sc": consistency.SC, "tso": consistency.TSO,
+			"pso": consistency.PSO, "lrc": consistency.LRC,
+		}[*model]
+		var res *consistency.Result
+		var err error
+		if *useOrder && m == consistency.SC {
+			// §6.3: the write orders constrain (and usually prune) the
+			// SC search — but the question stays NP-Complete.
+			res, err = consistency.SolveVSCWithWriteOrders(tr.Exec, tr.WriteOrders, opts)
+		} else {
+			res, err = consistency.Verify(m, tr.Exec, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+			return 2
+		}
+		if !res.Decided {
+			fmt.Fprintf(stdout, "UNDECIDED: state budget exhausted after %d states\n", res.Stats.States)
+			return 1
+		}
+		if !res.Consistent {
+			fmt.Fprintf(stdout, "VIOLATION: trace does not adhere to %s\n", m)
+			return 1
+		}
+		fmt.Fprintf(stdout, "OK: trace adheres to %s (%d states)\n", m, res.Stats.States)
+		if *cert {
+			if len(res.Schedule) > 0 {
+				fmt.Fprintln(stdout, res.Schedule.Format(tr.Exec))
+			}
+			for _, e := range res.Events {
+				fmt.Fprintln(stdout, e)
+			}
+		}
+		return 0
+	default:
+		fmt.Fprintf(stderr, "vmcheck: unknown model %q\n", *model)
+		return 2
+	}
+}
+
+func checkCoherence(tr *trace.Trace, useOrder bool, opts *coherence.Options, cert, diagnose bool, stdout, stderr io.Writer) int {
+	addrs := tr.Exec.Addresses()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	bad := 0
+	for _, a := range addrs {
+		var res *coherence.Result
+		var err error
+		if useOrder {
+			order, ok := tr.WriteOrders[a]
+			if !ok && countWrites(tr.Exec, a) > 0 {
+				fmt.Fprintf(stderr, "vmcheck: no write order recorded for %s\n", tr.Name(a))
+				return 2
+			}
+			res, err = coherence.SolveWithWriteOrder(tr.Exec, a, order, opts)
+		} else {
+			res, err = coherence.SolveAuto(tr.Exec, a, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %s: %v\n", tr.Name(a), err)
+			return 2
+		}
+		switch {
+		case !res.Decided:
+			fmt.Fprintf(stdout, "%s: UNDECIDED (state budget exhausted)\n", tr.Name(a))
+			bad++
+		case !res.Coherent:
+			fmt.Fprintf(stdout, "%s: VIOLATION (no coherent schedule, %s)\n", tr.Name(a), res.Algorithm)
+			bad++
+			if diagnose && !useOrder {
+				d, err := coherence.Diagnose(tr.Exec, a, opts)
+				if err != nil {
+					fmt.Fprintf(stderr, "vmcheck: diagnosis of %s failed: %v\n", tr.Name(a), err)
+					break
+				}
+				fmt.Fprintf(stdout, "  minimal core (%d ops", len(d.Ops))
+				if d.FinalValueInvolved {
+					fmt.Fprint(stdout, " + final value")
+				}
+				fmt.Fprintln(stdout, "):")
+				for _, r := range d.Ops {
+					fmt.Fprintf(stdout, "    %s: %s\n", r, tr.Exec.Op(r))
+				}
+			}
+		default:
+			fmt.Fprintf(stdout, "%s: coherent (%s)\n", tr.Name(a), res.Algorithm)
+			if cert {
+				fmt.Fprintln(stdout, "  ", res.Schedule.Format(tr.Exec))
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stdout, "VIOLATION: %d of %d addresses incoherent or undecided\n", bad, len(addrs))
+		return 1
+	}
+	fmt.Fprintf(stdout, "OK: execution coherent at all %d addresses\n", len(addrs))
+	return 0
+}
+
+// checkOnline replays the trace in file (completion) order through the
+// incremental monitor.
+func checkOnline(tr *trace.Trace, stdout io.Writer) int {
+	mon := monitor.New(tr.Exec.Initial)
+	for _, r := range tr.Arrival {
+		o := tr.Exec.Op(r)
+		if !o.IsMemory() {
+			continue
+		}
+		var err error
+		switch o.Kind {
+		case memory.Read:
+			err = mon.ObserveRead(r.Proc, o.Addr, o.Data)
+		case memory.Write:
+			err = mon.ObserveWrite(r.Proc, o.Addr, o.Data)
+		case memory.ReadModifyWrite:
+			err = mon.ObserveRMW(r.Proc, o.Addr, o.Data, o.Store)
+		}
+		if err != nil {
+			fmt.Fprintf(stdout, "VIOLATION: %v\n", err)
+			return 1
+		}
+	}
+	if err := mon.CheckFinal(tr.Exec.Final); err != nil {
+		fmt.Fprintf(stdout, "VIOLATION: %v\n", err)
+		return 1
+	}
+	st := mon.Stats()
+	fmt.Fprintf(stdout, "OK: %d reads, %d writes, %d RMWs monitored without violation\n",
+		st.Reads, st.Writes, st.RMWs)
+	return 0
+}
+
+func countWrites(exec *memory.Execution, a memory.Addr) int {
+	n := 0
+	for _, h := range exec.Histories {
+		for _, o := range h {
+			if o.IsMemory() && o.Addr == a {
+				if _, ok := o.Writes(); ok {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, args []string, input string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(input), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+const coherentTrace = `init x 0
+P0: W x 1
+P1: R x 1
+`
+
+const incoherentTrace = `init x 0
+P0: W x 1
+P1: R x 9
+`
+
+func TestCoherentTraceOK(t *testing.T) {
+	code, out, _ := runCheck(t, nil, coherentTrace)
+	if code != 0 || !strings.Contains(out, "OK") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestIncoherentTraceFlagged(t *testing.T) {
+	code, out, _ := runCheck(t, nil, incoherentTrace)
+	if code != 1 || !strings.Contains(out, "VIOLATION") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestSCModel(t *testing.T) {
+	dekker := `init x 0
+init y 0
+P0: W x 1
+P0: R y 0
+P1: W y 1
+P1: R x 0
+`
+	code, out, _ := runCheck(t, []string{"-model", "sc"}, dekker)
+	if code != 1 || !strings.Contains(out, "VIOLATION") {
+		t.Errorf("Dekker should violate SC: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCheck(t, []string{"-model", "tso"}, dekker)
+	if code != 0 || !strings.Contains(out, "OK") {
+		t.Errorf("Dekker should pass TSO: code=%d out=%q", code, out)
+	}
+	code, _, _ = runCheck(t, []string{"-model", "pso"}, dekker)
+	if code != 0 {
+		t.Errorf("Dekker should pass PSO: code=%d", code)
+	}
+}
+
+func TestLRCModel(t *testing.T) {
+	synced := `init x 0
+P0: ACQ
+P0: W x 1
+P0: REL
+P1: ACQ
+P1: R x 1
+P1: REL
+`
+	code, out, _ := runCheck(t, []string{"-model", "lrc"}, synced)
+	if code != 0 {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	// Unsynchronized trace is a usage error for LRC.
+	code, _, _ = runCheck(t, []string{"-model", "lrc"}, coherentTrace)
+	if code != 2 {
+		t.Errorf("unsynchronized LRC check: code=%d, want 2", code)
+	}
+}
+
+func TestUseOrder(t *testing.T) {
+	withOrder := `init x 0
+P0: W x 1
+P0: W x 2
+P1: R x 1
+order x P0[0] P0[1]
+`
+	code, out, _ := runCheck(t, []string{"-use-order"}, withOrder)
+	if code != 0 {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	// Missing order line with writes present: usage error.
+	code, _, _ = runCheck(t, []string{"-use-order"}, coherentTrace)
+	if code != 2 {
+		t.Errorf("missing order: code=%d, want 2", code)
+	}
+}
+
+func TestCertificatePrinted(t *testing.T) {
+	code, out, _ := runCheck(t, []string{"-cert"}, coherentTrace)
+	if code != 0 || !strings.Contains(out, "W(0, 1)") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCheck(t, []string{"-model", "bogus"}, coherentTrace); code != 2 {
+		t.Error("unknown model accepted")
+	}
+	if code, _, _ := runCheck(t, nil, "not a trace"); code != 2 {
+		t.Error("bad trace accepted")
+	}
+	if code, _, _ := runCheck(t, []string{"a", "b"}, ""); code != 2 {
+		t.Error("two file args accepted")
+	}
+	if code, _, _ := runCheck(t, []string{"/nonexistent/file"}, ""); code != 2 {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBudgetUndecided(t *testing.T) {
+	// An instance needing the general search (value 3 is written twice,
+	// so no polynomial special case applies) with a 1-state budget:
+	// coherence must report undecided (exit 1) rather than a verdict.
+	hard := `init x 0
+P0: W x 1
+P0: R x 2
+P1: W x 2
+P1: R x 1
+P2: W x 3
+P3: W x 3
+`
+	code, out, _ := runCheck(t, []string{"-max-states", "1"}, hard)
+	if code != 1 || !strings.Contains(out, "UNDECIDED") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestDiagnoseFlag(t *testing.T) {
+	code, out, _ := runCheck(t, []string{"-diagnose"}, incoherentTrace)
+	if code != 1 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "minimal core") || !strings.Contains(out, "R(0, 9)") {
+		t.Errorf("diagnosis missing from output:\n%s", out)
+	}
+}
+
+func TestSCWithOrders(t *testing.T) {
+	withOrder := `init x 0
+P0: W x 1
+P0: W x 2
+P1: R x 1
+P1: R x 2
+order x P0[0] P0[1]
+`
+	code, out, _ := runCheck(t, []string{"-model", "sc", "-use-order"}, withOrder)
+	if code != 0 || !strings.Contains(out, "OK") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	// Missing order lines: usage error from the constrained solver.
+	code, _, _ = runCheck(t, []string{"-model", "sc", "-use-order"}, coherentTrace)
+	if code != 2 {
+		t.Errorf("missing orders accepted: code=%d", code)
+	}
+}
+
+func TestOnlineMode(t *testing.T) {
+	// File order = completion order here.
+	good := `init x 0
+P0: W x 1
+P1: R x 1
+P0: W x 2
+P1: R x 2
+`
+	code, out, _ := runCheck(t, []string{"-online"}, good)
+	if code != 0 || !strings.Contains(out, "OK") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	// A backward observation in completion order.
+	bad := `init x 0
+P0: W x 1
+P0: W x 2
+P1: R x 2
+P1: R x 1
+`
+	code, out, _ = runCheck(t, []string{"-online"}, bad)
+	if code != 1 || !strings.Contains(out, "VIOLATION") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	// Wrong final value.
+	final := `init x 0
+final x 9
+P0: W x 1
+`
+	code, _, _ = runCheck(t, []string{"-online"}, final)
+	if code != 1 {
+		t.Errorf("final mismatch not flagged: code=%d", code)
+	}
+}

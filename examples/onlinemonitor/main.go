@@ -1,0 +1,76 @@
+// Onlinemonitor: the §8 deployment story. A memory system that reports
+// its write serialization can be checked ONLINE in constant amortized
+// time per operation — here the monitor rides along with the MESI
+// simulator (whose atomic bus is the serialization) and pinpoints the
+// exact operation at which an injected protocol fault becomes visible.
+//
+// Run with: go run ./examples/onlinemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"memverify/internal/memory"
+	"memverify/internal/mesi"
+	"memverify/internal/monitor"
+)
+
+// step runs one random operation on the system and feeds the observation
+// to the monitor, returning the monitor verdict.
+func step(s *mesi.System, mon *monitor.Monitor, rng *rand.Rand, cpu int, nextVal *memory.Value) error {
+	a := memory.Addr(rng.Intn(2))
+	switch rng.Intn(3) {
+	case 0:
+		v := s.Read(cpu, a)
+		return mon.ObserveRead(cpu, a, v)
+	case 1:
+		*nextVal++
+		s.Write(cpu, a, *nextVal)
+		return mon.ObserveWrite(cpu, a, *nextVal)
+	default:
+		*nextVal++
+		old := s.RMW(cpu, a, *nextVal)
+		return mon.ObserveRMW(cpu, a, old, *nextVal)
+	}
+}
+
+func run(fault *mesi.Faults, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	s := mesi.New(mesi.Config{Processors: 3, CacheSets: 1, CacheWays: 1, Faults: fault})
+	s.SetInitial(0, 0)
+	s.SetInitial(1, 0)
+	mon := monitor.New(map[memory.Addr]memory.Value{0: 0, 1: 0})
+	var nextVal memory.Value
+	for i := 0; i < 120; i++ {
+		if err := step(s, mon, rng, rng.Intn(3), &nextVal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	// A healthy system monitors clean.
+	if err := run(nil, 1); err != nil {
+		log.Fatalf("healthy system flagged: %v", err)
+	}
+	fmt.Println("healthy system: 120 operations monitored, no violation")
+
+	// Inject each fault kind and report where the monitor catches it.
+	for _, kind := range mesi.FaultKinds() {
+		caught := false
+		for seed := int64(0); seed < 300; seed++ {
+			err := run(mesi.Once(kind, 2), seed)
+			if err != nil {
+				fmt.Printf("%-16s: caught online — %v\n", kind, err)
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			fmt.Printf("%-16s: no observable violation in 300 monitored runs\n", kind)
+		}
+	}
+}

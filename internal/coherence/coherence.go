@@ -1,0 +1,272 @@
+// Package coherence implements solvers for the Verifying Memory Coherence
+// (VMC) decision problem of Cantin, Lipasti & Smith (Definition 4.1):
+// given a set of process histories of reads and writes to one address, is
+// there a coherent schedule?
+//
+// VMC is NP-Complete in general (Theorem 4.2), so the package provides
+//
+//   - a complete exponential search (Solve) that realizes the paper's
+//     O(n^k) bound for k process histories via memoization and an eager
+//     read-scheduling rule;
+//   - the polynomial algorithms for every tractable row of the paper's
+//     complexity-summary table (Figure 5.3): write-order supplied (§5.2),
+//     read-map known (at most one write per value), one operation per
+//     process, and read-modify-write chains;
+//   - per-execution verification (VerifyExecution), which checks each
+//     address independently, per the paper's definition of a coherent
+//     multiprocessor execution.
+//
+// All solvers return a certificate schedule on success; certificates are
+// validated by memory.CheckCoherent in the package tests.
+package coherence
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// Options control the search-based solvers. The zero value (or nil) asks
+// for a complete, memoized, eager-read search with no resource bound.
+type Options struct {
+	// MaxStates bounds the number of search states explored. 0 means
+	// unlimited. When the bound is hit the result has Decided == false.
+	MaxStates int
+	// DisableMemoization turns off failed-state caching (ablation knob:
+	// without it the search is the naive exponential interleaving
+	// enumeration, not the paper's O(n^k) constant-process algorithm).
+	DisableMemoization bool
+	// DisableEagerReads turns off the rule that schedules an enabled read
+	// immediately when its value matches the current one (ablation knob;
+	// the rule is sound because reads do not change the memory state, so
+	// any coherent schedule can be rearranged to schedule such a read at
+	// the point it first becomes enabled).
+	DisableEagerReads bool
+	// DisableWriteGuidance turns off the branching heuristic that tries
+	// writes whose value some blocked read is waiting for before other
+	// writes (ablation knob; ordering the candidates differently cannot
+	// affect completeness, only how fast a certificate or refutation is
+	// found).
+	DisableWriteGuidance bool
+}
+
+func (o *Options) maxStates() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxStates
+}
+
+func (o *Options) memoize() bool { return o == nil || !o.DisableMemoization }
+
+func (o *Options) eagerReads() bool { return o == nil || !o.DisableEagerReads }
+
+func (o *Options) writeGuidance() bool { return o == nil || !o.DisableWriteGuidance }
+
+// Stats describes the work a solver performed.
+type Stats struct {
+	// States is the number of distinct branching states visited by the
+	// search-based solvers (0 for the direct polynomial algorithms).
+	States int
+	// MemoHits counts states pruned by the failed-state cache.
+	MemoHits int
+	// EagerReads counts reads scheduled by the eager rule.
+	EagerReads int
+}
+
+// Result is the outcome of a VMC query.
+type Result struct {
+	// Coherent reports whether a coherent schedule exists. Only
+	// meaningful when Decided is true.
+	Coherent bool
+	// Decided is false when a resource bound (Options.MaxStates) stopped
+	// the search before an answer was established.
+	Decided bool
+	// Schedule is a certificate coherent schedule when Coherent is true,
+	// with references into the execution the solver was given.
+	Schedule memory.Schedule
+	// Algorithm names the algorithm that produced the result.
+	Algorithm string
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// instance is a single-address VMC instance extracted from an execution:
+// the per-process histories restricted to one address, the optional
+// initial and final values, and the mapping back to the original refs.
+type instance struct {
+	addr  memory.Addr
+	hist  []memory.History
+	back  map[memory.Ref]memory.Ref
+	init  *memory.Value
+	final *memory.Value
+	nops  int
+}
+
+// project builds the single-address instance for addr.
+func project(exec *memory.Execution, addr memory.Addr) *instance {
+	proj, back := exec.Project(addr)
+	inst := &instance{
+		addr: addr,
+		hist: proj.Histories,
+		back: back,
+		nops: proj.NumOps(),
+	}
+	if d, ok := proj.Initial[addr]; ok {
+		v := d
+		inst.init = &v
+	}
+	if d, ok := proj.Final[addr]; ok {
+		v := d
+		inst.final = &v
+	}
+	return inst
+}
+
+// translate maps a schedule over projection refs back to original refs.
+func (in *instance) translate(s []memory.Ref) memory.Schedule {
+	out := make(memory.Schedule, len(s))
+	for i, r := range s {
+		out[i] = in.back[r]
+	}
+	return out
+}
+
+// hasWrites reports whether any operation in the instance writes.
+func (in *instance) hasWrites() bool {
+	for _, h := range in.hist {
+		for _, o := range h {
+			if _, ok := o.Writes(); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allRMW reports whether every operation is a read-modify-write.
+func (in *instance) allRMW() bool {
+	for _, h := range in.hist {
+		for _, o := range h {
+			if o.Kind != memory.ReadModifyWrite {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxOpsPerProcess returns the length of the longest projected history.
+func (in *instance) maxOpsPerProcess() int {
+	max := 0
+	for _, h := range in.hist {
+		if len(h) > max {
+			max = len(h)
+		}
+	}
+	return max
+}
+
+// maxWritesPerValue returns the largest number of writes of any single
+// value.
+func (in *instance) maxWritesPerValue() int {
+	counts := make(map[memory.Value]int)
+	max := 0
+	for _, h := range in.hist {
+		for _, o := range h {
+			if d, ok := o.Writes(); ok {
+				counts[d]++
+				if counts[d] > max {
+					max = counts[d]
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Solve decides VMC for the operations of exec at address addr using the
+// general memoized search. It is complete: for nil options it always
+// returns a decided result (at worst in exponential time — VMC is
+// NP-Complete). With k histories and n operations the memoized search
+// visits O(n^k · |D|) states, matching the constant-process polynomial
+// bound of Figure 5.3.
+func Solve(exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	return searchInstance(inst, opts), nil
+}
+
+// VerifyExecution checks whether exec is a coherent execution: per the
+// paper, a coherent schedule must exist for each address independently.
+// It dispatches each address to the fastest applicable algorithm (see
+// SolveAuto) and returns the per-address results. The execution is
+// coherent iff every result is Decided && Coherent.
+func VerifyExecution(exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[memory.Addr]*Result)
+	for _, a := range exec.Addresses() {
+		r, err := SolveAuto(exec, a, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = r
+	}
+	return out, nil
+}
+
+// Coherent is a convenience wrapper over VerifyExecution: it reports
+// whether the execution as a whole is coherent, returning the offending
+// address when it is not (or when the search was undecided).
+func Coherent(exec *memory.Execution, opts *Options) (bool, memory.Addr, error) {
+	results, err := VerifyExecution(exec, opts)
+	if err != nil {
+		return false, 0, err
+	}
+	for _, a := range exec.Addresses() {
+		r := results[a]
+		if !r.Decided {
+			return false, a, fmt.Errorf("coherence: verification of address %d undecided (state budget exhausted)", a)
+		}
+		if !r.Coherent {
+			return false, a, nil
+		}
+	}
+	return true, 0, nil
+}
+
+// SolveAuto decides VMC for one address, dispatching to the fastest
+// algorithm whose preconditions hold (Figure 5.3 rows):
+//
+//  1. at most one write per value  -> read-map algorithm (linear);
+//  2. one operation per process    -> grouping / Eulerian-path algorithm;
+//  3. otherwise                    -> general memoized search.
+//
+// The write-order algorithms require extra input and are exposed
+// separately (SolveWithWriteOrder).
+func SolveAuto(exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	if inst.maxWritesPerValue() <= 1 {
+		if r, ok := readMapInstance(inst); ok {
+			return r, nil
+		}
+		// Ambiguous corner (initial value collides with a written value):
+		// fall through to the general search.
+	}
+	if inst.maxOpsPerProcess() <= 1 {
+		if inst.allRMW() {
+			return eulerInstance(inst), nil
+		}
+		if r, ok := singleOpInstance(inst); ok {
+			return r, nil
+		}
+	}
+	return searchInstance(inst, opts), nil
+}

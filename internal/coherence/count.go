@@ -1,0 +1,111 @@
+package coherence
+
+import (
+	"encoding/binary"
+	"math/big"
+
+	"memverify/internal/memory"
+)
+
+// Count returns the exact number of distinct coherent schedules for the
+// operations of exec at addr. Counting is by dynamic programming over
+// the same state space as the search — (position vector, current value)
+// determines the number of coherent completions — so the cost is the
+// number of reachable states times the branching factor, typically far
+// below enumerating the schedules themselves (whose count is the
+// returned value and can be astronomically large; hence *big.Int).
+//
+// Counting generalizes the decision problem (the count is zero iff the
+// instance is incoherent) and is used by the tests as an independent
+// cross-check of the solver against brute-force enumeration.
+func Count(exec *memory.Execution, addr memory.Addr) (*big.Int, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	c := &counter{
+		inst: inst,
+		pos:  make([]int, len(inst.hist)),
+		memo: make(map[string]*big.Int),
+	}
+	if inst.init != nil {
+		c.cur, c.bound = *inst.init, true
+	}
+	return c.count(), nil
+}
+
+type counter struct {
+	inst   *instance
+	pos    []int
+	cur    memory.Value
+	bound  bool
+	memo   map[string]*big.Int
+	keyBuf []byte
+}
+
+func (c *counter) key() string {
+	buf := c.keyBuf[:0]
+	for _, p := range c.pos {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	if c.bound {
+		buf = append(buf, 1)
+		buf = binary.AppendVarint(buf, int64(c.cur))
+	} else {
+		buf = append(buf, 0)
+	}
+	c.keyBuf = buf
+	return string(buf)
+}
+
+func (c *counter) count() *big.Int {
+	done := true
+	for h, p := range c.pos {
+		if p < len(c.inst.hist[h]) {
+			done = false
+			break
+		}
+	}
+	if done {
+		if c.inst.final != nil && c.bound && c.cur != *c.inst.final {
+			return big.NewInt(0)
+		}
+		return big.NewInt(1)
+	}
+	key := c.key()
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	total := big.NewInt(0)
+	for h := range c.inst.hist {
+		if c.pos[h] >= len(c.inst.hist[h]) {
+			continue
+		}
+		o := c.inst.hist[h][c.pos[h]]
+		// Enabledness (no eager-read shortcut here: each placement of a
+		// read is a distinct schedule and must be counted).
+		enabled := false
+		switch o.Kind {
+		case memory.Write:
+			enabled = true
+		case memory.Read, memory.ReadModifyWrite:
+			enabled = !c.bound || o.Data == c.cur
+		}
+		if !enabled {
+			continue
+		}
+		prevCur, prevBound := c.cur, c.bound
+		c.pos[h]++
+		if d, ok := o.Reads(); ok && !c.bound {
+			c.cur, c.bound = d, true
+		}
+		if d, ok := o.Writes(); ok {
+			c.cur, c.bound = d, true
+		}
+		total.Add(total, c.count())
+		c.pos[h]--
+		c.cur, c.bound = prevCur, prevBound
+	}
+	c.memo[key] = total
+	return total
+}

@@ -1,0 +1,69 @@
+package coherence
+
+import (
+	"runtime"
+	"sync"
+
+	"memverify/internal/memory"
+)
+
+// VerifyExecutionParallel is VerifyExecution with the per-address checks
+// fanned out across workers goroutines (runtime.NumCPU() when workers
+// <= 0). Coherence is defined address-by-address (Section 3), so the
+// checks are embarrassingly parallel; on wide multi-address traces this
+// is a near-linear speedup. Results are identical to VerifyExecution.
+func VerifyExecutionParallel(exec *memory.Execution, opts *Options, workers int) (map[memory.Addr]*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	addrs := exec.Addresses()
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	if workers <= 1 {
+		return VerifyExecution(exec, opts)
+	}
+
+	type outcome struct {
+		addr memory.Addr
+		res  *Result
+		err  error
+	}
+	jobs := make(chan memory.Addr)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range jobs {
+				r, err := SolveAuto(exec, a, opts)
+				results <- outcome{addr: a, res: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, a := range addrs {
+			jobs <- a
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[memory.Addr]*Result, len(addrs))
+	var firstErr error
+	for o := range results {
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		out[o.addr] = o.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"memverify/internal/memory"
+)
+
+// multiAddressInstance builds a random execution over several addresses
+// with a violation injected into some of them.
+func multiAddressInstance(rng *rand.Rand, naddr int) *memory.Execution {
+	exec := &memory.Execution{Histories: make([]memory.History, 3)}
+	for a := 0; a < naddr; a++ {
+		exec.SetInitial(memory.Addr(a), 0)
+		cur := memory.Value(0)
+		for i := 0; i < 6; i++ {
+			p := rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				v := memory.Value(a*100 + i + 1)
+				exec.Histories[p] = append(exec.Histories[p], memory.W(memory.Addr(a), v))
+				cur = v
+			} else {
+				v := cur
+				if rng.Intn(8) == 0 {
+					v = 9999 // phantom: incoherent address
+				}
+				exec.Histories[p] = append(exec.Histories[p], memory.R(memory.Addr(a), v))
+			}
+		}
+	}
+	return exec
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 50; i++ {
+		exec := multiAddressInstance(rng, 1+rng.Intn(6))
+		serial, err := VerifyExecution(exec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			par, err := VerifyExecutionParallel(exec, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("instance %d workers %d: %d results, want %d", i, workers, len(par), len(serial))
+			}
+			for a, want := range serial {
+				got := par[a]
+				if got == nil || got.Coherent != want.Coherent || got.Decided != want.Decided {
+					t.Fatalf("instance %d workers %d addr %d: got %+v want %+v", i, workers, a, got, want)
+				}
+				if got.Coherent {
+					if err := memory.CheckCoherent(exec, a, got.Schedule); err != nil {
+						t.Fatalf("instance %d: invalid parallel certificate: %v", i, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	bad := memory.NewExecution(memory.History{{Kind: memory.Kind(99), Addr: 0}})
+	if _, err := VerifyExecutionParallel(bad, nil, 4); err == nil {
+		t.Error("invalid execution accepted")
+	}
+}
+
+func TestParallelEmptyExecution(t *testing.T) {
+	res, err := VerifyExecutionParallel(memory.NewExecution(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results for addressless execution: %v", res)
+	}
+}

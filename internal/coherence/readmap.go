@@ -1,0 +1,318 @@
+package coherence
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// SolveReadMap decides VMC in linear time for instances in which every
+// data value is written at most once, so the read-map (which write each
+// read observes) is forced (Figure 5.3, "1 Write/Value" row; the result
+// follows from Gibbons & Korach).
+//
+// The algorithm groups operations into clusters, one per written value
+// plus one for the initial value: in any coherent schedule the operations
+// of a cluster are contiguous (the write followed by its reads, before
+// the next write). Read-modify-writes fuse clusters into chains — an
+// RMW(d_r, d_w) is the head of d_w's cluster and must immediately follow
+// d_r's cluster, so both live in one chain. Coherence then reduces to
+// topologically ordering the chain graph induced by program order.
+//
+// An error is returned if some value is written twice, or in the
+// ambiguous corner where the declared initial value is also written and
+// observed by some read (then the read-map is not forced; use Solve).
+func SolveReadMap(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	if max := inst.maxWritesPerValue(); max > 1 {
+		return nil, fmt.Errorf("coherence: some value is written %d times; the read-map algorithm requires at most one write per value", max)
+	}
+	r, ok := readMapInstance(inst)
+	if !ok {
+		return nil, fmt.Errorf("coherence: the read-map for address %d is not forced (initial-value ambiguity); use the general solver", addr)
+	}
+	return r, nil
+}
+
+// readMapInstance runs the cluster-chain algorithm. ok is false only in
+// the ambiguous initial-value corner described on SolveReadMap, or when a
+// value is written more than once (callers check first).
+func readMapInstance(inst *instance) (*Result, bool) {
+	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "read-map"}
+
+	// Cluster 0 is the initial-value cluster; each written value d gets
+	// cluster writeCluster[d] >= 1 whose head is the op writing d.
+	const initCluster = 0
+	writeCluster := make(map[memory.Value]int)
+	headRef := []memory.Ref{{}} // indexed by cluster; slot 0 unused
+	headOp := []memory.Op{{}}
+	next := 1
+	for p, h := range inst.hist {
+		for i, o := range h {
+			if d, ok := o.Writes(); ok {
+				if _, dup := writeCluster[d]; dup {
+					return incoherent, false
+				}
+				writeCluster[d] = next
+				headRef = append(headRef, memory.Ref{Proc: p, Index: i})
+				headOp = append(headOp, o)
+				next++
+			}
+		}
+	}
+
+	// Ambiguity checks — cases where the read-map is not actually forced:
+	//  1. the declared initial value is also written and observed by some
+	//     read (the read could map to either source);
+	//  2. no initial value is declared and a read of a written value has
+	//     no write earlier in its own history (the read could instead
+	//     bind the initial value and be scheduled before all writes).
+	if inst.init != nil {
+		if _, written := writeCluster[*inst.init]; written {
+			for _, h := range inst.hist {
+				for _, o := range h {
+					if d, ok := o.Reads(); ok && d == *inst.init {
+						return nil, false
+					}
+				}
+			}
+		}
+	} else {
+		for _, h := range inst.hist {
+			for _, o := range h {
+				if d, ok := o.Reads(); ok {
+					if _, written := writeCluster[d]; written {
+						return nil, false
+					}
+				}
+				if _, ok := o.Writes(); ok {
+					break // later reads have a write before them
+				}
+			}
+		}
+	}
+
+	initBound := false
+	var initValue memory.Value
+	if inst.init != nil {
+		initBound, initValue = true, *inst.init
+	}
+
+	// readClusterOf maps an observed value to its source cluster,
+	// handling initial-value binding. The bool is false on incoherence.
+	readClusterOf := func(d memory.Value) (int, bool) {
+		if c, ok := writeCluster[d]; ok {
+			return c, true
+		}
+		if initBound {
+			if d != initValue {
+				return 0, false
+			}
+		} else {
+			initBound, initValue = true, d
+		}
+		return initCluster, true
+	}
+
+	// Chain fusion: an RMW heading cluster c reads the value of cluster
+	// src, so src must immediately precede c. chainNext/chainPrev record
+	// the fusion; a second consumer of the same cluster is incoherent.
+	chainNext := make([]int, next)
+	chainPrev := make([]int, next)
+	for c := range chainNext {
+		chainNext[c], chainPrev[c] = -1, -1
+	}
+	for c := 1; c < next; c++ {
+		o := headOp[c]
+		if o.Kind != memory.ReadModifyWrite {
+			continue
+		}
+		src, ok := readClusterOf(o.Data)
+		if !ok {
+			return incoherent, true
+		}
+		if src == c {
+			// RMW reads the value it writes; with unique writes this is
+			// only coherent if... it would have to follow itself.
+			return incoherent, true
+		}
+		if chainNext[src] != -1 || chainPrev[c] != -1 {
+			return incoherent, true
+		}
+		chainNext[src] = c
+		chainPrev[c] = src
+	}
+
+	// Detect chain cycles and assign (chain, segment) coordinates.
+	chainOf := make([]int, next)
+	segOf := make([]int, next)
+	for c := range chainOf {
+		chainOf[c] = -1
+	}
+	var chains [][]int // chain id -> clusters in chain order
+	for c := 0; c < next; c++ {
+		if chainPrev[c] != -1 {
+			continue // not a chain head
+		}
+		id := len(chains)
+		var segs []int
+		for cur := c; cur != -1; cur = chainNext[cur] {
+			chainOf[cur] = id
+			segOf[cur] = len(segs)
+			segs = append(segs, cur)
+		}
+		chains = append(chains, segs)
+	}
+	for c := 0; c < next; c++ {
+		if chainOf[c] == -1 {
+			return incoherent, true // cluster trapped in a chain cycle
+		}
+	}
+
+	// Per-cluster reads, grouped by process to preserve program order.
+	clusterReads := make([][][]memory.Ref, next)
+	for c := range clusterReads {
+		clusterReads[c] = make([][]memory.Ref, len(inst.hist))
+	}
+
+	// Chain-level precedence graph + intra-chain position checks.
+	// Position of an op inside a chain: (segment, phase) with phase 0 for
+	// the segment head and 1 for its reads.
+	nchains := len(chains)
+	adj := make([][]int, nchains)
+	indeg := make([]int, nchains)
+	edgeSeen := make(map[[2]int]bool)
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return true
+		}
+		k := [2]int{a, b}
+		if !edgeSeen[k] {
+			edgeSeen[k] = true
+			adj[a] = append(adj[a], b)
+			indeg[b]++
+		}
+		return true
+	}
+	// The initial cluster's chain precedes every other chain.
+	initChain := chainOf[initCluster]
+	for id := 0; id < nchains; id++ {
+		addEdge(initChain, id)
+	}
+
+	for p, h := range inst.hist {
+		prevChain, prevPos, prevWasHead := -1, 0, false
+		for i, o := range h {
+			var c int
+			var phase int
+			if _, isWrite := o.Writes(); isWrite {
+				c = writeCluster[mustWriteValue(o)]
+				phase = 0
+			} else {
+				src, ok := readClusterOf(o.Data)
+				if !ok {
+					return incoherent, true
+				}
+				c = src
+				phase = 1
+				clusterReads[c][p] = append(clusterReads[c][p], memory.Ref{Proc: p, Index: i})
+			}
+			id := chainOf[c]
+			pos := segOf[c]*2 + phase
+			if prevChain == id {
+				// Same chain: program order must be consistent with the
+				// fixed intra-chain layout. Two reads of one segment may
+				// share a position; a head may not repeat.
+				if pos < prevPos || (pos == prevPos && (prevWasHead || phase == 0)) {
+					return incoherent, true
+				}
+			} else if prevChain >= 0 {
+				addEdge(prevChain, id)
+			}
+			prevChain, prevPos, prevWasHead = id, pos, phase == 0
+		}
+	}
+
+	// Final-value constraint: the final value's cluster must be the last
+	// segment of its chain, and that chain must be a sink of the DAG.
+	finalChain := -1
+	if inst.final != nil && len(writeCluster) > 0 {
+		c, ok := writeCluster[*inst.final]
+		if !ok {
+			return incoherent, true
+		}
+		if chainNext[c] != -1 {
+			return incoherent, true
+		}
+		id := chainOf[c]
+		if len(adj[id]) > 0 {
+			return incoherent, true
+		}
+		finalChain = id
+	}
+	if inst.final != nil && len(writeCluster) == 0 && initBound && initValue != *inst.final {
+		return incoherent, true
+	}
+
+	// Topological sort (Kahn), keeping the final chain last.
+	queue := make([]int, 0, nchains)
+	for id := 0; id < nchains; id++ {
+		if indeg[id] == 0 && id != finalChain {
+			queue = append(queue, id)
+		}
+	}
+	topo := make([]int, 0, nchains)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		topo = append(topo, id)
+		for _, d := range adj[id] {
+			indeg[d]--
+			if indeg[d] == 0 && d != finalChain {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if finalChain >= 0 {
+		if indeg[finalChain] != 0 {
+			return incoherent, true
+		}
+		topo = append(topo, finalChain)
+	}
+	if len(topo) != nchains {
+		return incoherent, true // cycle among chains
+	}
+
+	// Emit the schedule: chains in topological order; within a chain,
+	// each segment head followed by the segment's reads (per process in
+	// program order; cross-process order within a segment is free).
+	sched := make([]memory.Ref, 0, inst.nops)
+	for _, id := range topo {
+		for _, c := range chains[id] {
+			if c != initCluster {
+				sched = append(sched, headRef[c])
+			}
+			for p := range clusterReads[c] {
+				sched = append(sched, clusterReads[c][p]...)
+			}
+		}
+	}
+	return &Result{
+		Coherent:  true,
+		Decided:   true,
+		Schedule:  inst.translate(sched),
+		Algorithm: "read-map",
+	}, true
+}
+
+// mustWriteValue returns the written value of an op known to write.
+func mustWriteValue(o memory.Op) memory.Value {
+	d, ok := o.Writes()
+	if !ok {
+		panic("coherence: op does not write")
+	}
+	return d
+}

@@ -1,0 +1,274 @@
+package coherence
+
+import (
+	"encoding/binary"
+
+	"memverify/internal/memory"
+)
+
+// searcher is the general VMC decision procedure: a depth-first search
+// over partial schedules. The state of a partial schedule is fully
+// described by (position vector, current value), because reads do not
+// change the memory state and the current value is the last written value
+// (or the bound initial value). Failed states are memoized, which bounds
+// the search by the number of distinct states, O(n^k · |D|) — the paper's
+// constant-process algorithm. The eager-read rule (schedule an enabled
+// read immediately when it matches the current value) shrinks the
+// branching factor to the number of histories with an enabled write.
+type searcher struct {
+	inst *instance
+	opts *Options
+
+	pos      []int // next unscheduled op per history
+	cur      memory.Value
+	bound    bool
+	schedule []memory.Ref // projection refs, in scheduled order
+
+	memo     map[string]struct{}
+	states   int
+	memoHits int
+	eager    int
+	exceeded bool
+
+	keyBuf []byte
+}
+
+// searchInstance runs the general search on a projected instance.
+func searchInstance(inst *instance, opts *Options) *Result {
+	s := &searcher{
+		inst: inst,
+		opts: opts,
+		pos:  make([]int, len(inst.hist)),
+		memo: make(map[string]struct{}),
+	}
+	if inst.init != nil {
+		s.cur, s.bound = *inst.init, true
+	}
+	found := s.dfs()
+	res := &Result{
+		Coherent:  found,
+		Decided:   found || !s.exceeded,
+		Algorithm: "general-search",
+		Stats: Stats{
+			States:     s.states,
+			MemoHits:   s.memoHits,
+			EagerReads: s.eager,
+		},
+	}
+	if found {
+		res.Schedule = inst.translate(s.schedule)
+	}
+	return res
+}
+
+// key serializes the current state for memoization.
+func (s *searcher) key() string {
+	buf := s.keyBuf[:0]
+	for _, p := range s.pos {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	if s.bound {
+		buf = append(buf, 1)
+		buf = binary.AppendVarint(buf, int64(s.cur))
+	} else {
+		buf = append(buf, 0)
+	}
+	s.keyBuf = buf
+	return string(buf)
+}
+
+// done reports whether every operation has been scheduled.
+func (s *searcher) done() bool {
+	for i, p := range s.pos {
+		if p < len(s.inst.hist[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalOK checks the final-value constraint at completion. The current
+// value equals the last written value whenever any write was scheduled
+// (binding reads only occur before the first write).
+func (s *searcher) finalOK() bool {
+	if s.inst.final == nil {
+		return true
+	}
+	if !s.bound {
+		// No writes, no reads, no declared initial value: vacuous.
+		return true
+	}
+	return s.cur == *s.inst.final
+}
+
+// apply schedules the op at hist[h][pos[h]] and returns an undo closure.
+func (s *searcher) apply(h int) func() {
+	o := s.inst.hist[h][s.pos[h]]
+	prevCur, prevBound := s.cur, s.bound
+	s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
+	s.pos[h]++
+	if d, ok := o.Reads(); ok && !s.bound {
+		s.cur, s.bound = d, true
+	}
+	if d, ok := o.Writes(); ok {
+		s.cur, s.bound = d, true
+	}
+	return func() {
+		s.pos[h]--
+		s.schedule = s.schedule[:len(s.schedule)-1]
+		s.cur, s.bound = prevCur, prevBound
+	}
+}
+
+// scheduleEagerReads repeatedly schedules every enabled read whose value
+// matches the current bound value, returning the number scheduled. Such
+// reads never need to be delayed: they do not change the state, so a
+// coherent completion exists after scheduling them iff one existed
+// before.
+func (s *searcher) scheduleEagerReads() int {
+	if !s.opts.eagerReads() || !s.bound {
+		return 0
+	}
+	n := 0
+	for {
+		progress := false
+		for h := range s.inst.hist {
+			for s.pos[h] < len(s.inst.hist[h]) {
+				o := s.inst.hist[h][s.pos[h]]
+				if o.Kind != memory.Read || o.Data != s.cur {
+					break
+				}
+				s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
+				s.pos[h]++
+				n++
+				s.eager++
+				progress = true
+			}
+		}
+		if !progress {
+			return n
+		}
+	}
+}
+
+// undoEagerReads pops n eagerly scheduled reads.
+func (s *searcher) undoEagerReads(n int) {
+	for i := 0; i < n; i++ {
+		r := s.schedule[len(s.schedule)-1]
+		s.schedule = s.schedule[:len(s.schedule)-1]
+		s.pos[r.Proc]--
+	}
+}
+
+// enabled reports whether the next op of history h may be scheduled now,
+// ignoring the eager-read rule.
+func (s *searcher) enabled(o memory.Op) bool {
+	switch o.Kind {
+	case memory.Write:
+		return true
+	case memory.Read, memory.ReadModifyWrite:
+		return !s.bound || o.Data == s.cur
+	default:
+		// Synchronization ops never appear in projected instances.
+		return false
+	}
+}
+
+// candidates returns the histories whose next operation may be branched
+// on now, most promising first: when write guidance is on, writes (and
+// RMWs) whose stored value some blocked read is waiting for are tried
+// before other candidates — scheduling anything else first can only
+// delay or clobber the value that read needs. Ordering cannot affect
+// completeness (all candidates are still tried), only search speed.
+func (s *searcher) candidates() []int {
+	var needed map[memory.Value]bool
+	if s.opts.writeGuidance() && s.bound {
+		for h := range s.inst.hist {
+			if s.pos[h] >= len(s.inst.hist[h]) {
+				continue
+			}
+			o := s.inst.hist[h][s.pos[h]]
+			if d, ok := o.Reads(); ok && d != s.cur {
+				if needed == nil {
+					needed = make(map[memory.Value]bool)
+				}
+				needed[d] = true
+			}
+		}
+	}
+	var preferred, rest []int
+	for h := range s.inst.hist {
+		if s.pos[h] >= len(s.inst.hist[h]) {
+			continue
+		}
+		o := s.inst.hist[h][s.pos[h]]
+		if !s.enabled(o) {
+			continue
+		}
+		if s.opts.eagerReads() && o.Kind == memory.Read && s.bound {
+			// Matching reads were consumed by the eager rule; a read that
+			// remains here mismatches and is disabled. (When unbound, a
+			// read is a genuine branch: it binds the initial value.)
+			continue
+		}
+		if needed != nil {
+			if d, ok := o.Writes(); ok && needed[d] {
+				preferred = append(preferred, h)
+				continue
+			}
+		}
+		rest = append(rest, h)
+	}
+	if len(preferred) == 0 {
+		return rest
+	}
+	return append(preferred, rest...)
+}
+
+// dfs explores from the current state; true means a coherent completion
+// was found (and s.schedule holds it).
+func (s *searcher) dfs() bool {
+	eager := s.scheduleEagerReads()
+	if s.done() {
+		if s.finalOK() {
+			return true
+		}
+		s.undoEagerReads(eager)
+		return false
+	}
+
+	var key string
+	if s.opts.memoize() {
+		key = s.key()
+		if _, seen := s.memo[key]; seen {
+			s.memoHits++
+			s.undoEagerReads(eager)
+			return false
+		}
+	}
+
+	s.states++
+	if max := s.opts.maxStates(); max > 0 && s.states > max {
+		s.exceeded = true
+		s.undoEagerReads(eager)
+		return false
+	}
+
+	for _, h := range s.candidates() {
+		undo := s.apply(h)
+		if s.dfs() {
+			return true
+		}
+		undo()
+		if s.exceeded {
+			s.undoEagerReads(eager)
+			return false
+		}
+	}
+
+	if s.opts.memoize() {
+		s.memo[key] = struct{}{}
+	}
+	s.undoEagerReads(eager)
+	return false
+}

@@ -1,0 +1,307 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"memverify/internal/memory"
+)
+
+// SolveSingleOp decides VMC for instances with at most one simple
+// operation (read or write) per process (Figure 5.3, "1 Operation/
+// Process" row). With no program-order constraints the problem reduces to
+// grouping: every write of value d can be immediately followed by all
+// reads of d, groups may appear in any order, reads of the initial value
+// come first, and a write of the final value goes last. The
+// implementation sorts operations by value, O(n log n) as the paper
+// lists.
+func SolveSingleOp(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	if inst.maxOpsPerProcess() > 1 {
+		return nil, fmt.Errorf("coherence: address %d has a history with more than one operation", addr)
+	}
+	r, ok := singleOpInstance(inst)
+	if !ok {
+		return nil, fmt.Errorf("coherence: address %d has read-modify-write operations; use SolveSingleOpRMW", addr)
+	}
+	return r, nil
+}
+
+// singleOpInstance solves the single-op simple-operation case. ok is
+// false when the instance contains read-modify-writes (different
+// algorithm) or a history with more than one op.
+func singleOpInstance(inst *instance) (*Result, bool) {
+	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "single-op"}
+
+	type group struct {
+		value  memory.Value
+		writes []memory.Ref
+		reads  []memory.Ref
+	}
+	groups := make(map[memory.Value]*group)
+	lookup := func(d memory.Value) *group {
+		g, ok := groups[d]
+		if !ok {
+			g = &group{value: d}
+			groups[d] = g
+		}
+		return g
+	}
+	for p, h := range inst.hist {
+		if len(h) > 1 {
+			return nil, false
+		}
+		for i, o := range h {
+			if o.Kind == memory.ReadModifyWrite {
+				return nil, false
+			}
+			r := memory.Ref{Proc: p, Index: i}
+			if d, ok := o.Writes(); ok {
+				lookup(d).writes = append(lookup(d).writes, r)
+			} else {
+				lookup(o.Data).reads = append(lookup(o.Data).reads, r)
+			}
+		}
+	}
+
+	// Reads of unwritten values must read the initial value: they must
+	// all agree, and with a declared initial value they must match it.
+	initBound := false
+	var initValue memory.Value
+	if inst.init != nil {
+		initBound, initValue = true, *inst.init
+	}
+	var initReads []memory.Ref
+	var writeGroups []*group
+	for _, g := range groups {
+		if len(g.writes) == 0 {
+			if initBound && g.value != initValue {
+				return incoherent, true
+			}
+			if !initBound {
+				initBound, initValue = true, g.value
+			}
+			initReads = append(initReads, g.reads...)
+			continue
+		}
+		writeGroups = append(writeGroups, g)
+	}
+	// Reads of the initial value when that value is ALSO written can join
+	// the written group instead, so they need no special handling: the
+	// written group satisfies them.
+
+	// Final value: some write group must carry it and go last.
+	finalIdx := -1
+	if inst.final != nil {
+		if len(writeGroups) > 0 {
+			for i, g := range writeGroups {
+				if g.value == *inst.final {
+					finalIdx = i
+					break
+				}
+			}
+			if finalIdx == -1 {
+				return incoherent, true
+			}
+		} else if initBound && initValue != *inst.final {
+			return incoherent, true
+		}
+	}
+
+	// Deterministic output: order groups by value, final group last.
+	sort.Slice(writeGroups, func(i, j int) bool { return writeGroups[i].value < writeGroups[j].value })
+	if finalIdx >= 0 {
+		// Re-find after sorting.
+		for i, g := range writeGroups {
+			if g.value == *inst.final {
+				writeGroups = append(append(append([]*group{}, writeGroups[:i]...), writeGroups[i+1:]...), g)
+				break
+			}
+		}
+	}
+
+	sched := make([]memory.Ref, 0, inst.nops)
+	sched = append(sched, initReads...)
+	for _, g := range writeGroups {
+		sched = append(sched, g.writes...)
+		sched = append(sched, g.reads...)
+	}
+	return &Result{
+		Coherent:  true,
+		Decided:   true,
+		Schedule:  inst.translate(sched),
+		Algorithm: "single-op",
+	}, true
+}
+
+// SolveSingleOpRMW decides VMC for instances consisting of exactly one
+// read-modify-write per process (Figure 5.3: the paper lists O(n²); this
+// implementation is O(n) expected). A total order of RMWs is coherent iff
+// each operation reads the value written by its predecessor — i.e. the
+// operations, viewed as edges d_r -> d_w of a multigraph over values,
+// form an Eulerian path starting at the initial value (when declared) and
+// ending with a write of the final value (when declared). Hierholzer's
+// algorithm constructs the path.
+func SolveSingleOpRMW(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	if inst.maxOpsPerProcess() > 1 {
+		return nil, fmt.Errorf("coherence: address %d has a history with more than one operation", addr)
+	}
+	if !inst.allRMW() {
+		return nil, fmt.Errorf("coherence: address %d has simple operations; use SolveSingleOp", addr)
+	}
+	return eulerInstance(inst), nil
+}
+
+// eulerInstance solves the RMW-only single-op case via Eulerian paths.
+func eulerInstance(inst *instance) *Result {
+	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "rmw-euler"}
+
+	type edge struct {
+		ref  memory.Ref
+		from memory.Value
+		to   memory.Value
+	}
+	var edges []edge
+	outAdj := make(map[memory.Value][]int) // value -> edge indices
+	degree := make(map[memory.Value]int)   // out - in
+	touched := make(map[memory.Value]bool)
+	for p, h := range inst.hist {
+		for i, o := range h {
+			e := edge{ref: memory.Ref{Proc: p, Index: i}, from: o.Data, to: o.Store}
+			outAdj[e.from] = append(outAdj[e.from], len(edges))
+			degree[e.from]++
+			degree[e.to]--
+			touched[e.from] = true
+			touched[e.to] = true
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		// Empty instance: coherent iff initial and final agree when both
+		// are declared.
+		if inst.init != nil && inst.final != nil && *inst.init != *inst.final {
+			return incoherent
+		}
+		return &Result{Coherent: true, Decided: true, Algorithm: "rmw-euler"}
+	}
+
+	// Degree conditions: at most one vertex with out-in = +1 (start), at
+	// most one with out-in = -1 (end), all others balanced.
+	var start, end *memory.Value
+	for v, d := range degree {
+		v := v
+		switch d {
+		case 0:
+		case 1:
+			if start != nil {
+				return incoherent
+			}
+			start = &v
+		case -1:
+			if end != nil {
+				return incoherent
+			}
+			end = &v
+		default:
+			return incoherent
+		}
+	}
+	// Initial/final constraints pin the endpoints.
+	if inst.init != nil {
+		if start != nil && *start != *inst.init {
+			return incoherent
+		}
+		if start == nil {
+			// Eulerian circuit: it may start anywhere on the circuit, but
+			// the declared initial value must be on it.
+			if !touched[*inst.init] {
+				return incoherent
+			}
+			start = inst.init
+		}
+	}
+	if inst.final != nil {
+		if end != nil && *end != *inst.final {
+			return incoherent
+		}
+		if end == nil {
+			if !touched[*inst.final] {
+				return incoherent
+			}
+			end = inst.final
+		}
+	}
+	// A circuit has start == end; if both were pinned they must agree.
+	if start != nil && end != nil {
+		balanced := true
+		for _, d := range degree {
+			if d != 0 {
+				balanced = false
+				break
+			}
+		}
+		if balanced && *start != *end {
+			return incoherent
+		}
+	}
+	if start == nil {
+		// The graph is balanced here (an unbalanced graph pinned start in
+		// the degree scan): the path is a circuit. A pinned end forces
+		// the start (a circuit ends where it starts); otherwise any
+		// touched vertex works.
+		if end != nil {
+			start = end
+		} else {
+			for v := range touched {
+				v := v
+				start = &v
+				break
+			}
+		}
+	}
+
+	// Hierholzer from *start.
+	used := make([]bool, len(edges))
+	nextOut := make(map[memory.Value]int)
+	var path []int // edge indices, built in reverse
+	var visit func(v memory.Value)
+	visit = func(v memory.Value) {
+		for {
+			idx := nextOut[v]
+			outs := outAdj[v]
+			if idx >= len(outs) {
+				break
+			}
+			nextOut[v] = idx + 1
+			e := outs[idx]
+			if used[e] {
+				continue
+			}
+			used[e] = true
+			visit(edges[e].to)
+			path = append(path, e)
+		}
+	}
+	visit(*start)
+	if len(path) != len(edges) {
+		return incoherent // disconnected
+	}
+	// path is in reverse order.
+	sched := make([]memory.Ref, 0, len(path))
+	for i := len(path) - 1; i >= 0; i-- {
+		sched = append(sched, edges[path[i]].ref)
+	}
+	return &Result{
+		Coherent:  true,
+		Decided:   true,
+		Schedule:  inst.translate(sched),
+		Algorithm: "rmw-euler",
+	}
+}

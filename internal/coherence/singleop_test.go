@@ -1,0 +1,299 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"memverify/internal/memory"
+)
+
+func TestSingleOpBasic(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1)},
+		memory.History{memory.R(0, 1)},
+		memory.History{memory.W(0, 2)},
+		memory.History{memory.R(0, 2)},
+	).SetInitial(0, 0)
+	res, err := SolveSingleOp(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Fatal("groupable single-op instance rejected")
+	}
+	if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+		t.Errorf("invalid certificate: %v", err)
+	}
+}
+
+func TestSingleOpUnsourcedRead(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1)},
+		memory.History{memory.R(0, 9)},
+	).SetInitial(0, 0)
+	res, err := SolveSingleOp(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("read with no source accepted")
+	}
+}
+
+func TestSingleOpInitialBinding(t *testing.T) {
+	// Two reads of unwritten values must agree when no initial value is
+	// declared.
+	agree := memory.NewExecution(
+		memory.History{memory.R(0, 9)},
+		memory.History{memory.R(0, 9)},
+	)
+	res, err := SolveSingleOp(agree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Error("agreeing unwritten reads rejected")
+	}
+	disagree := memory.NewExecution(
+		memory.History{memory.R(0, 9)},
+		memory.History{memory.R(0, 8)},
+	)
+	res, err = SolveSingleOp(disagree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("disagreeing unwritten reads accepted")
+	}
+}
+
+func TestSingleOpFinalValue(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1)},
+		memory.History{memory.W(0, 2)},
+	).SetFinal(0, 1)
+	res, err := SolveSingleOp(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Fatal("achievable final value rejected")
+	}
+	if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+		t.Errorf("invalid certificate: %v", err)
+	}
+	exec.SetFinal(0, 9)
+	res, err = SolveSingleOp(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("unwritten final value accepted")
+	}
+}
+
+func TestSingleOpRejectsLongHistories(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1), memory.R(0, 1)},
+	)
+	if _, err := SolveSingleOp(exec, 0); err == nil {
+		t.Error("multi-op history accepted")
+	}
+}
+
+func TestSingleOpRejectsRMW(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+	)
+	if _, err := SolveSingleOp(exec, 0); err == nil {
+		t.Error("RMW accepted by the simple single-op solver")
+	}
+}
+
+func TestSingleOpMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 400; i++ {
+		exec := singleOpRandom(rng, false)
+		want, _ := bruteForceCoherent(exec, 0)
+		res, err := SolveSingleOp(exec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coherent != want {
+			t.Fatalf("instance %d: SolveSingleOp=%v oracle=%v\nhistories=%v init=%v final=%v",
+				i, res.Coherent, want, exec.Histories, exec.Initial, exec.Final)
+		}
+		if res.Coherent {
+			if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+				t.Fatalf("instance %d: invalid certificate: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestSingleOpRMWEulerChain(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+		memory.History{memory.RW(0, 1, 2)},
+		memory.History{memory.RW(0, 2, 3)},
+	).SetInitial(0, 0).SetFinal(0, 3)
+	res, err := SolveSingleOpRMW(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Fatal("RMW chain rejected")
+	}
+	if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+		t.Errorf("invalid certificate: %v", err)
+	}
+}
+
+func TestSingleOpRMWCircuit(t *testing.T) {
+	// 0 -> 1 -> 0: Eulerian circuit; must start at the initial value.
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+		memory.History{memory.RW(0, 1, 0)},
+	).SetInitial(0, 0).SetFinal(0, 0)
+	res, err := SolveSingleOpRMW(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Fatal("RMW circuit rejected")
+	}
+	if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+		t.Errorf("invalid certificate: %v", err)
+	}
+
+	// Initial value not on the circuit.
+	off := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+		memory.History{memory.RW(0, 1, 0)},
+	).SetInitial(0, 7)
+	res, err = SolveSingleOpRMW(off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("circuit not containing the initial value accepted")
+	}
+}
+
+func TestSingleOpRMWDisconnected(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+		memory.History{memory.RW(0, 5, 6)},
+	).SetInitial(0, 0)
+	res, err := SolveSingleOpRMW(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("disconnected RMW multigraph accepted")
+	}
+}
+
+func TestSingleOpRMWDegreeViolations(t *testing.T) {
+	// Two sources of value 1, only one consumer: vertex degrees ±2.
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 1, 2)},
+		memory.History{memory.RW(0, 1, 3)},
+	)
+	res, err := SolveSingleOpRMW(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("double-consumption of one value accepted")
+	}
+}
+
+func TestSingleOpRMWEmpty(t *testing.T) {
+	empty := memory.NewExecution(memory.History{})
+	res, err := SolveSingleOpRMW(empty, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Error("empty RMW instance rejected")
+	}
+	conflict := memory.NewExecution(memory.History{}).SetInitial(0, 1).SetFinal(0, 2)
+	res, err = SolveSingleOpRMW(conflict, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent {
+		t.Error("empty instance with conflicting initial/final accepted")
+	}
+}
+
+func TestSingleOpRMWFinalPinsCircuitStart(t *testing.T) {
+	// Balanced circuit, no initial declared, final declared: the circuit
+	// must end (= start) at the final value.
+	exec := memory.NewExecution(
+		memory.History{memory.RW(0, 0, 1)},
+		memory.History{memory.RW(0, 1, 0)},
+	).SetFinal(0, 0)
+	res, err := SolveSingleOpRMW(exec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coherent {
+		t.Fatal("final-pinned circuit rejected")
+	}
+	if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+		t.Errorf("invalid certificate: %v", err)
+	}
+}
+
+func TestSingleOpRMWMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 400; i++ {
+		exec := singleOpRandom(rng, true)
+		want, _ := bruteForceCoherent(exec, 0)
+		res, err := SolveSingleOpRMW(exec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coherent != want {
+			t.Fatalf("instance %d: SolveSingleOpRMW=%v oracle=%v\nhistories=%v init=%v final=%v",
+				i, res.Coherent, want, exec.Histories, exec.Initial, exec.Final)
+		}
+		if res.Coherent {
+			if err := memory.CheckCoherent(exec, 0, res.Schedule); err != nil {
+				t.Fatalf("instance %d: invalid certificate: %v", i, err)
+			}
+		}
+	}
+}
+
+// singleOpRandom generates random instances with exactly one op per
+// history (all RMW when rmwOnly).
+func singleOpRandom(rng *rand.Rand, rmwOnly bool) *memory.Execution {
+	nproc := 1 + rng.Intn(5)
+	nvals := 1 + rng.Intn(3)
+	exec := &memory.Execution{}
+	for p := 0; p < nproc; p++ {
+		var o memory.Op
+		v := memory.Value(rng.Intn(nvals))
+		w := memory.Value(rng.Intn(nvals))
+		if rmwOnly {
+			o = memory.RW(0, v, w)
+		} else {
+			if rng.Intn(2) == 0 {
+				o = memory.R(0, v)
+			} else {
+				o = memory.W(0, v)
+			}
+		}
+		exec.Histories = append(exec.Histories, memory.History{o})
+	}
+	if rng.Intn(2) == 0 {
+		exec.SetInitial(0, memory.Value(rng.Intn(nvals)))
+	}
+	if rng.Intn(3) == 0 {
+		exec.SetFinal(0, memory.Value(rng.Intn(nvals)))
+	}
+	return exec
+}

@@ -1,0 +1,185 @@
+// Package consistency implements verification of memory consistency
+// models over executions, per Section 6 of Cantin, Lipasti & Smith:
+//
+//   - SolveVSC decides Verifying Sequential Consistency (Definition 6.1;
+//     NP-Complete, Gibbons & Korach) with a memoized search that
+//     generalizes the coherence search to multiple addresses.
+//   - SolveVSCC decides the promise problem Verifying Sequential
+//     Consistency with Coherence (Definition 6.2): coherence of the
+//     instance is established per address first, then VSC is decided —
+//     which remains NP-Complete (§6.3).
+//   - MergeSchedules implements the VSC-Conflict construction (§6.3):
+//     given one coherent schedule per address it builds a sequentially
+//     consistent schedule in near-linear time, or reports that this
+//     particular set of coherent schedules cannot be merged.
+//   - VerifyTSO and VerifyPSO are operational store-buffer checkers for
+//     the Sun relaxed models named in §6.2, grounding the claim that
+//     relaxed hardware models still embed coherence per location.
+//   - VerifyLRC checks executions written in the fully synchronized
+//     discipline of Figure 6.1 (every access bracketed by acquire and
+//     release), under which Lazy Release Consistency forces per-address
+//     serialization, i.e. coherence.
+package consistency
+
+import (
+	"fmt"
+
+	"memverify/internal/coherence"
+	"memverify/internal/memory"
+)
+
+// Model names a memory consistency model supported by Verify.
+type Model int
+
+const (
+	// SC is sequential consistency (Lamport).
+	SC Model = iota
+	// TSO is Sun/x86 Total Store Order: per-processor FIFO store buffers
+	// with read forwarding; RMWs and fences drain the buffer.
+	TSO
+	// PSO is Sun Partial Store Order: per-processor, per-address FIFO
+	// store buffers; writes to different addresses may commit out of
+	// order.
+	PSO
+	// CoherenceOnly requires only per-address serialization (the weakest
+	// model the paper considers; every hardware model implies it).
+	CoherenceOnly
+	// LRC is Lazy Release Consistency restricted to fully synchronized
+	// executions (Figure 6.1 discipline).
+	LRC
+)
+
+// String returns the conventional model name.
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	case CoherenceOnly:
+		return "Coherence"
+	case LRC:
+		return "LRC"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Options control the search-based verifiers. The zero value (or nil)
+// requests a complete memoized search.
+type Options struct {
+	// MaxStates bounds the number of search states explored; 0 means
+	// unlimited. When hit, the result has Decided == false.
+	MaxStates int
+	// DisableMemoization turns off visited-state caching (ablation).
+	DisableMemoization bool
+	// DisableEagerReads turns off eager scheduling of matching reads in
+	// the VSC search (ablation).
+	DisableEagerReads bool
+	// DisableWriteGuidance turns off the branching heuristic that tries
+	// writes whose (address, value) some blocked read is waiting for
+	// before other candidates (ablation; ordering never affects
+	// completeness).
+	DisableWriteGuidance bool
+}
+
+func (o *Options) maxStates() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxStates
+}
+
+func (o *Options) memoize() bool { return o == nil || !o.DisableMemoization }
+
+func (o *Options) eagerReads() bool { return o == nil || !o.DisableEagerReads }
+
+func (o *Options) writeGuidance() bool { return o == nil || !o.DisableWriteGuidance }
+
+// Stats describes the work a verifier performed.
+type Stats struct {
+	States   int
+	MemoHits int
+}
+
+// Result is the outcome of a consistency query.
+type Result struct {
+	// Consistent reports whether the execution adheres to the model.
+	// Only meaningful when Decided is true.
+	Consistent bool
+	// Decided is false when a resource bound stopped the search.
+	Decided bool
+	// Schedule is a witness sequentially consistent schedule, when the
+	// model admits one (SC, VSCC, merge). Relaxed-model verifiers return
+	// Events instead.
+	Schedule memory.Schedule
+	// Events is a witness event trace for the operational verifiers
+	// (TSO, PSO): the issue/commit interleaving that reproduces the
+	// execution's values.
+	Events []Event
+	// Algorithm names the decision procedure used.
+	Algorithm string
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Verify checks exec against the given model. For CoherenceOnly the
+// result's Schedule is empty (coherence certificates are per address; use
+// coherence.VerifyExecution directly for those).
+func Verify(model Model, exec *memory.Execution, opts *Options) (*Result, error) {
+	switch model {
+	case SC:
+		return SolveVSC(exec, opts)
+	case TSO:
+		return VerifyTSO(exec, opts)
+	case PSO:
+		return VerifyPSO(exec, opts)
+	case CoherenceOnly:
+		ok, _, err := coherence.Coherent(exec, coherenceOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Consistent: ok, Decided: true, Algorithm: "per-address-coherence"}, nil
+	case LRC:
+		return VerifyLRC(exec, opts)
+	default:
+		return nil, fmt.Errorf("consistency: unknown model %v", model)
+	}
+}
+
+// coherenceOptions adapts consistency options for the coherence solvers.
+func coherenceOptions(opts *Options) *coherence.Options {
+	if opts == nil {
+		return nil
+	}
+	return &coherence.Options{
+		MaxStates:            opts.MaxStates,
+		DisableMemoization:   opts.DisableMemoization,
+		DisableEagerReads:    opts.DisableEagerReads,
+		DisableWriteGuidance: opts.DisableWriteGuidance,
+	}
+}
+
+// SolveVSCC decides the Verifying Sequential Consistency with Coherence
+// promise problem (Definition 6.2). It first checks the promise — a
+// coherent schedule exists for each address — and returns an error if the
+// promise does not hold (the problem is then undefined). It then decides
+// VSC. Per §6.3 this second step remains NP-Complete even though the
+// promise holds.
+func SolveVSCC(exec *memory.Execution, opts *Options) (*Result, error) {
+	ok, bad, err := coherence.Coherent(exec, coherenceOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("consistency: VSCC promise violated: address %d has no coherent schedule", bad)
+	}
+	res, err := SolveVSC(exec, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = "vscc"
+	return res, nil
+}

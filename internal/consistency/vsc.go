@@ -1,0 +1,328 @@
+package consistency
+
+import (
+	"encoding/binary"
+
+	"memverify/internal/memory"
+)
+
+// vscSearcher decides VSC by depth-first search over partial schedules.
+// The state of a partial schedule is (position vector, per-address memory
+// value): reads do not change memory, so two partial schedules with equal
+// states have the same coherent completions. Visited failed states are
+// memoized; with k histories and c addresses the state space is
+// O(n^k · |D|^c), matching the O(n^k · k^c)-flavored constant-process
+// bound cited in §5.1 from Gibbons & Korach.
+type vscSearcher struct {
+	exec *memory.Execution
+	opts *Options
+
+	addrIndex map[memory.Addr]int
+	pos       []int
+	values    []memory.Value
+	bound     []bool
+	schedule  []memory.Ref
+
+	// Optional write-order constraint (SolveVSCWithWriteOrders): a
+	// writing op is enabled only when it is the next entry of its
+	// address's order. nextRank is derivable from pos, so the memo key
+	// is unchanged.
+	writeRank map[memory.Ref]int
+	nextRank  []int
+
+	memo     map[string]struct{}
+	states   int
+	memoHits int
+	exceeded bool
+	keyBuf   []byte
+}
+
+// SolveVSC decides Verifying Sequential Consistency (Definition 6.1): is
+// there a schedule of all operations, all addresses, in which every read
+// returns the value written by the immediately preceding write to the
+// same address? The search is complete for nil options; VSC is
+// NP-Complete, so worst-case time is exponential.
+func SolveVSC(exec *memory.Execution, opts *Options) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	addrs := exec.Addresses()
+	s := &vscSearcher{
+		exec:      exec,
+		opts:      opts,
+		addrIndex: make(map[memory.Addr]int, len(addrs)),
+		pos:       make([]int, len(exec.Histories)),
+		values:    make([]memory.Value, len(addrs)),
+		bound:     make([]bool, len(addrs)),
+		memo:      make(map[string]struct{}),
+	}
+	for i, a := range addrs {
+		s.addrIndex[a] = i
+		if d, ok := exec.Initial[a]; ok {
+			s.values[i], s.bound[i] = d, true
+		}
+	}
+	found := s.dfs()
+	res := &Result{
+		Consistent: found,
+		Decided:    found || !s.exceeded,
+		Algorithm:  "vsc-search",
+		Stats:      Stats{States: s.states, MemoHits: s.memoHits},
+	}
+	if found {
+		res.Schedule = append(memory.Schedule(nil), s.schedule...)
+	}
+	return res, nil
+}
+
+func (s *vscSearcher) key() string {
+	buf := s.keyBuf[:0]
+	for _, p := range s.pos {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	for i := range s.values {
+		if s.bound[i] {
+			buf = append(buf, 1)
+			buf = binary.AppendVarint(buf, int64(s.values[i]))
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	s.keyBuf = buf
+	return string(buf)
+}
+
+func (s *vscSearcher) done() bool {
+	for h, p := range s.pos {
+		if p < len(s.exec.Histories[h]) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalOK checks declared final values at completion: for addresses with
+// writes, the current value is the last written value; binding reads only
+// precede the first write of their address.
+func (s *vscSearcher) finalOK() bool {
+	for a, want := range s.exec.Final {
+		i, ok := s.addrIndex[a]
+		if !ok {
+			continue // address never touched: unconstrained
+		}
+		if s.bound[i] && s.values[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// enabled reports whether the next op of history h may be scheduled in
+// the current state. Synchronization ops are always enabled (SC gives
+// them no semantics beyond program order).
+func (s *vscSearcher) enabled(h int, o memory.Op) bool {
+	if !o.IsMemory() {
+		return true
+	}
+	i := s.addrIndex[o.Addr]
+	if _, w := o.Writes(); w && s.writeRank != nil {
+		ref := memory.Ref{Proc: h, Index: s.pos[h]}
+		if s.writeRank[ref] != s.nextRank[i] {
+			return false
+		}
+	}
+	switch o.Kind {
+	case memory.Write:
+		return true
+	default: // Read, ReadModifyWrite
+		return !s.bound[i] || o.Data == s.values[i]
+	}
+}
+
+// isPassive reports whether scheduling o cannot change the search state:
+// sync ops always, and reads whose address value is bound and matching.
+// Passive enabled ops are scheduled eagerly — sound, because the state
+// (and hence the set of coherent completions) is unchanged, and any
+// schedule can be rearranged to place them at the first point they are
+// enabled.
+func (s *vscSearcher) isPassive(o memory.Op) bool {
+	if !o.IsMemory() {
+		return true
+	}
+	if o.Kind != memory.Read {
+		return false
+	}
+	i := s.addrIndex[o.Addr]
+	return s.bound[i] && o.Data == s.values[i]
+}
+
+func (s *vscSearcher) scheduleEager() int {
+	if !s.opts.eagerReads() {
+		return 0
+	}
+	n := 0
+	for {
+		progress := false
+		for h := range s.exec.Histories {
+			for s.pos[h] < len(s.exec.Histories[h]) {
+				o := s.exec.Histories[h][s.pos[h]]
+				if !s.isPassive(o) {
+					break
+				}
+				s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
+				s.pos[h]++
+				n++
+				progress = true
+			}
+		}
+		if !progress {
+			return n
+		}
+	}
+}
+
+func (s *vscSearcher) undoEager(n int) {
+	for i := 0; i < n; i++ {
+		r := s.schedule[len(s.schedule)-1]
+		s.schedule = s.schedule[:len(s.schedule)-1]
+		s.pos[r.Proc]--
+	}
+}
+
+// apply schedules the next op of history h, returning an undo closure.
+func (s *vscSearcher) apply(h int) func() {
+	o := s.exec.Histories[h][s.pos[h]]
+	s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
+	s.pos[h]++
+	if !o.IsMemory() {
+		return func() {
+			s.pos[h]--
+			s.schedule = s.schedule[:len(s.schedule)-1]
+		}
+	}
+	i := s.addrIndex[o.Addr]
+	prevV, prevB := s.values[i], s.bound[i]
+	if d, ok := o.Reads(); ok && !s.bound[i] {
+		s.values[i], s.bound[i] = d, true
+	}
+	wrote := false
+	if d, ok := o.Writes(); ok {
+		s.values[i], s.bound[i] = d, true
+		if s.writeRank != nil {
+			s.nextRank[i]++
+			wrote = true
+		}
+	}
+	return func() {
+		s.pos[h]--
+		s.schedule = s.schedule[:len(s.schedule)-1]
+		s.values[i], s.bound[i] = prevV, prevB
+		if wrote {
+			s.nextRank[i]--
+		}
+	}
+}
+
+// needKey pairs an address index with a value, for the guidance set.
+type needKey struct {
+	addr int
+	val  memory.Value
+}
+
+// candidates returns branchable histories, most promising first: with
+// write guidance on, writes whose (address, value) some blocked read is
+// waiting for are tried before other candidates. Ordering cannot affect
+// completeness.
+func (s *vscSearcher) candidates() []int {
+	var needed map[needKey]bool
+	if s.opts.writeGuidance() {
+		for h := range s.exec.Histories {
+			if s.pos[h] >= len(s.exec.Histories[h]) {
+				continue
+			}
+			o := s.exec.Histories[h][s.pos[h]]
+			if !o.IsMemory() {
+				continue
+			}
+			if d, ok := o.Reads(); ok {
+				i := s.addrIndex[o.Addr]
+				if s.bound[i] && d != s.values[i] {
+					if needed == nil {
+						needed = make(map[needKey]bool)
+					}
+					needed[needKey{addr: i, val: d}] = true
+				}
+			}
+		}
+	}
+	var preferred, rest []int
+	for h := range s.exec.Histories {
+		if s.pos[h] >= len(s.exec.Histories[h]) {
+			continue
+		}
+		o := s.exec.Histories[h][s.pos[h]]
+		if !s.enabled(h, o) {
+			continue
+		}
+		if s.opts.eagerReads() && s.isPassive(o) {
+			continue // consumed by the eager rule
+		}
+		if needed != nil && o.IsMemory() {
+			if d, ok := o.Writes(); ok && needed[needKey{addr: s.addrIndex[o.Addr], val: d}] {
+				preferred = append(preferred, h)
+				continue
+			}
+		}
+		rest = append(rest, h)
+	}
+	if len(preferred) == 0 {
+		return rest
+	}
+	return append(preferred, rest...)
+}
+
+func (s *vscSearcher) dfs() bool {
+	eager := s.scheduleEager()
+	if s.done() {
+		if s.finalOK() {
+			return true
+		}
+		s.undoEager(eager)
+		return false
+	}
+
+	var key string
+	if s.opts.memoize() {
+		key = s.key()
+		if _, seen := s.memo[key]; seen {
+			s.memoHits++
+			s.undoEager(eager)
+			return false
+		}
+	}
+
+	s.states++
+	if max := s.opts.maxStates(); max > 0 && s.states > max {
+		s.exceeded = true
+		s.undoEager(eager)
+		return false
+	}
+
+	for _, h := range s.candidates() {
+		undo := s.apply(h)
+		if s.dfs() {
+			return true
+		}
+		undo()
+		if s.exceeded {
+			s.undoEager(eager)
+			return false
+		}
+	}
+
+	if s.opts.memoize() {
+		s.memo[key] = struct{}{}
+	}
+	s.undoEager(eager)
+	return false
+}

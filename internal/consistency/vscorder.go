@@ -1,0 +1,99 @@
+package consistency
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// SolveVSCWithWriteOrders decides whether a sequentially consistent
+// schedule exists that is consistent with the supplied per-address write
+// orders (the memory-system augmentation of §5.2 applied to VSC). This
+// is the problem Gibbons & Korach proved remains NP-Complete — the
+// result §6.3 leans on to show that information sufficient to verify
+// coherence in polynomial time does not make consistency tractable. The
+// orders typically prune the search dramatically in practice
+// nonetheless, which the A3/E7 experiments quantify.
+//
+// orders must contain, for every address of exec, the exact sequence of
+// its writing operations. The search is the VSC search with one extra
+// enabledness rule: a writing operation may only be scheduled when it is
+// the next unconsumed entry of its address's order.
+func SolveVSCWithWriteOrders(exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	addrs := exec.Addresses()
+	// Validate the orders and build: writeRank[ref] = position in its
+	// address's order.
+	writeRank := make(map[memory.Ref]int)
+	for _, a := range addrs {
+		order, ok := orders[a]
+		writers := 0
+		for p, h := range exec.Histories {
+			for i, o := range h {
+				if o.IsMemory() && o.Addr == a {
+					if _, w := o.Writes(); w {
+						writers++
+						_ = i
+						_ = p
+					}
+				}
+			}
+		}
+		if !ok && writers > 0 {
+			return nil, fmt.Errorf("consistency: no write order supplied for address %d", a)
+		}
+		if len(order) != writers {
+			return nil, fmt.Errorf("consistency: write order for address %d lists %d operations, execution has %d",
+				a, len(order), writers)
+		}
+		seen := make(map[memory.Ref]bool)
+		for rank, r := range order {
+			if r.Proc < 0 || r.Proc >= len(exec.Histories) || r.Index < 0 || r.Index >= len(exec.Histories[r.Proc]) {
+				return nil, fmt.Errorf("consistency: write order reference %s out of range", r)
+			}
+			o := exec.Op(r)
+			if !o.IsMemory() || o.Addr != a {
+				return nil, fmt.Errorf("consistency: order entry %s is not an operation of address %d", r, a)
+			}
+			if _, w := o.Writes(); !w {
+				return nil, fmt.Errorf("consistency: order entry %s (%s) does not write", r, o)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("consistency: write order for address %d lists %s twice", a, r)
+			}
+			seen[r] = true
+			writeRank[r] = rank
+		}
+	}
+
+	s := &vscSearcher{
+		exec:      exec,
+		opts:      opts,
+		addrIndex: make(map[memory.Addr]int, len(addrs)),
+		pos:       make([]int, len(exec.Histories)),
+		values:    make([]memory.Value, len(addrs)),
+		bound:     make([]bool, len(addrs)),
+		memo:      make(map[string]struct{}),
+		writeRank: writeRank,
+		nextRank:  make([]int, len(addrs)),
+	}
+	for i, a := range addrs {
+		s.addrIndex[a] = i
+		if d, ok := exec.Initial[a]; ok {
+			s.values[i], s.bound[i] = d, true
+		}
+	}
+	found := s.dfs()
+	res := &Result{
+		Consistent: found,
+		Decided:    found || !s.exceeded,
+		Algorithm:  "vsc-write-order-search",
+		Stats:      Stats{States: s.states, MemoHits: s.memoHits},
+	}
+	if found {
+		res.Schedule = append(memory.Schedule(nil), s.schedule...)
+	}
+	return res, nil
+}

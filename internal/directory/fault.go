@@ -1,0 +1,94 @@
+package directory
+
+import "math/rand"
+
+// FaultKind names an injectable directory-protocol error.
+type FaultKind int
+
+const (
+	// FaultForgetSharer corrupts the sharer list: a sharer is dropped
+	// from the directory without receiving its invalidation, leaving a
+	// stale readable copy.
+	FaultForgetSharer FaultKind = iota
+	// FaultWrongSource mis-routes a fetch: a request that should be
+	// served by the dirty owner reads stale memory instead, and the
+	// owner's dirty data is silently dropped.
+	FaultWrongSource
+	// FaultLeakEntry loses a directory update: the entry reverts to
+	// invalid although a node just took ownership, so later writers will
+	// not invalidate that copy.
+	FaultLeakEntry
+	// FaultDropStore acknowledges a store without updating the line.
+	FaultDropStore
+	// FaultLoseWriteback drops the data of an evicted dirty line.
+	FaultLoseWriteback
+	numFaultKinds
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultForgetSharer:
+		return "forget-sharer"
+	case FaultWrongSource:
+		return "wrong-source"
+	case FaultLeakEntry:
+		return "leak-entry"
+	case FaultDropStore:
+		return "drop-store"
+	case FaultLoseWriteback:
+		return "lose-writeback"
+	default:
+		return "unknown-fault"
+	}
+}
+
+// FaultKinds lists every injectable kind.
+func FaultKinds() []FaultKind {
+	out := make([]FaultKind, numFaultKinds)
+	for i := range out {
+		out[i] = FaultKind(i)
+	}
+	return out
+}
+
+// Faults configures injection, mirroring the mesi package: one-shot
+// Nth-opportunity triggers compose with probabilistic firing.
+type Faults struct {
+	NthOpportunity map[FaultKind]int
+	Probability    map[FaultKind]float64
+	Rng            *rand.Rand
+
+	seen  map[FaultKind]int
+	fired map[FaultKind]bool
+}
+
+// Once fires kind k exactly once, at its n-th opportunity (1-based).
+func Once(k FaultKind, n int) *Faults {
+	return &Faults{NthOpportunity: map[FaultKind]int{k: n}}
+}
+
+// WithProbability fires kind k with probability p at every opportunity.
+func WithProbability(k FaultKind, p float64, rng *rand.Rand) *Faults {
+	return &Faults{Probability: map[FaultKind]float64{k: p}, Rng: rng}
+}
+
+// fire reports whether kind k triggers now; a nil receiver never fires.
+func (f *Faults) fire(k FaultKind) bool {
+	if f == nil {
+		return false
+	}
+	if f.seen == nil {
+		f.seen = make(map[FaultKind]int)
+		f.fired = make(map[FaultKind]bool)
+	}
+	f.seen[k]++
+	if n, ok := f.NthOpportunity[k]; ok && !f.fired[k] && f.seen[k] == n {
+		f.fired[k] = true
+		return true
+	}
+	if p, ok := f.Probability[k]; ok && p > 0 && f.Rng != nil && f.Rng.Float64() < p {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitExponent(t *testing.T) {
+	// Perfect quadratic data.
+	points := []Point{{10, 100}, {20, 400}, {40, 1600}}
+	if k := FitExponent(points); math.Abs(k-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", k)
+	}
+	// Linear data.
+	points = []Point{{10, 10}, {100, 100}}
+	if k := FitExponent(points); math.Abs(k-1) > 1e-9 {
+		t.Errorf("exponent = %v, want 1", k)
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(FitExponent(nil)) {
+		t.Error("empty input should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]Point{{10, 1}})) {
+		t.Error("single point should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]Point{{10, 1}, {10, 2}})) {
+		t.Error("repeated size should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]Point{{0, 1}, {-5, 2}})) {
+		t.Error("non-positive sizes should be skipped")
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	points := []Point{{1, 2}, {2, 4}, {3, 8}}
+	if g := GrowthRatio(points); math.Abs(g-2) > 1e-9 {
+		t.Errorf("growth = %v, want 2", g)
+	}
+	if !math.IsNaN(GrowthRatio(nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestMeasureRuns(t *testing.T) {
+	calls := 0
+	points := Measure([]int{1, 2}, 3, func(n int) func() {
+		return func() { calls++ }
+	})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if calls != 6 {
+		t.Errorf("calls = %d, want 6", calls)
+	}
+	// reps < 1 clamps to 1.
+	Measure([]int{1}, 0, func(n int) func() { return func() {} })
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Caption: "cap",
+		Header:  []string{"a", "bee"},
+	}
+	tab.Add("123456", "x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "123456", "bee", "cap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Smoke-run every experiment in quick mode: each must complete and emit
+// at least one table with rows.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Error("empty table")
+				}
+			}
+		})
+	}
+}
+
+func TestRunFilters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Config{Seed: 2, Quick: true}, "E1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1:") {
+		t.Error("E1 missing from output")
+	}
+	if strings.Contains(out, "E4:") {
+		t.Error("unrequested experiment ran")
+	}
+}
+
+// The reduction experiments must report full agreement — they re-prove
+// Lemma 4.3 and its §5/§6 variants on every run.
+func TestReductionExperimentsReportFullAgreement(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E5", "E6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var exp Experiment
+			for _, e := range All() {
+				if e.ID == id {
+					exp = e
+				}
+			}
+			tables, err := exp.Run(Config{Seed: 3, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tab := range tables {
+				agreeCol := -1
+				for i, h := range tab.Header {
+					if h == "agree" {
+						agreeCol = i
+					}
+				}
+				if agreeCol == -1 {
+					continue
+				}
+				for _, row := range tab.Rows {
+					cell := row[agreeCol]
+					parts := strings.Split(cell, "/")
+					if len(parts) != 2 || parts[0] != parts[1] {
+						t.Errorf("agreement %q is not full", cell)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one scaling measurement: problem size n against a cost (wall
+// seconds, or an operation count for machine-independent curves).
+type Point struct {
+	N    int
+	Cost float64
+}
+
+// FitExponent least-squares fits log(cost) = k·log(n) + c and returns k:
+// the empirical polynomial degree of the measured curve. Points with
+// non-positive cost or size are skipped; fewer than two usable points
+// yield NaN.
+func FitExponent(points []Point) float64 {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.N > 0 && p.Cost > 0 {
+			xs = append(xs, math.Log(float64(p.N)))
+			ys = append(ys, math.Log(p.Cost))
+		}
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// GrowthRatio returns the mean ratio between successive costs — the
+// signature of exponential growth when sizes grow linearly (a ratio
+// persistently above 1 means the cost multiplies per size step).
+func GrowthRatio(points []Point) float64 {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+	ratios := 0.0
+	count := 0
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Cost > 0 {
+			ratios += sorted[i].Cost / sorted[i-1].Cost
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return ratios / float64(count)
+}
+
+// Measure times fn at each size, taking the median of reps runs. setup
+// builds the workload for a size (untimed); the returned closure is
+// timed.
+func Measure(sizes []int, reps int, setup func(n int) func()) []Point {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]Point, 0, len(sizes))
+	for _, n := range sizes {
+		durations := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			run := setup(n)
+			start := time.Now()
+			run()
+			durations = append(durations, time.Since(start).Seconds())
+		}
+		sort.Float64s(durations)
+		out = append(out, Point{N: n, Cost: durations[len(durations)/2]})
+	}
+	return out
+}
+
+// FormatPoints renders points compactly for table cells.
+func FormatPoints(points []Point) string {
+	parts := make([]string, len(points))
+	for i, p := range points {
+		parts[i] = fmt.Sprintf("%d:%.3g", p.N, p.Cost)
+	}
+	return joinWith(parts, " ")
+}
+
+func joinWith(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

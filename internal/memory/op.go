@@ -1,0 +1,165 @@
+// Package memory defines the core vocabulary of the library: memory
+// operations, process histories, executions, and schedules, together with
+// the linear-time certificate checkers used to validate coherent and
+// sequentially consistent schedules.
+//
+// The definitions follow Section 3 of Cantin, Lipasti & Smith, "The
+// Complexity of Verifying Memory Coherence and Consistency" (SPAA 2003):
+//
+//   - A process history is a sequence of memory operations of one process,
+//     in program order, including the values read/written.
+//   - A coherent schedule is an interleaving of single-address process
+//     histories where every read returns the value written by the
+//     immediately preceding write (reads before the first write return the
+//     initial value d_I), and the last write writes the final value d_F.
+//   - A sequentially consistent schedule is an interleaving of all
+//     operations (all addresses) in which every read returns the value
+//     written by the immediately preceding write to the same address.
+package memory
+
+import "fmt"
+
+// Value is the data read or written by a memory operation. The paper
+// denotes values d, d_I (initial) and d_F (final); any int64 is a valid
+// value and no value is reserved.
+type Value int64
+
+// Addr identifies a shared-memory location. The paper assumes aligned word
+// accesses; the checker only needs location identity, so an integer
+// suffices.
+type Addr int32
+
+// Kind discriminates the operation types handled by the library.
+type Kind uint8
+
+const (
+	// Read is a simple load, written R(a, d) in the paper: d is the value
+	// the operation observed.
+	Read Kind = iota
+	// Write is a simple store, written W(a, d): d is the value written.
+	Write
+	// ReadModifyWrite is an atomic RW(a, d_r, d_w): it reads d_r and
+	// writes d_w as one indivisible operation.
+	ReadModifyWrite
+	// Acquire is a synchronization acquire (used by the Lazy Release
+	// Consistency construction of Figure 6.1). It reads/writes no data.
+	Acquire
+	// Release is a synchronization release, the counterpart of Acquire.
+	Release
+	// Fence is a full memory barrier. It is not used by the paper's
+	// constructions but is accepted by the relaxed-model checkers.
+	Fence
+)
+
+// String returns the conventional mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case ReadModifyWrite:
+		return "RW"
+	case Acquire:
+		return "ACQ"
+	case Release:
+		return "REL"
+	case Fence:
+		return "FENCE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is a single memory operation as it appears in a process history.
+//
+// The Data and Store fields are interpreted per Kind:
+//
+//	Read:            Data = value read; Store unused.
+//	Write:           Data = value written; Store unused.
+//	ReadModifyWrite: Data = value read; Store = value written.
+//	Acquire/Release/Fence: no data.
+type Op struct {
+	Kind  Kind
+	Addr  Addr
+	Data  Value
+	Store Value
+}
+
+// R constructs a read of value d at address a.
+func R(a Addr, d Value) Op { return Op{Kind: Read, Addr: a, Data: d} }
+
+// W constructs a write of value d at address a.
+func W(a Addr, d Value) Op { return Op{Kind: Write, Addr: a, Data: d} }
+
+// RW constructs an atomic read-modify-write at address a that read dr and
+// wrote dw.
+func RW(a Addr, dr, dw Value) Op {
+	return Op{Kind: ReadModifyWrite, Addr: a, Data: dr, Store: dw}
+}
+
+// Acq constructs an acquire synchronization operation.
+func Acq() Op { return Op{Kind: Acquire} }
+
+// Rel constructs a release synchronization operation.
+func Rel() Op { return Op{Kind: Release} }
+
+// Bar constructs a full fence.
+func Bar() Op { return Op{Kind: Fence} }
+
+// IsMemory reports whether the operation accesses data memory (read, write
+// or read-modify-write), as opposed to being a pure synchronization or
+// ordering operation.
+func (o Op) IsMemory() bool {
+	return o.Kind == Read || o.Kind == Write || o.Kind == ReadModifyWrite
+}
+
+// IsSync reports whether the operation is a synchronization or ordering
+// operation (acquire, release or fence).
+func (o Op) IsSync() bool { return !o.IsMemory() }
+
+// Reads returns the value the operation observed and whether it observes
+// one at all (true for Read and ReadModifyWrite).
+func (o Op) Reads() (Value, bool) {
+	switch o.Kind {
+	case Read, ReadModifyWrite:
+		return o.Data, true
+	default:
+		return 0, false
+	}
+}
+
+// Writes returns the value the operation stored and whether it stores one
+// at all (true for Write and ReadModifyWrite).
+func (o Op) Writes() (Value, bool) {
+	switch o.Kind {
+	case Write:
+		return o.Data, true
+	case ReadModifyWrite:
+		return o.Store, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the operation in the paper's notation, e.g. "W(3, 7)" or
+// "RW(3, 1, 2)".
+func (o Op) String() string {
+	switch o.Kind {
+	case Read, Write:
+		return fmt.Sprintf("%s(%d, %d)", o.Kind, o.Addr, o.Data)
+	case ReadModifyWrite:
+		return fmt.Sprintf("RW(%d, %d, %d)", o.Addr, o.Data, o.Store)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Validate reports an error if the operation is malformed (currently only
+// unknown kinds are malformed; all data values are legal).
+func (o Op) Validate() error {
+	if o.Kind > Fence {
+		return fmt.Errorf("memory: unknown operation kind %d", uint8(o.Kind))
+	}
+	return nil
+}

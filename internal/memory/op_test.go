@@ -1,0 +1,136 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{Read, "R"},
+		{Write, "W"},
+		{ReadModifyWrite, "RW"},
+		{Acquire, "ACQ"},
+		{Release, "REL"},
+		{Fence, "FENCE"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestOpConstructors(t *testing.T) {
+	r := R(3, 7)
+	if r.Kind != Read || r.Addr != 3 || r.Data != 7 {
+		t.Errorf("R(3,7) = %+v", r)
+	}
+	w := W(4, 9)
+	if w.Kind != Write || w.Addr != 4 || w.Data != 9 {
+		t.Errorf("W(4,9) = %+v", w)
+	}
+	rw := RW(5, 1, 2)
+	if rw.Kind != ReadModifyWrite || rw.Addr != 5 || rw.Data != 1 || rw.Store != 2 {
+		t.Errorf("RW(5,1,2) = %+v", rw)
+	}
+	if Acq().Kind != Acquire || Rel().Kind != Release || Bar().Kind != Fence {
+		t.Error("sync constructors produced wrong kinds")
+	}
+}
+
+func TestOpReadsWrites(t *testing.T) {
+	if d, ok := R(0, 5).Reads(); !ok || d != 5 {
+		t.Errorf("R.Reads() = %d, %v", d, ok)
+	}
+	if _, ok := R(0, 5).Writes(); ok {
+		t.Error("R.Writes() should be false")
+	}
+	if d, ok := W(0, 6).Writes(); !ok || d != 6 {
+		t.Errorf("W.Writes() = %d, %v", d, ok)
+	}
+	if _, ok := W(0, 6).Reads(); ok {
+		t.Error("W.Reads() should be false")
+	}
+	rw := RW(0, 1, 2)
+	if d, ok := rw.Reads(); !ok || d != 1 {
+		t.Errorf("RW.Reads() = %d, %v", d, ok)
+	}
+	if d, ok := rw.Writes(); !ok || d != 2 {
+		t.Errorf("RW.Writes() = %d, %v", d, ok)
+	}
+	for _, o := range []Op{Acq(), Rel(), Bar()} {
+		if _, ok := o.Reads(); ok {
+			t.Errorf("%s.Reads() should be false", o)
+		}
+		if _, ok := o.Writes(); ok {
+			t.Errorf("%s.Writes() should be false", o)
+		}
+		if o.IsMemory() {
+			t.Errorf("%s.IsMemory() should be false", o)
+		}
+		if !o.IsSync() {
+			t.Errorf("%s.IsSync() should be true", o)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{R(1, 2), "R(1, 2)"},
+		{W(3, 4), "W(3, 4)"},
+		{RW(5, 6, 7), "RW(5, 6, 7)"},
+		{Acq(), "ACQ"},
+		{Rel(), "REL"},
+		{Bar(), "FENCE"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpValidate(t *testing.T) {
+	if err := R(0, 0).Validate(); err != nil {
+		t.Errorf("valid op rejected: %v", err)
+	}
+	bad := Op{Kind: Kind(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+// Property: for every constructed op, IsMemory and IsSync partition the
+// space, and Reads/Writes are consistent with the kind.
+func TestOpPartitionProperty(t *testing.T) {
+	f := func(kindRaw uint8, a int32, d, s int64) bool {
+		kind := Kind(kindRaw % 6)
+		o := Op{Kind: kind, Addr: Addr(a), Data: Value(d), Store: Value(s)}
+		if o.IsMemory() == o.IsSync() {
+			return false
+		}
+		_, reads := o.Reads()
+		_, writes := o.Writes()
+		switch kind {
+		case Read:
+			return reads && !writes
+		case Write:
+			return !reads && writes
+		case ReadModifyWrite:
+			return reads && writes
+		default:
+			return !reads && !writes
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

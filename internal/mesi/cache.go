@@ -1,0 +1,122 @@
+// Package mesi is a bus-based MESI cache-coherence simulator: N
+// processors with private set-associative write-back caches attached to
+// an atomic snooping bus and a shared memory.
+//
+// The simulator is the library's stand-in for the multiprocessor hardware
+// whose executions the paper's checkers are meant to test (§1: detecting
+// protocol errors dynamically). Running a program produces a
+// memory.Execution — per-processor histories with the values each
+// operation actually observed — which the coherence and consistency
+// verifiers then judge. With a correct protocol and an atomic bus, every
+// produced execution is sequentially consistent (and hence coherent); the
+// fault injectors (Faults) model protocol hardware errors — dropped
+// invalidations, lost writebacks, stale memory responses, corrupted
+// fills, silently dropped writes — whose symptoms the checkers detect.
+//
+// Coherence is tracked at word granularity (one word per cache line), a
+// simplification that loses false sharing but preserves everything the
+// verification problem cares about: the mapping from reads to writes.
+package mesi
+
+import "memverify/internal/memory"
+
+// LineState is the MESI state of a cache line.
+type LineState uint8
+
+const (
+	// Invalid: the line holds no usable data.
+	Invalid LineState = iota
+	// Shared: clean, possibly present in other caches.
+	Shared
+	// Exclusive: clean, guaranteed absent from other caches.
+	Exclusive
+	// Modified: dirty, guaranteed absent from other caches; memory is
+	// stale.
+	Modified
+)
+
+// String returns the one-letter MESI mnemonic.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// line is one cache line (one word, see the package comment).
+type line struct {
+	state   LineState
+	addr    memory.Addr
+	value   memory.Value
+	lastUse uint64
+}
+
+// cache is a private set-associative write-back cache.
+type cache struct {
+	sets  int
+	ways  int
+	lines [][]line // [set][way]
+	clock uint64
+
+	// Statistics.
+	hits   uint64
+	misses uint64
+}
+
+func newCache(sets, ways int) *cache {
+	c := &cache{sets: sets, ways: ways}
+	c.lines = make([][]line, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]line, ways)
+	}
+	return c
+}
+
+func (c *cache) setOf(a memory.Addr) int {
+	idx := int(a) % c.sets
+	if idx < 0 {
+		idx += c.sets
+	}
+	return idx
+}
+
+// lookup returns the line holding a, or nil.
+func (c *cache) lookup(a memory.Addr) *line {
+	set := c.lines[c.setOf(a)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch refreshes the LRU clock of a line.
+func (c *cache) touch(l *line) {
+	c.clock++
+	l.lastUse = c.clock
+}
+
+// victim picks the line to fill for address a: an invalid way if one
+// exists, otherwise the least recently used way of the set.
+func (c *cache) victim(a memory.Addr) *line {
+	set := c.lines[c.setOf(a)]
+	var lru *line
+	for i := range set {
+		if set[i].state == Invalid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lastUse < lru.lastUse {
+			lru = &set[i]
+		}
+	}
+	return lru
+}

@@ -1,0 +1,101 @@
+package mesi
+
+import "math/rand"
+
+// FaultKind names an injectable protocol hardware error.
+type FaultKind int
+
+const (
+	// FaultDropInvalidate loses an invalidation message: a remote copy
+	// survives an exclusive request and later serves stale data.
+	FaultDropInvalidate FaultKind = iota
+	// FaultLoseWriteback drops the data of an evicted Modified line;
+	// memory keeps its stale contents.
+	FaultLoseWriteback
+	// FaultStaleMemory loses a snoop response: a request is served from
+	// stale memory although a Modified copy exists elsewhere.
+	FaultStaleMemory
+	// FaultCorruptFill flips a bit in the data installed by a cache
+	// fill.
+	FaultCorruptFill
+	// FaultDropWrite acknowledges a store without updating the line.
+	FaultDropWrite
+	numFaultKinds
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDropInvalidate:
+		return "drop-invalidate"
+	case FaultLoseWriteback:
+		return "lose-writeback"
+	case FaultStaleMemory:
+		return "stale-memory"
+	case FaultCorruptFill:
+		return "corrupt-fill"
+	case FaultDropWrite:
+		return "drop-write"
+	default:
+		return "unknown-fault"
+	}
+}
+
+// FaultKinds lists every injectable fault kind.
+func FaultKinds() []FaultKind {
+	out := make([]FaultKind, numFaultKinds)
+	for i := range out {
+		out[i] = FaultKind(i)
+	}
+	return out
+}
+
+// Faults configures protocol error injection. Two triggering modes
+// compose: a deterministic one-shot trigger (the Nth opportunity of a
+// kind fires, counting from 1) and a probabilistic mode.
+type Faults struct {
+	// NthOpportunity[k] == n (n >= 1) fires fault kind k at its n-th
+	// opportunity, exactly once.
+	NthOpportunity map[FaultKind]int
+	// Probability[k] fires fault kind k at each opportunity with the
+	// given probability, using Rng.
+	Probability map[FaultKind]float64
+	// Rng drives the probabilistic mode; required if Probability is set.
+	Rng *rand.Rand
+
+	seen  map[FaultKind]int
+	fired map[FaultKind]bool
+}
+
+// Once builds a fault set that fires kind k exactly once, at its n-th
+// opportunity (1-based).
+func Once(k FaultKind, n int) *Faults {
+	return &Faults{NthOpportunity: map[FaultKind]int{k: n}}
+}
+
+// WithProbability builds a fault set firing kind k with probability p at
+// every opportunity.
+func WithProbability(k FaultKind, p float64, rng *rand.Rand) *Faults {
+	return &Faults{Probability: map[FaultKind]float64{k: p}, Rng: rng}
+}
+
+// fire reports whether fault kind k triggers at this opportunity. A nil
+// receiver (no fault injection) never fires.
+func (f *Faults) fire(k FaultKind) bool {
+	if f == nil {
+		return false
+	}
+	if f.seen == nil {
+		f.seen = make(map[FaultKind]int)
+		f.fired = make(map[FaultKind]bool)
+	}
+	f.seen[k]++
+	if n, ok := f.NthOpportunity[k]; ok && !f.fired[k] && f.seen[k] == n {
+		f.fired[k] = true
+		return true
+	}
+	if p, ok := f.Probability[k]; ok && p > 0 && f.Rng != nil && f.Rng.Float64() < p {
+		return true
+	}
+	return false
+}

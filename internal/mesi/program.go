@@ -1,0 +1,88 @@
+package mesi
+
+import (
+	"math/rand"
+
+	"memverify/internal/memory"
+)
+
+// InstrKind discriminates program instructions.
+type InstrKind uint8
+
+const (
+	// InstrRead loads an address.
+	InstrRead InstrKind = iota
+	// InstrWrite stores a value.
+	InstrWrite
+	// InstrRMW atomically reads an address and stores a value.
+	InstrRMW
+)
+
+// Instr is one program instruction; the values observed by reads are
+// decided by the simulation, not the program.
+type Instr struct {
+	Kind  InstrKind
+	Addr  memory.Addr
+	Value memory.Value // stored value for InstrWrite / InstrRMW
+}
+
+// Program is one instruction stream per processor.
+type Program [][]Instr
+
+// RandomProgram generates a program for procs processors with opsPerProc
+// instructions each over naddrs addresses. writeFrac and rmwFrac are the
+// approximate fractions of writes and RMWs (the rest are reads); written
+// values are unique per (processor, index) so that traces distinguish
+// every store.
+func RandomProgram(rng *rand.Rand, procs, opsPerProc, naddrs int, writeFrac, rmwFrac float64) Program {
+	p := make(Program, procs)
+	nextVal := memory.Value(1)
+	for cpu := 0; cpu < procs; cpu++ {
+		for i := 0; i < opsPerProc; i++ {
+			a := memory.Addr(rng.Intn(naddrs))
+			r := rng.Float64()
+			switch {
+			case r < writeFrac:
+				p[cpu] = append(p[cpu], Instr{Kind: InstrWrite, Addr: a, Value: nextVal})
+				nextVal++
+			case r < writeFrac+rmwFrac:
+				p[cpu] = append(p[cpu], Instr{Kind: InstrRMW, Addr: a, Value: nextVal})
+				nextVal++
+			default:
+				p[cpu] = append(p[cpu], Instr{Kind: InstrRead, Addr: a})
+			}
+		}
+	}
+	return p
+}
+
+// Run executes the program on the system, interleaving processors with
+// the given random source (each step picks a runnable processor uniformly
+// and executes its next instruction — the atomic-bus model makes each
+// instruction a single indivisible step). It returns the recorded
+// execution with final values flushed.
+func Run(s *System, p Program, rng *rand.Rand) *memory.Execution {
+	pos := make([]int, len(p))
+	remaining := 0
+	for _, insts := range p {
+		remaining += len(insts)
+	}
+	for remaining > 0 {
+		cpu := rng.Intn(len(p))
+		if pos[cpu] >= len(p[cpu]) {
+			continue
+		}
+		in := p[cpu][pos[cpu]]
+		pos[cpu]++
+		remaining--
+		switch in.Kind {
+		case InstrRead:
+			s.Read(cpu, in.Addr)
+		case InstrWrite:
+			s.Write(cpu, in.Addr, in.Value)
+		case InstrRMW:
+			s.RMW(cpu, in.Addr, in.Value)
+		}
+	}
+	return s.Execution(true)
+}

@@ -1,0 +1,393 @@
+package mesi
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// Config parameterizes a simulated system.
+type Config struct {
+	// Processors is the number of CPUs (and private caches). Must be
+	// at least 1.
+	Processors int
+	// CacheSets and CacheWays size each private cache. Defaults: 4 sets,
+	// 2 ways.
+	CacheSets int
+	CacheWays int
+	// Faults enables protocol error injection; nil means a correct
+	// protocol.
+	Faults *Faults
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 2
+	}
+	if c.CacheSets == 0 {
+		c.CacheSets = 4
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 2
+	}
+	return c
+}
+
+// Stats aggregates simulator counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	BusReads      uint64 // BusRd transactions
+	BusReadXs     uint64 // BusRdX transactions
+	Upgrades      uint64 // BusUpgr transactions
+	Invalidations uint64 // lines invalidated by snoops
+	Writebacks    uint64 // dirty lines written back
+	FaultsFired   int    // injected faults that actually triggered
+}
+
+// System is a simulated multiprocessor: CPUs with private MESI caches on
+// an atomic snooping bus over a shared memory. Executing operations
+// records a trace (per-CPU histories with observed values) retrievable
+// with Execution.
+type System struct {
+	cfg     Config
+	caches  []*cache
+	mem     map[memory.Addr]memory.Value
+	init    map[memory.Addr]memory.Value
+	hist    []memory.History
+	orders  map[memory.Addr][]memory.Ref
+	arrival []memory.Ref
+	stats   Stats
+	faults  *Faults
+}
+
+// New builds a system with all memory initialized to zero on first
+// touch.
+func New(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:    cfg,
+		mem:    make(map[memory.Addr]memory.Value),
+		init:   make(map[memory.Addr]memory.Value),
+		hist:   make([]memory.History, cfg.Processors),
+		orders: make(map[memory.Addr][]memory.Ref),
+		faults: cfg.Faults,
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		s.caches = append(s.caches, newCache(cfg.CacheSets, cfg.CacheWays))
+	}
+	return s
+}
+
+// Stats returns the simulator counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// memRead reads memory, recording the first-touch initial value.
+func (s *System) memRead(a memory.Addr) memory.Value {
+	v, ok := s.mem[a]
+	if !ok {
+		s.mem[a] = 0
+		s.init[a] = 0
+		return 0
+	}
+	return v
+}
+
+// memWrite updates memory (recording a zero initial value if the address
+// was never read before being written back).
+func (s *System) memWrite(a memory.Addr, v memory.Value) {
+	if _, ok := s.mem[a]; !ok {
+		s.init[a] = 0
+	}
+	s.mem[a] = v
+}
+
+// SetInitial presets the memory contents of an address before execution.
+func (s *System) SetInitial(a memory.Addr, v memory.Value) {
+	s.mem[a] = v
+	s.init[a] = v
+}
+
+// evict removes a victim line, writing it back if dirty.
+func (s *System) evict(cpu int, l *line) {
+	if l.state == Modified {
+		s.stats.Writebacks++
+		if s.faults.fire(FaultLoseWriteback) {
+			s.stats.FaultsFired++
+			// The dirty data is dropped on the floor; memory keeps its
+			// stale contents.
+		} else {
+			s.memWrite(l.addr, l.value)
+		}
+	}
+	l.state = Invalid
+}
+
+// snoop services a bus transaction for address a issued by cpu.
+// exclusive requests (BusRdX/BusUpgr) invalidate other copies; any
+// Modified copy is flushed to memory first. It returns the freshest
+// value visible on the bus.
+func (s *System) snoop(cpu int, a memory.Addr, wantExclusive bool) memory.Value {
+	value := s.memRead(a)
+	for other, c := range s.caches {
+		if other == cpu {
+			continue
+		}
+		l := c.lookup(a)
+		if l == nil {
+			continue
+		}
+		if l.state == Modified {
+			s.stats.Writebacks++
+			if s.faults.fire(FaultStaleMemory) {
+				s.stats.FaultsFired++
+				// The snoop response is lost: the requester proceeds
+				// with the stale memory value and the owner's dirty
+				// line is silently discarded on invalidate (or left
+				// Shared on a read).
+			} else {
+				s.memWrite(a, l.value)
+				value = l.value
+			}
+		}
+		if wantExclusive {
+			s.stats.Invalidations++
+			if s.faults.fire(FaultDropInvalidate) {
+				s.stats.FaultsFired++
+				// The invalidation message is lost: the copy stays
+				// valid and will serve stale data to its processor.
+				continue
+			}
+			l.state = Invalid
+		} else if l.state == Modified || l.state == Exclusive {
+			l.state = Shared
+		}
+	}
+	return value
+}
+
+// othersHold reports whether any other cache holds a valid copy of a.
+func (s *System) othersHold(cpu int, a memory.Addr) bool {
+	for other, c := range s.caches {
+		if other != cpu && c.lookup(a) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs a value into cpu's cache with the given state, evicting
+// if necessary.
+func (s *System) fill(cpu int, a memory.Addr, v memory.Value, st LineState) *line {
+	c := s.caches[cpu]
+	l := c.victim(a)
+	s.evict(cpu, l)
+	if s.faults.fire(FaultCorruptFill) {
+		s.stats.FaultsFired++
+		v ^= 1 // single-bit flip in the filled data
+	}
+	l.addr, l.value, l.state = a, v, st
+	c.touch(l)
+	return l
+}
+
+// Read performs a load by cpu and returns (and records) the observed
+// value.
+func (s *System) Read(cpu int, a memory.Addr) memory.Value {
+	c := s.caches[cpu]
+	if l := c.lookup(a); l != nil {
+		c.hits++
+		s.stats.Hits++
+		c.touch(l)
+		s.record(cpu, memory.R(a, l.value))
+		return l.value
+	}
+	c.misses++
+	s.stats.Misses++
+	s.stats.BusReads++
+	v := s.snoop(cpu, a, false)
+	st := Exclusive
+	if s.othersHold(cpu, a) {
+		st = Shared
+	}
+	l := s.fill(cpu, a, v, st)
+	s.record(cpu, memory.R(a, l.value))
+	return l.value
+}
+
+// Write performs a store by cpu.
+func (s *System) Write(cpu int, a memory.Addr, v memory.Value) {
+	s.writeLine(cpu, a, v)
+	s.record(cpu, memory.W(a, v))
+	s.recordWriteOrder(cpu, a)
+}
+
+// recordWriteOrder logs the just-recorded operation of cpu as the next
+// write in a's serialization order — the §5.2 augmentation: the atomic
+// bus IS the per-address serialization, so the hardware can report it
+// for free.
+func (s *System) recordWriteOrder(cpu int, a memory.Addr) {
+	s.orders[a] = append(s.orders[a], memory.Ref{Proc: cpu, Index: len(s.hist[cpu]) - 1})
+}
+
+// WriteOrders returns the recorded per-address write serialization
+// orders (the bus order of write transactions), for use with the
+// polynomial write-order verifiers.
+func (s *System) WriteOrders() map[memory.Addr][]memory.Ref {
+	out := make(map[memory.Addr][]memory.Ref, len(s.orders))
+	for a, refs := range s.orders {
+		out[a] = append([]memory.Ref(nil), refs...)
+	}
+	return out
+}
+
+// writeLine obtains the line in Modified state and updates it.
+func (s *System) writeLine(cpu int, a memory.Addr, v memory.Value) {
+	c := s.caches[cpu]
+	l := c.lookup(a)
+	switch {
+	case l != nil && (l.state == Modified || l.state == Exclusive):
+		c.hits++
+		s.stats.Hits++
+	case l != nil && l.state == Shared:
+		c.hits++
+		s.stats.Hits++
+		s.stats.Upgrades++
+		s.snoop(cpu, a, true)
+	default:
+		c.misses++
+		s.stats.Misses++
+		s.stats.BusReadXs++
+		cur := s.snoop(cpu, a, true)
+		l = s.fill(cpu, a, cur, Exclusive)
+	}
+	l.state = Modified
+	if s.faults.fire(FaultDropWrite) {
+		s.stats.FaultsFired++
+		// The store is acknowledged but the data never lands in the
+		// line.
+	} else {
+		l.value = v
+	}
+	c.touch(l)
+}
+
+// RMW performs an atomic read-modify-write: the line is obtained in
+// Modified state, the old value is returned (and recorded as the read
+// component) and new is stored.
+func (s *System) RMW(cpu int, a memory.Addr, new memory.Value) memory.Value {
+	c := s.caches[cpu]
+	l := c.lookup(a)
+	var old memory.Value
+	switch {
+	case l != nil && (l.state == Modified || l.state == Exclusive):
+		c.hits++
+		s.stats.Hits++
+		old = l.value
+	case l != nil && l.state == Shared:
+		c.hits++
+		s.stats.Hits++
+		s.stats.Upgrades++
+		s.snoop(cpu, a, true)
+		old = l.value
+	default:
+		c.misses++
+		s.stats.Misses++
+		s.stats.BusReadXs++
+		old = s.snoop(cpu, a, true)
+		l = s.fill(cpu, a, old, Exclusive)
+		old = l.value // a corrupted fill is what the CPU observes
+	}
+	l.state = Modified
+	if s.faults.fire(FaultDropWrite) {
+		s.stats.FaultsFired++
+	} else {
+		l.value = new
+	}
+	c.touch(l)
+	s.record(cpu, memory.RW(a, old, new))
+	s.recordWriteOrder(cpu, a)
+	return old
+}
+
+func (s *System) record(cpu int, o memory.Op) {
+	s.arrival = append(s.arrival, memory.Ref{Proc: cpu, Index: len(s.hist[cpu])})
+	s.hist[cpu] = append(s.hist[cpu], o)
+}
+
+// Arrival returns the global completion order of all recorded
+// operations (bus order) — the event stream an online monitor consumes.
+func (s *System) Arrival() []memory.Ref {
+	return append([]memory.Ref(nil), s.arrival...)
+}
+
+// FlushAll writes every dirty line back to memory (end-of-run barrier so
+// final memory values are well defined).
+func (s *System) FlushAll() {
+	for cpu, c := range s.caches {
+		for si := range c.lines {
+			for wi := range c.lines[si] {
+				l := &c.lines[si][wi]
+				if l.state == Modified {
+					s.evict(cpu, l)
+				} else {
+					l.state = Invalid
+				}
+			}
+		}
+	}
+}
+
+// Execution returns the recorded trace: per-CPU histories with observed
+// values, the initial value of every touched address, and — if flush is
+// true — final values from memory after FlushAll.
+func (s *System) Execution(flush bool) *memory.Execution {
+	exec := &memory.Execution{Histories: append([]memory.History(nil), s.hist...)}
+	for a, v := range s.init {
+		exec.SetInitial(a, v)
+	}
+	if flush {
+		s.FlushAll()
+		for a, v := range s.mem {
+			exec.SetFinal(a, v)
+		}
+	}
+	return exec
+}
+
+// CheckInvariants validates the MESI global invariants: for each address
+// at most one cache in Modified or Exclusive, and when one is, no other
+// cache holds any valid copy. A correct protocol maintains these after
+// every operation; fault injection may legitimately break them.
+func (s *System) CheckInvariants() error {
+	type holder struct {
+		cpu   int
+		state LineState
+	}
+	byAddr := make(map[memory.Addr][]holder)
+	for cpu, c := range s.caches {
+		for si := range c.lines {
+			for wi := range c.lines[si] {
+				l := c.lines[si][wi]
+				if l.state != Invalid {
+					byAddr[l.addr] = append(byAddr[l.addr], holder{cpu, l.state})
+				}
+			}
+		}
+	}
+	for a, hs := range byAddr {
+		owners := 0
+		for _, h := range hs {
+			if h.state == Modified || h.state == Exclusive {
+				owners++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("mesi: address %d has %d exclusive owners", a, owners)
+		}
+		if owners == 1 && len(hs) > 1 {
+			return fmt.Errorf("mesi: address %d has an exclusive owner and %d other copies", a, len(hs)-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package monitor implements ONLINE verification of memory coherence:
+// an incremental checker that consumes operations as the memory system
+// performs them and flags the first operation that makes the execution
+// incoherent.
+//
+// Offline verification of an arbitrary execution is NP-Complete
+// (Theorem 4.2), but the paper observes (§5.2, §8) that a memory system
+// augmented to report the order of writes makes verification polynomial
+// — and a system watching its own execution has exactly that
+// information: it sees the serialization it performs. The monitor is the
+// deployment shape of that observation, the "online error detection with
+// hardware" of §8: per address it maintains the §5.2 region structure
+// (the write order as a skeleton; each processor's cursor into it) in
+// O(1) amortized work per operation.
+//
+// The monitored discipline is the one real coherent hardware provides:
+// writes are reported in their global per-address serialization order,
+// and each read observes the value of some write that is (a) not older
+// than the last write the same processor observed and (b) not newer than
+// the processor's own latest write... more precisely, each processor's
+// observation cursor may only move forward. That is exactly coherence
+// restricted to per-address total write order — what a correct
+// write-invalidate protocol guarantees.
+package monitor
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// Violation describes the first coherence violation the monitor
+// detected.
+type Violation struct {
+	// Proc is the processor whose operation exposed the violation, and
+	// Op the operation itself.
+	Proc int
+	Op   memory.Op
+	// Seq is the 0-based global sequence number of the offending
+	// operation as observed by the monitor.
+	Seq int
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("monitor: op %d (P%d: %s): %s", v.Seq, v.Proc, v.Op, v.Reason)
+}
+
+// addrState is the per-address region structure: the value history of
+// the location (index = region number; region r holds the value after
+// the r-th write, region 0 the initial value) and each processor's
+// cursor (the newest region it has observed).
+type addrState struct {
+	values  []memory.Value // values[r] = value in force in region r
+	bound   []bool
+	cursors map[int]int // proc -> newest observed region
+}
+
+// Monitor is an online coherence checker. Feed it every memory
+// operation, in the per-address serialization order for writes (reads
+// may arrive at their actual completion time). The zero value is not
+// usable; call New.
+type Monitor struct {
+	addrs map[memory.Addr]*addrState
+	seq   int
+	// Failed holds the first violation, after which the monitor is
+	// inert.
+	failed *Violation
+	stats  Stats
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	Reads  int
+	Writes int
+	RMWs   int
+}
+
+// New creates a monitor. initial optionally presets initial values.
+func New(initial map[memory.Addr]memory.Value) *Monitor {
+	m := &Monitor{addrs: make(map[memory.Addr]*addrState)}
+	for a, v := range initial {
+		s := m.state(a)
+		s.values[0], s.bound[0] = v, true
+	}
+	return m
+}
+
+func (m *Monitor) state(a memory.Addr) *addrState {
+	s, ok := m.addrs[a]
+	if !ok {
+		s = &addrState{
+			values:  []memory.Value{0},
+			bound:   []bool{false},
+			cursors: make(map[int]int),
+		}
+		m.addrs[a] = s
+	}
+	return s
+}
+
+// Err returns the first violation, or nil while the observed execution
+// remains coherent.
+func (m *Monitor) Err() error {
+	if m.failed == nil {
+		return nil
+	}
+	return m.failed
+}
+
+// Stats returns activity counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+func (m *Monitor) fail(proc int, op memory.Op, reason string) error {
+	if m.failed == nil {
+		m.failed = &Violation{Proc: proc, Op: op, Seq: m.seq, Reason: reason}
+	}
+	return m.failed
+}
+
+// ObserveWrite reports that proc performed a write of value d to a, as
+// the next write in a's serialization order. It returns the violation,
+// if this or a previous operation caused one.
+func (m *Monitor) ObserveWrite(proc int, a memory.Addr, d memory.Value) error {
+	if m.failed != nil {
+		return m.failed
+	}
+	defer func() { m.seq++ }()
+	m.stats.Writes++
+	s := m.state(a)
+	s.values = append(s.values, d)
+	s.bound = append(s.bound, true)
+	// The writer has observed its own write: cursor to the new region.
+	s.cursors[proc] = len(s.values) - 1
+	return nil
+}
+
+// ObserveRead reports that proc performed a read of a that returned d.
+// The read is coherent if d is the value of some region at or after the
+// processor's cursor; the cursor advances to the earliest such region
+// (advancing minimally keeps the check complete: a later matching region
+// would only constrain future reads more).
+func (m *Monitor) ObserveRead(proc int, a memory.Addr, d memory.Value) error {
+	if m.failed != nil {
+		return m.failed
+	}
+	defer func() { m.seq++ }()
+	m.stats.Reads++
+	s := m.state(a)
+	cur := s.cursors[proc]
+	for r := cur; r < len(s.values); r++ {
+		if !s.bound[r] {
+			// Unbound initial region: the first read binds it.
+			s.values[r], s.bound[r] = d, true
+			s.cursors[proc] = r
+			return nil
+		}
+		if s.values[r] == d {
+			s.cursors[proc] = r
+			return nil
+		}
+	}
+	return m.fail(proc, memory.R(a, d),
+		fmt.Sprintf("value %d not produced by any write at or after the processor's last observation (region %d of %d)",
+			d, cur, len(s.values)-1))
+}
+
+// ObserveRMW reports an atomic read-modify-write: it must observe the
+// current newest value (atomics act on the serialization point) and
+// appends its write as the next region.
+func (m *Monitor) ObserveRMW(proc int, a memory.Addr, dr, dw memory.Value) error {
+	if m.failed != nil {
+		return m.failed
+	}
+	m.stats.RMWs++
+	s := m.state(a)
+	last := len(s.values) - 1
+	if !s.bound[last] {
+		s.values[last], s.bound[last] = dr, true
+	} else if s.values[last] != dr {
+		defer func() { m.seq++ }()
+		return m.fail(proc, memory.RW(a, dr, dw),
+			fmt.Sprintf("atomic read %d but the current serialized value is %d", dr, s.values[last]))
+	}
+	defer func() { m.seq++ }()
+	s.values = append(s.values, dw)
+	s.bound = append(s.bound, true)
+	s.cursors[proc] = len(s.values) - 1
+	return nil
+}
+
+// CheckFinal verifies declared final memory contents against the newest
+// region of each address.
+func (m *Monitor) CheckFinal(final map[memory.Addr]memory.Value) error {
+	if m.failed != nil {
+		return m.failed
+	}
+	for a, want := range final {
+		s, ok := m.addrs[a]
+		if !ok {
+			continue
+		}
+		last := len(s.values) - 1
+		if s.bound[last] && s.values[last] != want {
+			return m.fail(-1, memory.W(a, want),
+				fmt.Sprintf("final value is %d but the last serialized value is %d", want, s.values[last]))
+		}
+	}
+	return nil
+}

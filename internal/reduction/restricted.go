@@ -1,0 +1,160 @@
+package reduction
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+	"memverify/internal/sat"
+)
+
+// ThreeSATToVMCRestricted builds the Figure 5.1 instance: a 3SAT -> VMC
+// reduction whose output has at most THREE data-memory operations per
+// process and every value written at most TWICE, proving the
+// corresponding row of the complexity table (Figure 5.3) NP-Complete.
+//
+// Construction (following Figure 5.1):
+//
+//   - The writers h1/h2 are split into chunks of three writes, so each
+//     history stays within three operations; the interleaving of the
+//     chunk pair for variable u still encodes T(u).
+//   - Each occurrence of a literal in a clause gets its own history:
+//     R(d_u), R(d_¬u), W(d_{c_j,k}) — the literal's truth gate followed
+//     by a write of the value for position k of clause j.
+//   - Clause verification is a path: h_{3,k,j} reads d_{c_j,k} and
+//     writes d_{c_j,k+1}; seeding any position (some literal of the
+//     clause true) lets the suffix of the path run. The path's closing
+//     history emits a dedicated value done_j that no literal can write,
+//     and also chains on done_{j-1}, so done_n is written only when
+//     every clause is satisfied in order.
+//   - h4 is split per variable: h_{4,i} reads done_n and rewrites
+//     d_{u_i}, d_{¬u_i} so the false-literal histories can finish.
+//
+// Every value is written at most twice: d_{u_i}/d_{¬u_i} by h1/h2 and
+// h_{4,i}; d_{c_j,k} by the literal at position k and by one path
+// history; done_j once. Clauses may have one to three literals (use
+// sat.ToThreeSAT first for uniform width); empty clauses make the
+// instance trivially incoherent, matching their unsatisfiability.
+func ThreeSATToVMCRestricted(q *sat.Formula) (*VMCInstance, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.MaxClauseLen() > 3 {
+		return nil, fmt.Errorf("reduction: clause with %d literals; apply sat.ToThreeSAT first", q.MaxClauseLen())
+	}
+	const addr memory.Addr = 0
+	m := q.NumVars
+	dU := func(i int) memory.Value { return memory.Value(2*i - 1) }
+	dNotU := func(i int) memory.Value { return memory.Value(2 * i) }
+	// d_{c_j,k}: one value per clause position.
+	dCK := func(j, k int) memory.Value { return memory.Value(2*m + 1 + 3*j + k) } // j,k 0-based
+
+	exec := &memory.Execution{}
+	inst := &VMCInstance{Exec: exec, Addr: addr, Formula: q}
+	addHist := func(h memory.History) int {
+		exec.Histories = append(exec.Histories, h)
+		return len(exec.Histories) - 1
+	}
+
+	// h1/h2 chunks of three writes each.
+	var h1, h2 memory.History
+	flush := func() {
+		if len(h1) > 0 {
+			addHist(h1)
+			h1 = nil
+		}
+		if len(h2) > 0 {
+			addHist(h2)
+			h2 = nil
+		}
+	}
+	for i := 1; i <= m; i++ {
+		h1 = append(h1, memory.W(addr, dU(i)))
+		h2 = append(h2, memory.W(addr, dNotU(i)))
+		if len(h1) == 3 {
+			flush()
+		}
+	}
+	flush()
+
+	// The marker refs recorded above are unreliable across chunk flushes:
+	// rebuild both marker lists by scanning the emitted chunk histories
+	// for the FIRST write of each variable value (h4 writes the values a
+	// second time later; those must not become markers, so only the first
+	// occurrence is kept).
+	inst.varTrue = make([]memory.Ref, m)
+	inst.varFalse = make([]memory.Ref, m)
+	assigned := make(map[int]bool, 2*m)
+	for p, h := range exec.Histories {
+		for idx, o := range h {
+			if d, ok := o.Writes(); ok {
+				v := int(d)
+				if v >= 1 && v <= 2*m && !assigned[v] {
+					assigned[v] = true
+					if v%2 == 1 {
+						inst.varTrue[(v-1)/2] = memory.Ref{Proc: p, Index: idx}
+					} else {
+						inst.varFalse[v/2-1] = memory.Ref{Proc: p, Index: idx}
+					}
+				}
+			}
+		}
+	}
+
+	// done(j) is written only by clause j's closing history, never by a
+	// literal — so observing it proves the clause's verification path
+	// ran. (A value writable directly by a literal would let a schedule
+	// bypass the chain and satisfy the gate with one lucky clause.)
+	n := len(q.Clauses)
+	done := func(j int) memory.Value { return memory.Value(2*m + 1 + 3*n + j) }
+
+	// Literal occurrence histories.
+	for j, c := range q.Clauses {
+		for k, l := range c {
+			v := l.Var()
+			var h memory.History
+			if l.Positive() {
+				h = memory.History{memory.R(addr, dU(v)), memory.R(addr, dNotU(v))}
+			} else {
+				h = memory.History{memory.R(addr, dNotU(v)), memory.R(addr, dU(v))}
+			}
+			h = append(h, memory.W(addr, dCK(j, k)))
+			addHist(h)
+		}
+	}
+
+	// Clause verification paths: seeding any position k* (that literal is
+	// true) lets histories k*..len-1 run in sequence; the closer also
+	// chains on the previous clause's done value and emits done(j).
+	for j, c := range q.Clauses {
+		ln := len(c)
+		for k := 0; k < ln-1; k++ {
+			addHist(memory.History{memory.R(addr, dCK(j, k)), memory.W(addr, dCK(j, k+1))})
+		}
+		if ln > 0 {
+			var h memory.History
+			if j > 0 {
+				h = append(h, memory.R(addr, done(j-1)))
+			}
+			h = append(h, memory.R(addr, dCK(j, ln-1)), memory.W(addr, done(j)))
+			addHist(h)
+		}
+		// Empty clause: no histories at all; done(j) is never written, so
+		// the chain (and hence the gate) blocks — matching
+		// unsatisfiability.
+	}
+
+	// h4 per variable, gated on the last clause's done value. With no
+	// clauses there is no gate (the formula is trivially satisfiable).
+	gate := memory.History{}
+	if n > 0 {
+		gate = memory.History{memory.R(addr, done(n-1))}
+	}
+	for i := 1; i <= m; i++ {
+		h := append(append(memory.History{}, gate...),
+			memory.W(addr, dU(i)), memory.W(addr, dNotU(i)))
+		addHist(h)
+	}
+
+	exec.SetInitial(addr, 0)
+	return inst, nil
+}

@@ -1,0 +1,173 @@
+package reduction
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+	"memverify/internal/sat"
+)
+
+// ThreeSATToVMCRMW builds a 3SAT -> VMC reduction onto an instance that
+// consists solely of read-modify-write operations, with at most TWO RMWs
+// per process and every value written at most THREE times — the
+// parameters of Figure 5.2, proving the corresponding rows of the
+// complexity table NP-Complete. (The construction is a re-derivation of
+// the paper's token scheme with the value counts rebalanced so that the
+// Eulerian degree constraints hold exactly; the published figure leaves
+// several counts implicit.)
+//
+// Because every operation is an RMW, a coherent schedule is a single
+// total order in which each operation reads the value written by its
+// predecessor — a token passing through the whole instance:
+//
+//	wave 1 (selection): h1 turns the initial value d_I into the selector
+//	  token B_1. For each variable, the token B_i is consumed by the
+//	  first step of exactly ONE literal chain (u_i or ¬u_i — the choice
+//	  encodes T), which threads through one history per clause occurrence
+//	  of that literal and re-emits B_{i+1}. h1's second RMW turns
+//	  B_{m+1} into the clause token t_1.
+//
+//	clause phase: the token t_j must be converted to c_j by the second
+//	  RMW of some occurrence history whose first RMW already ran — i.e.
+//	  an occurrence of a literal TRUE under T (this is the
+//	  satisfiability check); h2_j then converts c_j to t_{j+1}.
+//
+//	wave 2 (complement): h4 turns t_{n+1} into B_1 a second time, letting
+//	  the unchosen (false) literal chains run, re-emitting each B_i once
+//	  more; h4's second RMW turns the second B_{m+1} into the cleanup
+//	  token w_0.
+//
+//	cleanup: for every remaining occurrence of every clause (false
+//	  literals, and extra true literals beyond the one used in the clause
+//	  phase), a two-op slot history first converts w_k to t_j (refill),
+//	  the occurrence converts t_j to c_j, and the slot's second op
+//	  converts c_j to w_{k+1} (drain); the final cleanup token is d_F,
+//	  the declared final value. Refill and drain share a history so the
+//	  drain cannot fire before its refill — i.e. not before h4.
+//
+// Value write counts: each B_i is written exactly twice, each t_j and
+// c_j at most three times (one per literal occurrence of the clause; the
+// reduction requires at most three literals per clause), and all chain /
+// cleanup values exactly once.
+func ThreeSATToVMCRMW(q *sat.Formula) (*VMCInstance, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.MaxClauseLen() > 3 {
+		return nil, fmt.Errorf("reduction: clause with %d literals; apply sat.ToThreeSAT first", q.MaxClauseLen())
+	}
+	const addr memory.Addr = 0
+	m := q.NumVars
+	n := len(q.Clauses)
+
+	// Value allocation.
+	next := memory.Value(0)
+	fresh := func() memory.Value { next++; return next }
+	dInit := memory.Value(0)
+	B := make([]memory.Value, m+2) // B[1..m+1]
+	for i := 1; i <= m+1; i++ {
+		B[i] = fresh()
+	}
+	t := make([]memory.Value, n+2) // t[1..n+1]
+	for j := 1; j <= n+1; j++ {
+		t[j] = fresh()
+	}
+	c := make([]memory.Value, n+1) // c[1..n]
+	for j := 1; j <= n; j++ {
+		c[j] = fresh()
+	}
+
+	// occurrences[l] lists 1-based clause numbers containing literal l
+	// (duplicates kept: each textual occurrence is separate).
+	occurrences := make(map[sat.Lit][]int)
+	for j, cl := range q.Clauses {
+		for _, l := range cl {
+			occurrences[l] = append(occurrences[l], j+1)
+		}
+	}
+
+	exec := &memory.Execution{}
+	inst := &VMCInstance{Exec: exec, Addr: addr, Formula: q}
+	addHist := func(h memory.History) memory.Ref {
+		exec.Histories = append(exec.Histories, h)
+		return memory.Ref{Proc: len(exec.Histories) - 1, Index: 0}
+	}
+
+	// h1: d_I -> B_1 ; B_{m+1} -> t_1. The clause phase ends at t_{n+1},
+	// which seeds h4; with no clauses t_1 feeds h4 directly.
+	seed2 := t[n+1]
+	addHist(memory.History{
+		memory.RW(addr, dInit, B[1]),
+		memory.RW(addr, B[m+1], t[1]),
+	})
+
+	// Literal chains: for literal l of variable i with occurrences
+	// j_1..j_K, histories h_{l,k} whose FIRST RMWs form the chain
+	// B_i -> x_{l,1} -> … -> B_{i+1}, and whose SECOND RMWs are the
+	// occurrence converters t_{j_k} -> c_{j_k}.
+	buildChain := func(i int, l sat.Lit) memory.Ref {
+		occ := occurrences[l]
+		k := len(occ)
+		if k == 0 {
+			// No occurrences: a single one-op history bridges the chain.
+			return addHist(memory.History{memory.RW(addr, B[i], B[i+1])})
+		}
+		links := make([]memory.Value, k+1)
+		links[0] = B[i]
+		links[k] = B[i+1]
+		for s := 1; s < k; s++ {
+			links[s] = fresh()
+		}
+		var first memory.Ref
+		for s := 0; s < k; s++ {
+			j := occ[s]
+			ref := addHist(memory.History{
+				memory.RW(addr, links[s], links[s+1]),
+				memory.RW(addr, t[j], c[j]),
+			})
+			if s == 0 {
+				first = ref
+			}
+		}
+		return first
+	}
+	for i := 1; i <= m; i++ {
+		inst.varTrue = append(inst.varTrue, buildChain(i, sat.Lit(i)))
+		inst.varFalse = append(inst.varFalse, buildChain(i, sat.Lit(-i)))
+	}
+
+	// Clause-phase forwarders h2_j: c_j -> t_{j+1}.
+	for j := 1; j <= n; j++ {
+		addHist(memory.History{memory.RW(addr, c[j], t[j+1])})
+	}
+
+	// h4: seed2 -> B_1 (second time) ; B_{m+1} (second) -> w_0.
+	w := fresh()
+	addHist(memory.History{
+		memory.RW(addr, seed2, B[1]),
+		memory.RW(addr, B[m+1], w),
+	})
+
+	// Cleanup: one slot per extra occurrence of each clause (occurrences
+	// beyond the one consumed in the clause phase). Refill and drain live
+	// in ONE history so the drain is program-order-blocked behind its
+	// refill: the whole cleanup chain is rooted at h4's w token and none
+	// of it can fire during the clause phase (a free-standing drain could
+	// consume a clause-phase c_j and let the token skip clauses).
+	dF := w
+	for j := 1; j <= n; j++ {
+		extra := len(q.Clauses[j-1]) - 1
+		for e := 0; e < extra; e++ {
+			nw := fresh()
+			addHist(memory.History{
+				memory.RW(addr, dF, t[j]), // refill
+				memory.RW(addr, c[j], nw), // drain
+			})
+			dF = nw
+		}
+	}
+
+	exec.SetInitial(addr, dInit)
+	exec.SetFinal(addr, dF)
+	return inst, nil
+}

@@ -1,0 +1,151 @@
+package reduction
+
+import (
+	"fmt"
+
+	"memverify/internal/memory"
+	"memverify/internal/sat"
+)
+
+// VSCCInstance is the output of the SAT -> VSCC construction of
+// Figure 6.2: a multi-address execution that is coherent by construction
+// (Figure 6.3) and sequentially consistent iff the formula is
+// satisfiable.
+type VSCCInstance struct {
+	// Exec is the constructed execution.
+	Exec *memory.Execution
+	// Formula is the source formula.
+	Formula *sat.Formula
+	// VarAddr[i] is the address encoding variable i+1's assignment;
+	// ClauseAddr[j] is the address for clause j; Delta is a_Δ.
+	VarAddr    []memory.Addr
+	ClauseAddr []memory.Addr
+	Delta      memory.Addr
+
+	varTrue  []memory.Ref // h1's first write of d_X to a_{u_i}
+	varFalse []memory.Ref // h2's first write of d_Y to a_{u_i}
+}
+
+// Data values used by the construction.
+const (
+	vsccInit memory.Value = 0 // d_I
+	vsccX    memory.Value = 1 // d_X
+	vsccY    memory.Value = 2 // d_Y
+	vsccZ    memory.Value = 3 // d_Z
+)
+
+// DecodeAssignment extracts the truth assignment encoded by a schedule:
+// variable u is true iff h1's W(a_u, d_X) precedes h2's W(a_u, d_Y)
+// (correspondence 6.1).
+func (v *VSCCInstance) DecodeAssignment(s memory.Schedule) (sat.Assignment, error) {
+	pos := make(map[memory.Ref]int, len(s))
+	for i, r := range s {
+		pos[r] = i
+	}
+	asg := make(sat.Assignment, v.Formula.NumVars+1)
+	for i := 0; i < v.Formula.NumVars; i++ {
+		pt, okT := pos[v.varTrue[i]]
+		pf, okF := pos[v.varFalse[i]]
+		if !okT || !okF {
+			return nil, fmt.Errorf("reduction: schedule does not contain the assignment operations for variable %d", i+1)
+		}
+		asg[i+1] = pt < pf
+	}
+	return asg, nil
+}
+
+// SATToVSCC builds the Figure 6.2 instance for formula q: 2m+3 process
+// histories over m+n+1 shared locations. Every address admits a coherent
+// schedule regardless of satisfiability (Figure 6.3 — the promise of
+// Definition 6.2 holds by construction, which the tests verify), while a
+// sequentially consistent schedule exists iff q is satisfiable.
+//
+// Clauses must be non-empty: an empty clause would leave its address
+// unwritten and break the coherence promise (an empty clause also makes
+// q trivially unsatisfiable, so nothing is lost).
+func SATToVSCC(q *sat.Formula) (*VSCCInstance, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for j, c := range q.Clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("reduction: clause %d is empty; the VSCC construction requires non-empty clauses", j)
+		}
+	}
+	m := q.NumVars
+	n := len(q.Clauses)
+
+	inst := &VSCCInstance{Formula: q}
+	for i := 0; i < m; i++ {
+		inst.VarAddr = append(inst.VarAddr, memory.Addr(i))
+	}
+	for j := 0; j < n; j++ {
+		inst.ClauseAddr = append(inst.ClauseAddr, memory.Addr(m+j))
+	}
+	inst.Delta = memory.Addr(m + n)
+
+	clausesOf := make(map[sat.Lit][]int)
+	for j, c := range q.Clauses {
+		seen := make(map[sat.Lit]bool)
+		for _, l := range c {
+			if !seen[l] {
+				seen[l] = true
+				clausesOf[l] = append(clausesOf[l], j)
+			}
+		}
+	}
+
+	exec := &memory.Execution{}
+	inst.Exec = exec
+
+	// h1: W(a_{u_i}, X) for all i; R(a_Δ, Z); W(a_{u_i}, Y) for all i.
+	var h1 memory.History
+	for i := 0; i < m; i++ {
+		inst.varTrue = append(inst.varTrue, memory.Ref{Proc: 0, Index: len(h1)})
+		h1 = append(h1, memory.W(inst.VarAddr[i], vsccX))
+	}
+	h1 = append(h1, memory.R(inst.Delta, vsccZ))
+	for i := 0; i < m; i++ {
+		h1 = append(h1, memory.W(inst.VarAddr[i], vsccY))
+	}
+
+	// h2: W(a_{u_i}, Y); R(a_Δ, Z); W(a_{u_i}, X).
+	var h2 memory.History
+	for i := 0; i < m; i++ {
+		inst.varFalse = append(inst.varFalse, memory.Ref{Proc: 1, Index: len(h2)})
+		h2 = append(h2, memory.W(inst.VarAddr[i], vsccY))
+	}
+	h2 = append(h2, memory.R(inst.Delta, vsccZ))
+	for i := 0; i < m; i++ {
+		h2 = append(h2, memory.W(inst.VarAddr[i], vsccX))
+	}
+	exec.Histories = append(exec.Histories, h1, h2)
+
+	// Literal histories: read X,Y (true order for the literal) on the
+	// variable's address, then write Z to each clause address.
+	for i := 0; i < m; i++ {
+		a := inst.VarAddr[i]
+		hu := memory.History{memory.R(a, vsccX), memory.R(a, vsccY)}
+		for _, j := range clausesOf[sat.Lit(i+1)] {
+			hu = append(hu, memory.W(inst.ClauseAddr[j], vsccZ))
+		}
+		hnu := memory.History{memory.R(a, vsccY), memory.R(a, vsccX)}
+		for _, j := range clausesOf[sat.Lit(-(i + 1))] {
+			hnu = append(hnu, memory.W(inst.ClauseAddr[j], vsccZ))
+		}
+		exec.Histories = append(exec.Histories, hu, hnu)
+	}
+
+	// h3: read Z from every clause address, then write Z to a_Δ.
+	var h3 memory.History
+	for j := 0; j < n; j++ {
+		h3 = append(h3, memory.R(inst.ClauseAddr[j], vsccZ))
+	}
+	h3 = append(h3, memory.W(inst.Delta, vsccZ))
+	exec.Histories = append(exec.Histories, h3)
+
+	for a := memory.Addr(0); a <= inst.Delta; a++ {
+		exec.SetInitial(a, vsccInit)
+	}
+	return inst, nil
+}

@@ -1,0 +1,380 @@
+package sat
+
+import "fmt"
+
+// Solver is a conflict-driven clause-learning SAT solver: two-literal
+// watches for unit propagation, first-UIP conflict analysis with clause
+// learning, VSIDS-style variable activity, phase saving, and Luby
+// restarts. It is deterministic for a given formula.
+type Solver struct {
+	nvars   int
+	clauses []*clause
+	watches [][]*clause // literal index -> watching clauses
+
+	values  []int8 // var index (1-based) -> 0 unassigned, +1 true, -1 false
+	levels  []int
+	reasons []*clause
+	trail   []Lit
+	lim     []int // decision-level boundaries in trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	phase    []bool
+	seen     []bool
+
+	// topConflict records a contradiction discovered while loading the
+	// initial clauses (an empty clause or contradictory units).
+	topConflict bool
+
+	stats Stats
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+const (
+	activityDecay   = 0.95
+	activityRescale = 1e100
+	lubyUnit        = 100
+)
+
+// NewSolver prepares a solver for formula f. The formula is not
+// modified. An error is returned for malformed formulas.
+func NewSolver(f *Formula) (*Solver, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Solver{
+		nvars:    f.NumVars,
+		watches:  make([][]*clause, 2*f.NumVars),
+		values:   make([]int8, f.NumVars+1),
+		levels:   make([]int, f.NumVars+1),
+		reasons:  make([]*clause, f.NumVars+1),
+		activity: make([]float64, f.NumVars+1),
+		varInc:   1,
+		phase:    make([]bool, f.NumVars+1),
+		seen:     make([]bool, f.NumVars+1),
+	}
+	for _, raw := range f.Clauses {
+		norm, taut := normalizeClause(raw)
+		if taut {
+			continue
+		}
+		if !s.addClause(norm, false) {
+			s.topConflict = true
+		}
+	}
+	return s, nil
+}
+
+// litIdx maps a literal to its watch-list index.
+func (s *Solver) litIdx(l Lit) int {
+	v := l.Var() - 1
+	if l.Positive() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// value returns the literal's current value: +1 true, -1 false, 0 unset.
+func (s *Solver) value(l Lit) int8 {
+	v := s.values[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if l.Positive() {
+		return v
+	}
+	return -v
+}
+
+// addClause installs a clause; false means the database is already
+// unsatisfiable at the top level.
+func (s *Solver) addClause(lits Clause, learned bool) bool {
+	switch len(lits) {
+	case 0:
+		return false
+	case 1:
+		switch s.value(lits[0]) {
+		case -1:
+			return false
+		case 0:
+			s.assign(lits[0], nil)
+		}
+		return true
+	}
+	c := &clause{lits: append(Clause(nil), lits...), learned: learned}
+	s.clauses = append(s.clauses, c)
+	// Watch the first two literals.
+	s.watches[s.litIdx(c.lits[0].Neg())] = append(s.watches[s.litIdx(c.lits[0].Neg())], c)
+	s.watches[s.litIdx(c.lits[1].Neg())] = append(s.watches[s.litIdx(c.lits[1].Neg())], c)
+	return true
+}
+
+// assign records lit as true with the given reason at the current level.
+func (s *Solver) assign(l Lit, reason *clause) {
+	v := l.Var()
+	if l.Positive() {
+		s.values[v] = 1
+	} else {
+		s.values[v] = -1
+	}
+	s.levels[v] = len(s.lim)
+	s.reasons[v] = reason
+	s.phase[v] = l.Positive()
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		idx := s.litIdx(l) // clauses watching ¬(assigned lit = l true) — we stored watch on Neg
+		ws := s.watches[idx]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Ensure the false literal is lits[1].
+			falseLit := l.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is true the clause is satisfied.
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[s.litIdx(c.lits[1].Neg())] = append(s.watches[s.litIdx(c.lits[1].Neg())], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch moved elsewhere; drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == -1 {
+				// Conflict: restore remaining watchers and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[idx] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.assign(c.lits[0], c)
+			s.stats.Propagations++
+		}
+		s.watches[idx] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) (Clause, int) {
+	learned := Clause{0} // slot 0 for the asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	curLevel := len(s.lim)
+
+	c := confl
+	for {
+		start := 0
+		if p != 0 {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.levels[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.levels[v] == curLevel {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Pick the next seen literal from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		s.seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+		c = s.reasons[p.Var()]
+	}
+	learned[0] = p.Neg()
+	for _, l := range learned[1:] {
+		s.seen[l.Var()] = false
+	}
+
+	// Backjump level: highest level among learned[1:].
+	back := 0
+	pos := 1
+	for i := 1; i < len(learned); i++ {
+		if lv := s.levels[learned[i].Var()]; lv > back {
+			back = lv
+			pos = i
+		}
+	}
+	if len(learned) > 1 {
+		learned[1], learned[pos] = learned[pos], learned[1]
+	}
+	return learned, back
+}
+
+// bumpVar increases a variable's activity.
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > activityRescale {
+		for i := range s.activity {
+			s.activity[i] /= activityRescale
+		}
+		s.varInc /= activityRescale
+	}
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if len(s.lim) <= level {
+		return
+	}
+	bound := s.lim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.values[v] = 0
+		s.reasons[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.lim = s.lim[:level]
+	s.qhead = bound
+}
+
+// decide picks the unassigned variable with the highest activity, using
+// the saved phase.
+func (s *Solver) decide() Lit {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nvars; v++ {
+		if s.values[v] == 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	if s.phase[best] {
+		return Lit(best)
+	}
+	return Lit(-best)
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int) int {
+	// Find the finite subsequence containing i.
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve runs the CDCL loop to completion. CDCL is complete: the result
+// is always decided.
+func (s *Solver) Solve() *Result {
+	if s.topConflict {
+		return &Result{Satisfiable: false, Stats: s.stats}
+	}
+	if confl := s.propagate(); confl != nil {
+		return &Result{Satisfiable: false, Stats: s.stats}
+	}
+	restartNum := 1
+	conflictBudget := lubyUnit * luby(restartNum)
+	conflictsHere := 0
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if len(s.lim) == 0 {
+				return &Result{Satisfiable: false, Stats: s.stats}
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			s.varInc /= activityDecay
+			s.stats.Learned++
+			if len(learned) == 1 {
+				// Asserting unit at the top level.
+				if s.value(learned[0]) == -1 {
+					return &Result{Satisfiable: false, Stats: s.stats}
+				}
+				if s.value(learned[0]) == 0 {
+					s.assign(learned[0], nil)
+				}
+			} else {
+				ok := s.addClause(learned, true)
+				if !ok {
+					return &Result{Satisfiable: false, Stats: s.stats}
+				}
+				if s.value(learned[0]) == 0 {
+					s.assign(learned[0], s.clauses[len(s.clauses)-1])
+				}
+			}
+			continue
+		}
+		if conflictsHere >= conflictBudget {
+			// Restart.
+			s.stats.Restarts++
+			restartNum++
+			conflictBudget = lubyUnit * luby(restartNum)
+			conflictsHere = 0
+			s.cancelUntil(0)
+			continue
+		}
+		next := s.decide()
+		if next == 0 {
+			// All variables assigned: SAT.
+			asg := make(Assignment, s.nvars+1)
+			for v := 1; v <= s.nvars; v++ {
+				asg[v] = s.values[v] == 1
+			}
+			return &Result{Satisfiable: true, Assignment: asg, Stats: s.stats}
+		}
+		s.stats.Decisions++
+		s.lim = append(s.lim, len(s.trail))
+		s.assign(next, nil)
+	}
+}
+
+// SolveCDCL is the package-level convenience entry point.
+func SolveCDCL(f *Formula) (*Result, error) {
+	s, err := NewSolver(f)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Solve()
+	if res.Satisfiable && !res.Assignment.Satisfies(f) {
+		return nil, fmt.Errorf("sat: internal error: CDCL produced a non-satisfying assignment")
+	}
+	return res, nil
+}

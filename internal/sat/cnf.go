@@ -1,0 +1,196 @@
+// Package sat is the Boolean-satisfiability substrate of the library.
+//
+// The paper's hardness results are reductions from SAT and 3SAT
+// (Figures 4.1, 5.1, 5.2, 6.2). Executing those reductions — and
+// cross-checking that SAT(Q) holds exactly when the reduced coherence
+// instance is coherent — needs a working SAT decision procedure, so the
+// package provides a conflict-driven clause-learning (CDCL) solver built
+// from scratch, a plain DPLL solver and a brute-force enumerator as
+// references, DIMACS CNF I/O, and instance generators.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal in DIMACS convention: +v is variable v, -v its
+// negation; v ranges over 1..NumVars. Zero is not a literal.
+type Lit int
+
+// Var returns the literal's variable (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Positive reports whether the literal is unnegated.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// String renders the clause as "(x1 ∨ ¬x2 ∨ x3)".
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		if l.Positive() {
+			parts[i] = fmt.Sprintf("x%d", l.Var())
+		} else {
+			parts[i] = fmt.Sprintf("¬x%d", l.Var())
+		}
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula builds a formula, inferring NumVars from the largest
+// variable mentioned.
+func NewFormula(clauses ...Clause) *Formula {
+	f := &Formula{Clauses: clauses}
+	for _, c := range clauses {
+		for _, l := range c {
+			if l.Var() > f.NumVars {
+				f.NumVars = l.Var()
+			}
+		}
+	}
+	return f
+}
+
+// Validate reports an error for zero literals or variables out of range.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("sat: clause %d contains the zero literal", i)
+			}
+			if l.Var() > f.NumVars {
+				return fmt.Errorf("sat: clause %d mentions variable %d > NumVars %d", i, l.Var(), f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the formula as a conjunction of clauses.
+func (f *Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// MaxClauseLen returns the length of the longest clause (0 for an empty
+// formula).
+func (f *Formula) MaxClauseLen() int {
+	max := 0
+	for _, c := range f.Clauses {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = append(Clause(nil), c...)
+	}
+	return out
+}
+
+// Assignment maps each variable (1-based) to a truth value. Index 0 is
+// unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment satisfies every clause of f.
+func (a Assignment) Satisfies(f *Formula) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if l.Var() < len(a) && a[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the assignment as "x1=T x2=F …".
+func (a Assignment) String() string {
+	var parts []string
+	for v := 1; v < len(a); v++ {
+		t := "F"
+		if a[v] {
+			t = "T"
+		}
+		parts = append(parts, fmt.Sprintf("x%d=%s", v, t))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Result is the outcome of a SAT query.
+type Result struct {
+	// Satisfiable reports the decision.
+	Satisfiable bool
+	// Assignment is a satisfying assignment when Satisfiable (index 0
+	// unused).
+	Assignment Assignment
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Stats describes solver effort.
+type Stats struct {
+	Decisions    int
+	Propagations int
+	Conflicts    int
+	Learned      int
+	Restarts     int
+}
+
+// normalizeClause sorts and deduplicates a clause, reporting whether it
+// is a tautology (contains l and ¬l).
+func normalizeClause(c Clause) (Clause, bool) {
+	if len(c) == 0 {
+		return c, false
+	}
+	s := append(Clause(nil), c...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Var() != s[j].Var() {
+			return s[i].Var() < s[j].Var()
+		}
+		return s[i] < s[j]
+	})
+	out := s[:0]
+	for i, l := range s {
+		if i > 0 && l == s[i-1] {
+			continue
+		}
+		if i > 0 && l.Var() == s[i-1].Var() {
+			return nil, true // l and ¬l
+		}
+		out = append(out, l)
+	}
+	return out, false
+}

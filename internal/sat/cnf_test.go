@@ -1,0 +1,103 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || !l.Positive() || l.Neg() != Lit(-3) {
+		t.Errorf("Lit(3) basics wrong: var=%d pos=%v neg=%d", l.Var(), l.Positive(), l.Neg())
+	}
+	n := Lit(-7)
+	if n.Var() != 7 || n.Positive() || n.Neg() != Lit(7) {
+		t.Errorf("Lit(-7) basics wrong")
+	}
+}
+
+func TestNewFormulaInfersNumVars(t *testing.T) {
+	f := NewFormula(Clause{1, -2}, Clause{3})
+	if f.NumVars != 3 {
+		t.Errorf("NumVars = %d, want 3", f.NumVars)
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	good := NewFormula(Clause{1, -2})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	zero := &Formula{NumVars: 2, Clauses: []Clause{{1, 0}}}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero literal accepted")
+	}
+	oob := &Formula{NumVars: 1, Clauses: []Clause{{2}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestAssignmentSatisfies(t *testing.T) {
+	f := NewFormula(Clause{1, 2}, Clause{-1, 2})
+	if !(Assignment{false, true, true}).Satisfies(f) {
+		t.Error("satisfying assignment rejected")
+	}
+	if (Assignment{false, true, false}).Satisfies(f) {
+		t.Error("falsifying assignment accepted")
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	s := Clause{1, -2}.String()
+	if !strings.Contains(s, "x1") || !strings.Contains(s, "¬x2") {
+		t.Errorf("Clause.String() = %q", s)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := NewFormula(Clause{1}, Clause{-1})
+	if got := f.String(); !strings.Contains(got, "∧") {
+		t.Errorf("Formula.String() = %q", got)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	got := Assignment{false, true, false}.String()
+	if got != "x1=T x2=F" {
+		t.Errorf("Assignment.String() = %q", got)
+	}
+}
+
+func TestFormulaClone(t *testing.T) {
+	f := NewFormula(Clause{1, 2})
+	c := f.Clone()
+	c.Clauses[0][0] = -1
+	if f.Clauses[0][0] != 1 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestMaxClauseLen(t *testing.T) {
+	f := NewFormula(Clause{1}, Clause{1, 2, 3})
+	if got := f.MaxClauseLen(); got != 3 {
+		t.Errorf("MaxClauseLen = %d, want 3", got)
+	}
+	if got := (&Formula{}).MaxClauseLen(); got != 0 {
+		t.Errorf("empty MaxClauseLen = %d, want 0", got)
+	}
+}
+
+func TestNormalizeClause(t *testing.T) {
+	c, taut := normalizeClause(Clause{2, 1, 2, -3})
+	if taut {
+		t.Fatal("non-tautology reported as tautology")
+	}
+	if len(c) != 3 {
+		t.Errorf("normalizeClause dedup failed: %v", c)
+	}
+	_, taut = normalizeClause(Clause{1, -1})
+	if !taut {
+		t.Error("tautology not detected")
+	}
+}

@@ -1,0 +1,103 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses a formula in DIMACS CNF format: comment lines start
+// with 'c', the problem line is "p cnf <vars> <clauses>", and each clause
+// is a whitespace-separated list of nonzero literals terminated by 0
+// (clauses may span lines).
+func ReadDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	f := &Formula{}
+	sawProblem := false
+	declaredClauses := -1
+	var cur Clause
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawProblem {
+				return nil, fmt.Errorf("sat: line %d: duplicate problem line", lineNum)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNum, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count %q", lineNum, fields[2])
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil || nc < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad clause count %q", lineNum, fields[3])
+			}
+			f.NumVars = nv
+			declaredClauses = nc
+			sawProblem = true
+			continue
+		}
+		if !sawProblem {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", lineNum)
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNum, tok)
+			}
+			if n == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			if v := Lit(n).Var(); v > f.NumVars {
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared variable count %d", lineNum, n, f.NumVars)
+			}
+			cur = append(cur, Lit(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: reading DIMACS: %w", err)
+	}
+	if !sawProblem {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(cur) > 0 {
+		// A trailing clause without the terminating 0 is accepted, as
+		// many tools emit it.
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("sat: problem line declares %d clauses, found %d", declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// WriteDIMACS emits the formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

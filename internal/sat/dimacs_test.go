@@ -1,0 +1,128 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadDIMACSBasic(t *testing.T) {
+	in := `c example
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	want := []Clause{{1, -2}, {2, 3}}
+	if !reflect.DeepEqual(f.Clauses, want) {
+		t.Errorf("clauses = %v, want %v", f.Clauses, want)
+	}
+}
+
+func TestReadDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 3 1\n1\n2\n3 0\n"
+	f, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 3 {
+		t.Errorf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestReadDIMACSTrailingClauseWithoutZero(t *testing.T) {
+	in := "p cnf 2 1\n1 2"
+	f, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 {
+		t.Errorf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no problem line
+		"1 2 0",                     // clause before problem line
+		"p cnf 2 1\np cnf 2 1\n1 0", // duplicate problem line
+		"p dnf 2 1\n1 0",            // wrong format tag
+		"p cnf x 1\n1 0",            // bad var count
+		"p cnf 2 y\n1 0",            // bad clause count
+		"p cnf 2 1\n1 z 0",          // bad literal
+		"p cnf 1 1\n2 0",            // literal out of range
+		"p cnf 2 2\n1 0",            // clause count mismatch
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): error expected", i, in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		f := RandomKSAT(rng, 2+rng.Intn(10), 1+rng.Intn(20), 3)
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("instance %d: %v\n%s", i, err, buf.String())
+		}
+		if g.NumVars != f.NumVars || !reflect.DeepEqual(g.Clauses, f.Clauses) {
+			t.Fatalf("instance %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestPigeonholeShape(t *testing.T) {
+	f := Pigeonhole(3, 2)
+	if f.NumVars != 6 {
+		t.Errorf("NumVars = %d, want 6", f.NumVars)
+	}
+	// 3 pigeon clauses + 2 holes × C(3,2)=3 pair clauses = 3 + 6.
+	if len(f.Clauses) != 9 {
+		t.Errorf("clauses = %d, want 9", len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := RandomKSAT(rng, 10, 42, 3)
+	if len(f.Clauses) != 42 {
+		t.Errorf("clauses = %d", len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Errorf("clause length %d", len(c))
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Errorf("repeated variable in clause %v", c)
+			}
+			seen[l.Var()] = true
+		}
+	}
+	// k capped at nvars.
+	g := RandomKSAT(rng, 2, 5, 9)
+	for _, c := range g.Clauses {
+		if len(c) != 2 {
+			t.Errorf("clause length %d with capped k", len(c))
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package sat
+
+// SolveDPLL decides satisfiability with the classic
+// Davis–Putnam–Logemann–Loveland procedure: unit propagation, pure
+// literal elimination, and splitting on the first unassigned variable.
+// It is the reference against which the CDCL solver is cross-checked,
+// and the ablation baseline for the solver benchmarks.
+func SolveDPLL(f *Formula) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	d := &dpll{
+		nvars:  f.NumVars,
+		values: make([]int8, f.NumVars+1),
+	}
+	for _, raw := range f.Clauses {
+		norm, taut := normalizeClause(raw)
+		if taut {
+			continue
+		}
+		d.clauses = append(d.clauses, norm)
+	}
+	ok := d.solve()
+	res := &Result{Satisfiable: ok, Stats: d.stats}
+	if ok {
+		asg := make(Assignment, f.NumVars+1)
+		for v := 1; v <= f.NumVars; v++ {
+			asg[v] = d.values[v] == 1
+		}
+		res.Assignment = asg
+	}
+	return res, nil
+}
+
+type dpll struct {
+	nvars   int
+	clauses []Clause
+	values  []int8
+	trail   []int // variables, for undo
+	stats   Stats
+}
+
+func (d *dpll) value(l Lit) int8 {
+	v := d.values[l.Var()]
+	if v == 0 || l.Positive() {
+		return v
+	}
+	return -v
+}
+
+func (d *dpll) set(l Lit) {
+	if l.Positive() {
+		d.values[l.Var()] = 1
+	} else {
+		d.values[l.Var()] = -1
+	}
+	d.trail = append(d.trail, l.Var())
+}
+
+func (d *dpll) undoTo(mark int) {
+	for len(d.trail) > mark {
+		v := d.trail[len(d.trail)-1]
+		d.trail = d.trail[:len(d.trail)-1]
+		d.values[v] = 0
+	}
+}
+
+// status classifies the formula under the current assignment: -1
+// conflict, 0 undecided, 1 satisfied. unit receives any unit literal
+// found.
+func (d *dpll) status() (int, Lit) {
+	allSat := true
+	var unit Lit
+	for _, c := range d.clauses {
+		sat := false
+		unassigned := 0
+		var last Lit
+		for _, l := range c {
+			switch d.value(l) {
+			case 1:
+				sat = true
+			case 0:
+				unassigned++
+				last = l
+			}
+			if sat {
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		if unassigned == 0 {
+			return -1, 0
+		}
+		allSat = false
+		if unassigned == 1 && unit == 0 {
+			unit = last
+		}
+	}
+	if allSat {
+		return 1, 0
+	}
+	return 0, unit
+}
+
+// pureLiteral finds a literal whose negation never occurs in an
+// unsatisfied clause.
+func (d *dpll) pureLiteral() Lit {
+	pos := make([]bool, d.nvars+1)
+	neg := make([]bool, d.nvars+1)
+	for _, c := range d.clauses {
+		sat := false
+		for _, l := range c {
+			if d.value(l) == 1 {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if d.value(l) == 0 {
+				if l.Positive() {
+					pos[l.Var()] = true
+				} else {
+					neg[l.Var()] = true
+				}
+			}
+		}
+	}
+	for v := 1; v <= d.nvars; v++ {
+		if d.values[v] != 0 {
+			continue
+		}
+		if pos[v] && !neg[v] {
+			return Lit(v)
+		}
+		if neg[v] && !pos[v] {
+			return Lit(-v)
+		}
+	}
+	return 0
+}
+
+func (d *dpll) solve() bool {
+	mark := len(d.trail)
+	// Unit propagation to fixpoint.
+	for {
+		st, unit := d.status()
+		switch {
+		case st == -1:
+			d.undoTo(mark)
+			return false
+		case st == 1:
+			return true
+		case unit != 0:
+			d.stats.Propagations++
+			d.set(unit)
+		default:
+			if p := d.pureLiteral(); p != 0 {
+				d.set(p)
+				continue
+			}
+			// Split on the first unassigned variable.
+			v := 0
+			for i := 1; i <= d.nvars; i++ {
+				if d.values[i] == 0 {
+					v = i
+					break
+				}
+			}
+			if v == 0 {
+				return true
+			}
+			d.stats.Decisions++
+			inner := len(d.trail)
+			d.set(Lit(v))
+			if d.solve() {
+				return true
+			}
+			d.undoTo(inner)
+			d.stats.Conflicts++
+			d.set(Lit(-v))
+			if d.solve() {
+				return true
+			}
+			d.undoTo(mark)
+			return false
+		}
+	}
+}
+
+// SolveBrute decides satisfiability by enumerating all 2^n assignments.
+// Test oracle only.
+func SolveBrute(f *Formula) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := f.NumVars
+	asg := make(Assignment, n+1)
+	var try func(v int) bool
+	try = func(v int) bool {
+		if v > n {
+			return asg.Satisfies(f)
+		}
+		asg[v] = false
+		if try(v + 1) {
+			return true
+		}
+		asg[v] = true
+		return try(v + 1)
+	}
+	if try(1) {
+		return &Result{Satisfiable: true, Assignment: asg}, nil
+	}
+	return &Result{Satisfiable: false}, nil
+}

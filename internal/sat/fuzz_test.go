@@ -1,0 +1,50 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDIMACS checks the DIMACS parser never panics and that parsed
+// formulas round-trip and are solvable without error.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0")
+	f.Add("p cnf 3 1\n1\n2\n3 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ReadDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := formula.Validate(); err != nil {
+			t.Fatalf("parser produced invalid formula: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, formula); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+		}
+		if back.NumVars != formula.NumVars || len(back.Clauses) != len(formula.Clauses) {
+			t.Fatal("round trip changed the formula shape")
+		}
+		// Tiny formulas additionally get solved to exercise the solver
+		// on arbitrary (possibly pathological) clause shapes.
+		if formula.NumVars <= 8 && len(formula.Clauses) <= 16 {
+			a, err := SolveCDCL(formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := SolveBrute(formula)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Satisfiable != b.Satisfiable {
+				t.Fatalf("CDCL=%v brute=%v on\n%s", a.Satisfiable, b.Satisfiable, formula)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package sat
+
+import "math/rand"
+
+// RandomKSAT generates a uniform random k-SAT formula with nvars
+// variables and nclauses clauses: each clause has k distinct variables,
+// each negated with probability 1/2. At the classic ratio
+// nclauses/nvars ≈ 4.26, k=3 instances sit near the
+// satisfiability phase transition and are hardest on average.
+func RandomKSAT(rng *rand.Rand, nvars, nclauses, k int) *Formula {
+	if k > nvars {
+		k = nvars
+	}
+	f := &Formula{NumVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		perm := rng.Perm(nvars)[:k]
+		c := make(Clause, k)
+		for j, v := range perm {
+			l := Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c[j] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// RandomSatisfiableKSAT generates a random k-SAT formula guaranteed
+// satisfiable: a hidden assignment is drawn first and every clause is
+// forced to contain at least one literal true under it.
+func RandomSatisfiableKSAT(rng *rand.Rand, nvars, nclauses, k int) (*Formula, Assignment) {
+	if k > nvars {
+		k = nvars
+	}
+	hidden := make(Assignment, nvars+1)
+	for v := 1; v <= nvars; v++ {
+		hidden[v] = rng.Intn(2) == 0
+	}
+	f := &Formula{NumVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		perm := rng.Perm(nvars)[:k]
+		c := make(Clause, k)
+		for j, v := range perm {
+			l := Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c[j] = l
+		}
+		// Force one literal true under the hidden assignment.
+		pick := rng.Intn(k)
+		v := c[pick].Var()
+		if hidden[v] {
+			c[pick] = Lit(v)
+		} else {
+			c[pick] = Lit(-v)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f, hidden
+}
+
+// Pigeonhole generates the pigeonhole principle formula PHP(n+1, n): n+1
+// pigeons cannot fit in n holes one-per-hole. The formula is
+// unsatisfiable and exponentially hard for resolution-based solvers —
+// a standard stress test. Variable p*(holes)+h+1 means "pigeon p sits in
+// hole h".
+func Pigeonhole(pigeons, holes int) *Formula {
+	v := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	f := &Formula{NumVars: pigeons * holes}
+	// Every pigeon sits somewhere.
+	for p := 0; p < pigeons; p++ {
+		c := make(Clause, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(p, h)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.Clauses = append(f.Clauses, Clause{v(p1, h).Neg(), v(p2, h).Neg()})
+			}
+		}
+	}
+	return f
+}
+
+// ToThreeSAT converts an arbitrary CNF formula into an equisatisfiable
+// 3SAT formula using the standard Tseitin-style clause splitting: clauses
+// of length > 3 are chained with fresh variables; clauses of length 1 or
+// 2 are padded by duplicating literals (which keeps them semantically
+// identical). The restricted-case reductions of Figures 5.1 and 5.2
+// expect exactly-3-literal clauses.
+func ToThreeSAT(f *Formula) *Formula {
+	out := &Formula{NumVars: f.NumVars}
+	fresh := func() Lit {
+		out.NumVars++
+		return Lit(out.NumVars)
+	}
+	for _, c := range f.Clauses {
+		switch {
+		case len(c) == 0:
+			// Empty clause: unsatisfiable. Encode as x ∧ ¬x on a fresh
+			// variable, in 3-literal form.
+			x := fresh()
+			out.Clauses = append(out.Clauses,
+				Clause{x, x, x}, Clause{x.Neg(), x.Neg(), x.Neg()})
+		case len(c) == 1:
+			out.Clauses = append(out.Clauses, Clause{c[0], c[0], c[0]})
+		case len(c) == 2:
+			out.Clauses = append(out.Clauses, Clause{c[0], c[1], c[1]})
+		case len(c) == 3:
+			out.Clauses = append(out.Clauses, append(Clause(nil), c...))
+		default:
+			// (l1 ∨ l2 ∨ y1) (¬y1 ∨ l3 ∨ y2) … (¬y_{k-3} ∨ l_{k-1} ∨ l_k)
+			y := fresh()
+			out.Clauses = append(out.Clauses, Clause{c[0], c[1], y})
+			for i := 2; i < len(c)-2; i++ {
+				y2 := fresh()
+				out.Clauses = append(out.Clauses, Clause{y.Neg(), c[i], y2})
+				y = y2
+			}
+			out.Clauses = append(out.Clauses, Clause{y.Neg(), c[len(c)-2], c[len(c)-1]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: satisfiability is invariant under clause reordering.
+func TestSATClauseOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(6)
+		formula := RandomKSAT(rng, nv, 1+rng.Intn(4*nv), 3)
+		a, err := SolveCDCL(formula)
+		if err != nil {
+			return false
+		}
+		shuffled := formula.Clone()
+		rng.Shuffle(len(shuffled.Clauses), func(i, j int) {
+			shuffled.Clauses[i], shuffled.Clauses[j] = shuffled.Clauses[j], shuffled.Clauses[i]
+		})
+		b, err := SolveCDCL(shuffled)
+		if err != nil {
+			return false
+		}
+		return a.Satisfiable == b.Satisfiable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: satisfiability is invariant under flipping the polarity of
+// one variable everywhere (the satisfying assignments transform with
+// it).
+func TestSATPolarityFlipInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(6)
+		formula := RandomKSAT(rng, nv, 1+rng.Intn(4*nv), 3)
+		v := 1 + rng.Intn(nv)
+		flipped := formula.Clone()
+		for ci := range flipped.Clauses {
+			for li, l := range flipped.Clauses[ci] {
+				if l.Var() == v {
+					flipped.Clauses[ci][li] = l.Neg()
+				}
+			}
+		}
+		a, err := SolveCDCL(formula)
+		if err != nil {
+			return false
+		}
+		b, err := SolveCDCL(flipped)
+		if err != nil {
+			return false
+		}
+		if a.Satisfiable != b.Satisfiable {
+			return false
+		}
+		if b.Satisfiable {
+			// Transform b's assignment back and check it satisfies the
+			// original.
+			back := append(Assignment(nil), b.Assignment...)
+			back[v] = !back[v]
+			return back.Satisfies(formula)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a clause already satisfied by a returned assignment
+// keeps the formula satisfiable; adding its negation as unit clauses may
+// not — but a formula plus one of its implied clauses never flips to
+// unsatisfiable.
+func TestSATMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(5)
+		formula := RandomKSAT(rng, nv, 1+rng.Intn(3*nv), 3)
+		res, err := SolveCDCL(formula)
+		if err != nil {
+			return false
+		}
+		if !res.Satisfiable {
+			// Removing a clause can only help: the remainder's verdict
+			// is unconstrained, but adding clauses must keep UNSAT.
+			bigger := formula.Clone()
+			bigger.Clauses = append(bigger.Clauses, Clause{1, 2})
+			r2, err := SolveCDCL(bigger)
+			if err != nil {
+				return false
+			}
+			return !r2.Satisfiable
+		}
+		// Append a clause satisfied by the model.
+		var lit Lit
+		for v := 1; v <= nv; v++ {
+			if res.Assignment[v] {
+				lit = Lit(v)
+			} else {
+				lit = Lit(-v)
+			}
+		}
+		grown := formula.Clone()
+		grown.Clauses = append(grown.Clauses, Clause{lit})
+		r2, err := SolveCDCL(grown)
+		if err != nil {
+			return false
+		}
+		return r2.Satisfiable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DPLL and CDCL always agree (a second, broader agreement
+// sweep beyond the table-driven tests).
+func TestSATBackendAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(7)
+		formula := RandomKSAT(rng, nv, 1+rng.Intn(5*nv), 3)
+		a, err := SolveCDCL(formula)
+		if err != nil {
+			return false
+		}
+		b, err := SolveDPLL(formula)
+		if err != nil {
+			return false
+		}
+		return a.Satisfiable == b.Satisfiable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCDCLTinyInstances(t *testing.T) {
+	cases := []struct {
+		f    *Formula
+		want bool
+	}{
+		{NewFormula(), true},
+		{NewFormula(Clause{1}), true},
+		{NewFormula(Clause{1}, Clause{-1}), false},
+		{NewFormula(Clause{1, 2}, Clause{-1, 2}, Clause{1, -2}, Clause{-1, -2}), false},
+		{NewFormula(Clause{1, 2}, Clause{-1, 2}, Clause{1, -2}), true},
+		{&Formula{NumVars: 1, Clauses: []Clause{{}}}, false}, // empty clause
+		{NewFormula(Clause{1, -1}), true},                    // tautology
+	}
+	for i, c := range cases {
+		res, err := SolveCDCL(c.f)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if res.Satisfiable != c.want {
+			t.Errorf("case %d: CDCL = %v, want %v (formula %s)", i, res.Satisfiable, c.want, c.f)
+		}
+		if res.Satisfiable && !res.Assignment.Satisfies(c.f) {
+			t.Errorf("case %d: assignment does not satisfy", i)
+		}
+	}
+}
+
+func TestDPLLTinyInstances(t *testing.T) {
+	cases := []struct {
+		f    *Formula
+		want bool
+	}{
+		{NewFormula(), true},
+		{NewFormula(Clause{1}, Clause{-1}), false},
+		{NewFormula(Clause{1, 2}, Clause{-1, 2}, Clause{1, -2}), true},
+	}
+	for i, c := range cases {
+		res, err := SolveDPLL(c.f)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if res.Satisfiable != c.want {
+			t.Errorf("case %d: DPLL = %v, want %v", i, res.Satisfiable, c.want)
+		}
+		if res.Satisfiable && !res.Assignment.Satisfies(c.f) {
+			t.Errorf("case %d: assignment does not satisfy", i)
+		}
+	}
+}
+
+// Cross-check all three solvers on random instances around the phase
+// transition.
+func TestSolversAgreeOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	satSeen, unsatSeen := 0, 0
+	for i := 0; i < 300; i++ {
+		nvars := 3 + rng.Intn(8)
+		nclauses := 1 + rng.Intn(4*nvars)
+		f := RandomKSAT(rng, nvars, nclauses, 3)
+		brute, err := SolveBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdcl, err := SolveCDCL(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpll, err := SolveDPLL(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdcl.Satisfiable != brute.Satisfiable {
+			t.Fatalf("instance %d: CDCL=%v brute=%v\n%s", i, cdcl.Satisfiable, brute.Satisfiable, f)
+		}
+		if dpll.Satisfiable != brute.Satisfiable {
+			t.Fatalf("instance %d: DPLL=%v brute=%v\n%s", i, dpll.Satisfiable, brute.Satisfiable, f)
+		}
+		if brute.Satisfiable {
+			satSeen++
+		} else {
+			unsatSeen++
+		}
+	}
+	if satSeen == 0 || unsatSeen == 0 {
+		t.Errorf("degenerate sample: %d sat, %d unsat", satSeen, unsatSeen)
+	}
+}
+
+func TestCDCLSolvesPlantedInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		f, hidden := RandomSatisfiableKSAT(rng, 50, 200, 3)
+		if !hidden.Satisfies(f) {
+			t.Fatal("generator broke its own planted assignment")
+		}
+		res, err := SolveCDCL(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable {
+			t.Fatalf("planted-SAT instance %d judged unsatisfiable", i)
+		}
+		if !res.Assignment.Satisfies(f) {
+			t.Fatalf("instance %d: returned assignment does not satisfy", i)
+		}
+	}
+}
+
+func TestCDCLPigeonhole(t *testing.T) {
+	// PHP(n+1, n) is unsatisfiable; n=5 is comfortably in reach and
+	// forces real conflict analysis.
+	f := Pigeonhole(6, 5)
+	res, err := SolveCDCL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("pigeonhole principle violated")
+	}
+	if res.Stats.Conflicts == 0 {
+		t.Error("expected conflicts on PHP")
+	}
+
+	// PHP(n, n) is satisfiable.
+	ok := Pigeonhole(5, 5)
+	res, err = SolveCDCL(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Error("PHP(5,5) should be satisfiable")
+	}
+}
+
+func TestCDCLRestartsHappen(t *testing.T) {
+	f := Pigeonhole(7, 6)
+	res, err := SolveCDCL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Fatal("PHP(7,6) should be unsatisfiable")
+	}
+	if res.Stats.Learned == 0 {
+		t.Error("expected learned clauses")
+	}
+}
+
+func TestToThreeSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		nvars := 2 + rng.Intn(6)
+		f := &Formula{NumVars: nvars}
+		nclauses := 1 + rng.Intn(6)
+		for j := 0; j < nclauses; j++ {
+			clen := 1 + rng.Intn(6)
+			c := make(Clause, 0, clen)
+			for k := 0; k < clen; k++ {
+				l := Lit(1 + rng.Intn(nvars))
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				c = append(c, l)
+			}
+			f.Clauses = append(f.Clauses, c)
+		}
+		three := ToThreeSAT(f)
+		for _, c := range three.Clauses {
+			if len(c) != 3 {
+				t.Fatalf("instance %d: clause of length %d in 3SAT output", i, len(c))
+			}
+		}
+		orig, err := SolveBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv, err := SolveCDCL(three)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.Satisfiable != conv.Satisfiable {
+			t.Fatalf("instance %d: equisatisfiability broken (orig %v, 3sat %v)\n%s\n=>\n%s",
+				i, orig.Satisfiable, conv.Satisfiable, f, three)
+		}
+	}
+}
+
+func TestToThreeSATEmptyClause(t *testing.T) {
+	f := &Formula{NumVars: 1, Clauses: []Clause{{}}}
+	three := ToThreeSAT(f)
+	res, err := SolveCDCL(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Error("empty clause should stay unsatisfiable through conversion")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestSolverRejectsInvalidFormula(t *testing.T) {
+	bad := &Formula{NumVars: 1, Clauses: []Clause{{0}}}
+	if _, err := SolveCDCL(bad); err == nil {
+		t.Error("CDCL accepted an invalid formula")
+	}
+	if _, err := SolveDPLL(bad); err == nil {
+		t.Error("DPLL accepted an invalid formula")
+	}
+	if _, err := SolveBrute(bad); err == nil {
+		t.Error("brute force accepted an invalid formula")
+	}
+}

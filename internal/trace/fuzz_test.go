@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the parser never panics and that every
+// successfully parsed trace round-trips through Write/Read to a
+// fixpoint.
+func FuzzRead(f *testing.F) {
+	f.Add(sample)
+	f.Add("init x 0\nP0: W x 1\n")
+	f.Add("P0: RW y -3 4\norder y P0[0]\n")
+	f.Add("# only a comment\n")
+	f.Add("P1: ACQ\nP1: FENCE\nP1: REL\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write of parsed trace failed: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written trace failed: %v\n%s", err, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := Write(&buf2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != buf2.String() {
+			t.Fatalf("write/read/write not a fixpoint:\n%s\nvs\n%s", buf.String(), buf2.String())
+		}
+	})
+}

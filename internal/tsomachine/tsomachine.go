@@ -1,0 +1,229 @@
+// Package tsomachine is an operational store-buffer machine that
+// EXECUTES programs (as opposed to the checkers in internal/consistency,
+// which decide whether a given trace could have been executed). Each
+// processor issues instructions in program order; stores enter a private
+// FIFO buffer and drain to the shared memory at nondeterministic times;
+// loads forward from the issuing processor's own buffer when possible.
+//
+// With the TSO discipline the produced traces are Total Store Order by
+// construction (and may exhibit the classic store-buffering outcomes
+// sequential consistency forbids); with the PSO discipline stores to
+// different addresses may also drain out of issue order. The machine is
+// the library's generator of realistic relaxed-memory executions for the
+// §6.2 experiments.
+package tsomachine
+
+import (
+	"math/rand"
+
+	"memverify/internal/memory"
+	"memverify/internal/mesi"
+)
+
+// Discipline selects the buffer drain policy.
+type Discipline int
+
+const (
+	// TSO drains each processor's buffer strictly in issue order.
+	TSO Discipline = iota
+	// PSO drains the oldest pending store of any address, so stores to
+	// different addresses may commit out of issue order.
+	PSO
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	if d == PSO {
+		return "PSO"
+	}
+	return "TSO"
+}
+
+type entry struct {
+	addr memory.Addr
+	val  memory.Value
+}
+
+// Machine is a running store-buffer multiprocessor.
+type Machine struct {
+	disc    Discipline
+	buffers [][]entry
+	mem     map[memory.Addr]memory.Value
+	init    map[memory.Addr]memory.Value
+	hist    []memory.History
+}
+
+// New builds a machine with procs processors. Memory reads as zero on
+// first touch unless preset with SetInitial.
+func New(procs int, disc Discipline) *Machine {
+	return &Machine{
+		disc:    disc,
+		buffers: make([][]entry, procs),
+		mem:     make(map[memory.Addr]memory.Value),
+		init:    make(map[memory.Addr]memory.Value),
+		hist:    make([]memory.History, procs),
+	}
+}
+
+// SetInitial presets the memory contents of an address.
+func (m *Machine) SetInitial(a memory.Addr, v memory.Value) {
+	m.mem[a] = v
+	m.init[a] = v
+}
+
+func (m *Machine) memRead(a memory.Addr) memory.Value {
+	v, ok := m.mem[a]
+	if !ok {
+		m.mem[a] = 0
+		m.init[a] = 0
+	}
+	return v
+}
+
+// Read issues a load: the newest pending store to a in cpu's own buffer
+// forwards; otherwise memory supplies the value. The observed value is
+// recorded and returned.
+func (m *Machine) Read(cpu int, a memory.Addr) memory.Value {
+	v, ok := m.forward(cpu, a)
+	if !ok {
+		v = m.memRead(a)
+	}
+	m.hist[cpu] = append(m.hist[cpu], memory.R(a, v))
+	return v
+}
+
+func (m *Machine) forward(cpu int, a memory.Addr) (memory.Value, bool) {
+	b := m.buffers[cpu]
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i].addr == a {
+			return b[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Write issues a store into cpu's buffer.
+func (m *Machine) Write(cpu int, a memory.Addr, v memory.Value) {
+	m.buffers[cpu] = append(m.buffers[cpu], entry{addr: a, val: v})
+	m.hist[cpu] = append(m.hist[cpu], memory.W(a, v))
+}
+
+// RMW drains cpu's buffer, then atomically reads and updates memory,
+// recording and returning the observed old value.
+func (m *Machine) RMW(cpu int, a memory.Addr, v memory.Value) memory.Value {
+	m.DrainAll(cpu)
+	old := m.memRead(a)
+	m.mem[a] = v
+	m.hist[cpu] = append(m.hist[cpu], memory.RW(a, old, v))
+	return old
+}
+
+// Fence drains cpu's buffer and records a fence.
+func (m *Machine) Fence(cpu int) {
+	m.DrainAll(cpu)
+	m.hist[cpu] = append(m.hist[cpu], memory.Bar())
+}
+
+// CommitOne drains one eligible pending store of cpu, selected by idx
+// among the current commit choices; it reports whether anything drained.
+func (m *Machine) CommitOne(cpu int, rng *rand.Rand) bool {
+	choices := m.commitChoices(cpu)
+	if len(choices) == 0 {
+		return false
+	}
+	i := choices[rng.Intn(len(choices))]
+	e := m.buffers[cpu][i]
+	m.memRead(e.addr) // register the initial value before overwrite
+	m.mem[e.addr] = e.val
+	m.buffers[cpu] = append(m.buffers[cpu][:i], m.buffers[cpu][i+1:]...)
+	return true
+}
+
+// commitChoices lists buffer indices eligible to drain next under the
+// discipline.
+func (m *Machine) commitChoices(cpu int) []int {
+	b := m.buffers[cpu]
+	if len(b) == 0 {
+		return nil
+	}
+	if m.disc == TSO {
+		return []int{0}
+	}
+	var out []int
+	seen := make(map[memory.Addr]bool)
+	for i, e := range b {
+		if !seen[e.addr] {
+			seen[e.addr] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DrainAll commits every pending store of cpu, in a discipline-legal
+// order (issue order works for both TSO and PSO).
+func (m *Machine) DrainAll(cpu int) {
+	for _, e := range m.buffers[cpu] {
+		m.memRead(e.addr)
+		m.mem[e.addr] = e.val
+	}
+	m.buffers[cpu] = nil
+}
+
+// Execution returns the recorded trace with all buffers drained and
+// final memory values attached.
+func (m *Machine) Execution() *memory.Execution {
+	for cpu := range m.buffers {
+		m.DrainAll(cpu)
+	}
+	exec := &memory.Execution{Histories: append([]memory.History(nil), m.hist...)}
+	for a, v := range m.init {
+		exec.SetInitial(a, v)
+	}
+	for a, v := range m.mem {
+		exec.SetFinal(a, v)
+	}
+	return exec
+}
+
+// Run executes a program with randomized issue/commit interleaving: at
+// each step it either issues the next instruction of a random processor
+// or commits a pending store of a random processor. commitBias in [0,1]
+// is the probability of attempting a commit when both actions are
+// possible — low values keep stores buffered longer and surface more
+// relaxed behavior.
+func Run(m *Machine, p mesi.Program, rng *rand.Rand, commitBias float64) *memory.Execution {
+	pos := make([]int, len(p))
+	for {
+		remaining := false
+		for cpu := range p {
+			if pos[cpu] < len(p[cpu]) || len(m.buffers[cpu]) > 0 {
+				remaining = true
+			}
+		}
+		if !remaining {
+			break
+		}
+		cpu := rng.Intn(len(p))
+		if rng.Float64() < commitBias {
+			if m.CommitOne(cpu, rng) {
+				continue
+			}
+		}
+		if pos[cpu] >= len(p[cpu]) {
+			m.CommitOne(cpu, rng)
+			continue
+		}
+		in := p[cpu][pos[cpu]]
+		pos[cpu]++
+		switch in.Kind {
+		case mesi.InstrRead:
+			m.Read(cpu, in.Addr)
+		case mesi.InstrWrite:
+			m.Write(cpu, in.Addr, in.Value)
+		case mesi.InstrRMW:
+			m.RMW(cpu, in.Addr, in.Value)
+		}
+	}
+	return m.Execution()
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memverify/internal/memory"
+)
+
+// GenConfig parameterizes the random coherent trace generator.
+type GenConfig struct {
+	// Processors is the number of histories; OpsPerProc the number of
+	// operations in each.
+	Processors int
+	OpsPerProc int
+	// Addresses is the number of distinct locations.
+	Addresses int
+	// Values is the number of distinct data values drawn for writes.
+	Values int
+	// WriteFraction and RMWFraction set the op mix (the rest are reads).
+	WriteFraction float64
+	RMWFraction   float64
+	// UniqueWrites makes every written value globally unique (the
+	// read-map restriction of Figure 5.3).
+	UniqueWrites bool
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Processors == 0 {
+		c.Processors = 4
+	}
+	if c.OpsPerProc == 0 {
+		c.OpsPerProc = 16
+	}
+	if c.Addresses == 0 {
+		c.Addresses = 2
+	}
+	if c.Values == 0 {
+		c.Values = 4
+	}
+	if c.WriteFraction == 0 && c.RMWFraction == 0 {
+		c.WriteFraction = 0.4
+	}
+	return c
+}
+
+// GenerateCoherent produces an execution that is sequentially consistent
+// (hence coherent at every address) by construction: it simulates an
+// atomic shared memory, interleaving the processors uniformly, and logs
+// each operation with the value actually observed. It also returns, for
+// each address, the order in which the writing operations executed — the
+// write-order augmentation of §5.2.
+func GenerateCoherent(rng *rand.Rand, cfg GenConfig) (*memory.Execution, map[memory.Addr][]memory.Ref) {
+	exec, orders, _ := GenerateCoherentWithWitness(rng, cfg)
+	return exec, orders
+}
+
+// GenerateCoherentWithWitness is GenerateCoherent returning additionally
+// the generation order of all operations — a sequentially consistent
+// schedule witnessing the execution (useful for deriving per-address
+// coherent schedules that are merge-compatible by construction, which
+// independently chosen ones usually are not; see §6.3).
+func GenerateCoherentWithWitness(rng *rand.Rand, cfg GenConfig) (*memory.Execution, map[memory.Addr][]memory.Ref, memory.Schedule) {
+	cfg = cfg.withDefaults()
+	exec := &memory.Execution{Histories: make([]memory.History, cfg.Processors)}
+	mem := make(map[memory.Addr]memory.Value)
+	orders := make(map[memory.Addr][]memory.Ref)
+	nextUnique := memory.Value(1000)
+	for a := 0; a < cfg.Addresses; a++ {
+		v := memory.Value(rng.Intn(cfg.Values))
+		mem[memory.Addr(a)] = v
+		exec.SetInitial(memory.Addr(a), v)
+	}
+	pick := func() memory.Value {
+		if cfg.UniqueWrites {
+			nextUnique++
+			return nextUnique
+		}
+		return memory.Value(rng.Intn(cfg.Values))
+	}
+
+	var witness memory.Schedule
+	remaining := make([]int, cfg.Processors)
+	for p := range remaining {
+		remaining[p] = cfg.OpsPerProc
+	}
+	total := cfg.Processors * cfg.OpsPerProc
+	for done := 0; done < total; {
+		p := rng.Intn(cfg.Processors)
+		if remaining[p] == 0 {
+			continue
+		}
+		remaining[p]--
+		done++
+		a := memory.Addr(rng.Intn(cfg.Addresses))
+		ref := memory.Ref{Proc: p, Index: len(exec.Histories[p])}
+		witness = append(witness, ref)
+		r := rng.Float64()
+		switch {
+		case r < cfg.WriteFraction:
+			v := pick()
+			exec.Histories[p] = append(exec.Histories[p], memory.W(a, v))
+			mem[a] = v
+			orders[a] = append(orders[a], ref)
+		case r < cfg.WriteFraction+cfg.RMWFraction:
+			v := pick()
+			exec.Histories[p] = append(exec.Histories[p], memory.RW(a, mem[a], v))
+			mem[a] = v
+			orders[a] = append(orders[a], ref)
+		default:
+			exec.Histories[p] = append(exec.Histories[p], memory.R(a, mem[a]))
+		}
+	}
+	for a, v := range mem {
+		exec.SetFinal(a, v)
+	}
+	return exec, orders, witness
+}
+
+// ViolationKind names a trace-level mutation that (usually) breaks
+// coherence or consistency, modeling the observable symptom of a
+// hardware error.
+type ViolationKind int
+
+const (
+	// ViolationStaleRead rewrites a read to return the value that was in
+	// force before the most recent write to its address — a stale-data
+	// symptom.
+	ViolationStaleRead ViolationKind = iota
+	// ViolationPhantomValue rewrites a read to return a value that no
+	// write ever stores — a data-corruption symptom.
+	ViolationPhantomValue
+	// ViolationWrongFinal corrupts one address's recorded final value —
+	// a lost-update symptom.
+	ViolationWrongFinal
+	// ViolationDroppedWrite rewrites the read that follows a write in
+	// the same history to return the pre-write value.
+	ViolationDroppedWrite
+	numViolationKinds
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationStaleRead:
+		return "stale-read"
+	case ViolationPhantomValue:
+		return "phantom-value"
+	case ViolationWrongFinal:
+		return "wrong-final"
+	case ViolationDroppedWrite:
+		return "dropped-write"
+	default:
+		return "unknown-violation"
+	}
+}
+
+// ViolationKinds lists every mutation kind.
+func ViolationKinds() []ViolationKind {
+	out := make([]ViolationKind, numViolationKinds)
+	for i := range out {
+		out[i] = ViolationKind(i)
+	}
+	return out
+}
+
+// Inject applies one mutation of the given kind to a copy of exec,
+// returning the mutated execution. It returns an error when the trace
+// offers no opportunity for the kind (e.g. no reads). Mutations are
+// symptoms, not guaranteed violations: a stale read can occasionally
+// still be serializable, which is precisely what the detection-rate
+// experiment measures.
+func Inject(rng *rand.Rand, exec *memory.Execution, kind ViolationKind) (*memory.Execution, error) {
+	out := exec.Clone()
+	switch kind {
+	case ViolationStaleRead:
+		// Candidate reads: any read. Rewrite its value to another value
+		// seen at the same address earlier in value-history (approximate
+		// staleness with the address's initial value — always stale
+		// unless re-written).
+		var cands []memory.Ref
+		for p, h := range out.Histories {
+			for i, o := range h {
+				if o.Kind == memory.Read {
+					if init, ok := out.Initial[o.Addr]; ok && o.Data != init {
+						_ = init
+						cands = append(cands, memory.Ref{Proc: p, Index: i})
+					}
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("workload: no read observes a non-initial value")
+		}
+		r := cands[rng.Intn(len(cands))]
+		o := out.Histories[r.Proc][r.Index]
+		o.Data = out.Initial[o.Addr]
+		out.Histories[r.Proc][r.Index] = o
+	case ViolationPhantomValue:
+		var cands []memory.Ref
+		for p, h := range out.Histories {
+			for i, o := range h {
+				if o.Kind == memory.Read {
+					cands = append(cands, memory.Ref{Proc: p, Index: i})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("workload: no reads to corrupt")
+		}
+		r := cands[rng.Intn(len(cands))]
+		o := out.Histories[r.Proc][r.Index]
+		o.Data = memory.Value(1 << 40) // far outside any generated value
+		out.Histories[r.Proc][r.Index] = o
+	case ViolationWrongFinal:
+		if len(out.Final) == 0 {
+			return nil, fmt.Errorf("workload: no final values recorded")
+		}
+		addrs := out.Addresses()
+		a := addrs[rng.Intn(len(addrs))]
+		if _, ok := out.Final[a]; !ok {
+			return nil, fmt.Errorf("workload: chosen address has no final value")
+		}
+		out.Final[a] += 1 << 40
+	case ViolationDroppedWrite:
+		var cands []memory.Ref
+		for p, h := range out.Histories {
+			for i := 0; i+1 < len(h); i++ {
+				if h[i].Kind == memory.Write && h[i+1].Kind == memory.Read &&
+					h[i].Addr == h[i+1].Addr && h[i+1].Data == h[i].Data {
+					cands = append(cands, memory.Ref{Proc: p, Index: i + 1})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("workload: no read-after-own-write pairs")
+		}
+		r := cands[rng.Intn(len(cands))]
+		o := out.Histories[r.Proc][r.Index]
+		if init, ok := out.Initial[o.Addr]; ok && init != o.Data {
+			o.Data = init
+		} else {
+			o.Data = o.Data + 1<<40
+		}
+		out.Histories[r.Proc][r.Index] = o
+	default:
+		return nil, fmt.Errorf("workload: unknown violation kind %d", kind)
+	}
+	return out, nil
+}

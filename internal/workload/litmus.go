@@ -1,0 +1,191 @@
+// Package workload generates executions for the checkers: a library of
+// classic litmus tests with their expected verdicts under each model, a
+// coherent-by-construction random trace generator that also records the
+// write order (the §5.2 augmentation), and trace-level violation
+// injectors for the detection experiments.
+package workload
+
+import "memverify/internal/memory"
+
+// Litmus is a named litmus execution with the verdict each model should
+// give it. The verdicts are cross-checked against the verifiers in the
+// tests, which pins down the semantics of both.
+type Litmus struct {
+	Name string
+	Exec *memory.Execution
+	// SC/TSO/PSO report whether the outcome encoded in Exec is allowed
+	// by each model.
+	SC  bool
+	TSO bool
+	PSO bool
+	// Coherent reports whether the outcome is per-address coherent
+	// (every hardware model requires this).
+	Coherent bool
+}
+
+// LitmusTests returns the library of classic litmus outcomes.
+func LitmusTests() []Litmus {
+	const x, y = memory.Addr(0), memory.Addr(1)
+	two := func(h0, h1 memory.History) *memory.Execution {
+		return memory.NewExecution(h0, h1).SetInitial(x, 0).SetInitial(y, 0)
+	}
+	return []Litmus{
+		{
+			// SB: both loads see the initial value.
+			Name: "store-buffering-relaxed",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.R(y, 0)},
+				memory.History{memory.W(y, 1), memory.R(x, 0)},
+			),
+			SC: false, TSO: true, PSO: true, Coherent: true,
+		},
+		{
+			// SB with the interleaved (SC) outcome.
+			Name: "store-buffering-sc",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.R(y, 1)},
+				memory.History{memory.W(y, 1), memory.R(x, 1)},
+			),
+			SC: true, TSO: true, PSO: true, Coherent: true,
+		},
+		{
+			// SB with fences: the relaxed outcome becomes illegal
+			// everywhere.
+			Name: "store-buffering-fenced",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.Bar(), memory.R(y, 0)},
+				memory.History{memory.W(y, 1), memory.Bar(), memory.R(x, 0)},
+			),
+			SC: false, TSO: false, PSO: false, Coherent: true,
+		},
+		{
+			// MP: the reader sees the flag but stale data. TSO keeps
+			// stores ordered, PSO does not.
+			Name: "message-passing-stale",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.W(y, 1)},
+				memory.History{memory.R(y, 1), memory.R(x, 0)},
+			),
+			SC: false, TSO: false, PSO: true, Coherent: true,
+		},
+		{
+			Name: "message-passing-ok",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.W(y, 1)},
+				memory.History{memory.R(y, 1), memory.R(x, 1)},
+			),
+			SC: true, TSO: true, PSO: true, Coherent: true,
+		},
+		{
+			// Store forwarding: each CPU reads its own store early.
+			Name: "store-forwarding",
+			Exec: two(
+				memory.History{memory.W(x, 1), memory.R(x, 1), memory.R(y, 0)},
+				memory.History{memory.W(y, 1), memory.R(y, 1), memory.R(x, 0)},
+			),
+			SC: false, TSO: true, PSO: true, Coherent: true,
+		},
+		{
+			// CoRR: one processor observes the two writes to one
+			// location in opposite orders. Violates coherence itself.
+			Name: "coherence-read-read",
+			Exec: memory.NewExecution(
+				memory.History{memory.W(x, 1)},
+				memory.History{memory.W(x, 2)},
+				memory.History{memory.R(x, 1), memory.R(x, 2), memory.R(x, 1)},
+			).SetInitial(x, 0),
+			SC: false, TSO: false, PSO: false, Coherent: false,
+		},
+		{
+			// A coherent single-address observation order.
+			Name: "coherence-read-read-ok",
+			Exec: memory.NewExecution(
+				memory.History{memory.W(x, 1)},
+				memory.History{memory.W(x, 2)},
+				memory.History{memory.R(x, 1), memory.R(x, 2)},
+			).SetInitial(x, 0),
+			SC: true, TSO: true, PSO: true, Coherent: true,
+		},
+	}
+}
+
+// ExtendedLitmusTests returns additional classic shapes beyond the
+// two-processor core set: load buffering, 2+2W, and write-to-read
+// causality.
+func ExtendedLitmusTests() []Litmus {
+	const x, y = memory.Addr(0), memory.Addr(1)
+	return []Litmus{
+		{
+			// LB: each load observes the other processor's
+			// program-order-later store. Requires load-store reordering,
+			// which neither TSO nor PSO performs.
+			Name: "load-buffering",
+			Exec: memory.NewExecution(
+				memory.History{memory.R(y, 1), memory.W(x, 1)},
+				memory.History{memory.R(x, 1), memory.W(y, 1)},
+			).SetInitial(x, 0).SetInitial(y, 0),
+			SC: false, TSO: false, PSO: false, Coherent: true,
+		},
+		{
+			// 2+2W: final values demand the two processors' store pairs
+			// interleave against both program orders. PSO's per-address
+			// buffers allow it; TSO's single FIFO does not.
+			Name: "2+2w",
+			Exec: memory.NewExecution(
+				memory.History{memory.W(x, 1), memory.W(y, 2)},
+				memory.History{memory.W(y, 1), memory.W(x, 2)},
+			).SetInitial(x, 0).SetInitial(y, 0).SetFinal(x, 1).SetFinal(y, 1),
+			SC: false, TSO: false, PSO: true, Coherent: true,
+		},
+		{
+			// WRC: causality through another processor's read. Store
+			// atomicity holds in TSO and PSO, so the stale final read is
+			// forbidden everywhere.
+			Name: "write-to-read-causality",
+			Exec: memory.NewExecution(
+				memory.History{memory.W(x, 1)},
+				memory.History{memory.R(x, 1), memory.W(y, 1)},
+				memory.History{memory.R(y, 1), memory.R(x, 0)},
+			).SetInitial(x, 0).SetInitial(y, 0),
+			SC: false, TSO: false, PSO: false, Coherent: true,
+		},
+		{
+			// WRC with the causal outcome: allowed everywhere.
+			Name: "write-to-read-causality-ok",
+			Exec: memory.NewExecution(
+				memory.History{memory.W(x, 1)},
+				memory.History{memory.R(x, 1), memory.W(y, 1)},
+				memory.History{memory.R(y, 1), memory.R(x, 1)},
+			).SetInitial(x, 0).SetInitial(y, 0),
+			SC: true, TSO: true, PSO: true, Coherent: true,
+		},
+	}
+}
+
+// IRIW returns the independent-reads-of-independent-writes litmus (four
+// processors), with the outcome where the readers disagree on the write
+// order. Not SC; coherent; allowed by neither TSO nor PSO (store
+// atomicity holds in both).
+func IRIW() Litmus {
+	const x, y = memory.Addr(0), memory.Addr(1)
+	return Litmus{
+		Name: "iriw",
+		Exec: memory.NewExecution(
+			memory.History{memory.W(x, 1)},
+			memory.History{memory.W(y, 1)},
+			memory.History{memory.R(x, 1), memory.R(y, 0)},
+			memory.History{memory.R(y, 1), memory.R(x, 0)},
+		).SetInitial(x, 0).SetInitial(y, 0),
+		SC: false, TSO: false, PSO: false, Coherent: true,
+	}
+}
+
+// Dekker returns the classic mutual-exclusion entry pattern with the
+// store-buffering outcome (both processors enter), an alias of
+// store-buffering-relaxed with conventional naming.
+func Dekker() Litmus {
+	tests := LitmusTests()
+	l := tests[0]
+	l.Name = "dekker"
+	return l
+}
