@@ -11,6 +11,7 @@
 package memverify_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"memverify/internal/monitor"
 	"memverify/internal/reduction"
 	"memverify/internal/sat"
+	"memverify/internal/solver"
 	"memverify/internal/workload"
 )
 
@@ -56,7 +58,7 @@ func BenchmarkFig41SATToVMC(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := coherence.Solve(inst.Exec, inst.Addr, nil); err != nil {
+				if _, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -72,7 +74,7 @@ func BenchmarkFig42Example(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+		res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 		if err != nil || !res.Coherent {
 			b.Fatal("Figure 4.2 instance must be coherent")
 		}
@@ -93,7 +95,7 @@ func BenchmarkFig51Restricted(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := coherence.Solve(inst.Exec, inst.Addr, nil); err != nil {
+				if _, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -113,7 +115,7 @@ func BenchmarkFig52RMW(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := coherence.Solve(inst.Exec, inst.Addr, nil); err != nil {
+				if _, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -135,7 +137,7 @@ func BenchmarkFig53SingleOp(b *testing.B) {
 			exec := singleOpTrace(4, n, false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.SolveSingleOp(exec, 0)
+				res, err := coherence.SolveSingleOp(context.Background(), exec, 0)
 				if err != nil || !res.Coherent {
 					b.Fatal("workload must be coherent")
 				}
@@ -150,7 +152,7 @@ func BenchmarkFig53SingleOpRMW(b *testing.B) {
 			exec := singleOpTrace(5, n, true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.SolveSingleOpRMW(exec, 0)
+				res, err := coherence.SolveSingleOpRMW(context.Background(), exec, 0)
 				if err != nil || !res.Coherent {
 					b.Fatal("workload must be coherent")
 				}
@@ -190,7 +192,7 @@ func BenchmarkFig53ReadMap(b *testing.B) {
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.SolveReadMap(exec, 0)
+				res, err := coherence.SolveReadMap(context.Background(), exec, 0)
 				if err != nil || !res.Coherent {
 					b.Fatal("workload must be coherent")
 				}
@@ -207,12 +209,12 @@ func BenchmarkFig53ConstantProcesses(b *testing.B) {
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.Solve(exec, 0, &coherence.Options{MaxStates: 5_000_000})
+				_, err := coherence.Solve(context.Background(), exec, 0, &coherence.Options{MaxStates: 5_000_000})
 				if err != nil {
+					if _, ok := solver.AsBudgetError(err); ok {
+						b.Skip("state budget exhausted on this trace")
+					}
 					b.Fatal(err)
-				}
-				if !res.Decided {
-					b.Skip("state budget exhausted on this trace")
 				}
 			}
 		})
@@ -227,7 +229,7 @@ func BenchmarkFig53WriteOrder(b *testing.B) {
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.SolveWithWriteOrder(exec, 0, orders[0], nil)
+				res, err := coherence.SolveWithWriteOrder(context.Background(), exec, 0, orders[0], nil)
 				if err != nil || !res.Coherent {
 					b.Fatal("workload must be coherent")
 				}
@@ -244,7 +246,7 @@ func BenchmarkFig53WriteOrderRMW(b *testing.B) {
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := coherence.CheckRMWWriteOrder(exec, 0, orders[0])
+				res, err := coherence.CheckRMWWriteOrder(context.Background(), exec, 0, orders[0])
 				if err != nil || !res.Coherent {
 					b.Fatal("workload must be coherent")
 				}
@@ -263,7 +265,7 @@ func BenchmarkFig61LRC(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := consistency.VerifyLRC(inst.Exec, nil); err != nil {
+		if _, err := consistency.VerifyLRC(context.Background(), inst.Exec, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,7 +283,7 @@ func BenchmarkFig62VSCC(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := consistency.SolveVSC(inst.Exec, nil); err != nil {
+				if _, err := consistency.SolveVSC(context.Background(), inst.Exec, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -297,7 +299,7 @@ func BenchmarkFig63CoherencePromise(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ok, _, err := coherence.Coherent(inst.Exec, nil)
+		ok, _, err := coherence.Coherent(context.Background(), inst.Exec, nil)
 		if err != nil || !ok {
 			b.Fatal("VSCC instances are coherent by construction")
 		}
@@ -342,7 +344,7 @@ func BenchmarkFaultDetection(b *testing.B) {
 		})
 		prog := mesi.RandomProgram(rng, 3, 10, 2, 0.45, 0.1)
 		exec := mesi.Run(sys, prog, rng)
-		if _, _, err := coherence.Coherent(exec, nil); err != nil {
+		if _, _, err := coherence.Coherent(context.Background(), exec, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,7 +368,7 @@ func BenchmarkAblationMemoization(b *testing.B) {
 	} {
 		b.Run(variant.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := coherence.Solve(inst.Exec, inst.Addr, variant.opts); err != nil {
+				if _, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, variant.opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -406,7 +408,7 @@ func BenchmarkCheckCoherent(b *testing.B) {
 	exec, orders := coherentTrace(17, 10000, workload.GenConfig{
 		Processors: 4, Addresses: 1, Values: 4, WriteFraction: 0.4,
 	})
-	res, err := coherence.SolveWithWriteOrder(exec, 0, orders[0], nil)
+	res, err := coherence.SolveWithWriteOrder(context.Background(), exec, 0, orders[0], nil)
 	if err != nil || !res.Coherent {
 		b.Fatal("workload must be coherent")
 	}
@@ -440,7 +442,7 @@ func BenchmarkCountSchedules(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n, err := coherence.Count(exec, 0)
+		n, err := coherence.Count(context.Background(), exec, 0)
 		if err != nil || n.Sign() <= 0 {
 			b.Fatal("coherent trace must have schedules")
 		}
@@ -454,7 +456,7 @@ func BenchmarkDiagnose(b *testing.B) {
 	).SetInitial(0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := coherence.Diagnose(exec, 0, nil); err != nil {
+		if _, err := coherence.Diagnose(context.Background(), exec, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -467,14 +469,14 @@ func BenchmarkVerifyParallel(b *testing.B) {
 	})
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := coherence.VerifyExecution(exec, nil); err != nil {
+			if _, err := coherence.VerifyExecution(context.Background(), exec, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := coherence.VerifyExecutionParallel(exec, nil, 0); err != nil {
+			if _, err := coherence.VerifyExecutionParallel(context.Background(), exec, nil, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -488,7 +490,7 @@ func BenchmarkVSCWithWriteOrders(b *testing.B) {
 	})
 	b.Run("unconstrained", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := consistency.SolveVSC(exec, nil)
+			res, err := consistency.SolveVSC(context.Background(), exec, nil)
 			if err != nil || !res.Consistent {
 				b.Fatal("generated trace must be SC")
 			}
@@ -496,7 +498,7 @@ func BenchmarkVSCWithWriteOrders(b *testing.B) {
 	})
 	b.Run("with-orders", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := consistency.SolveVSCWithWriteOrders(exec, orders, nil)
+			res, err := consistency.SolveVSCWithWriteOrders(context.Background(), exec, orders, nil)
 			if err != nil || !res.Consistent {
 				b.Fatal("generated trace must be SC under its own orders")
 			}

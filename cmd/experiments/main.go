@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E4,...] [-seed N] [-quick] [-list]
+//	experiments [-run E1,E4,...] [-seed N] [-quick] [-timeout D] [-list]
 //
-// With no -run flag every experiment executes, in paper order.
+// With no -run flag every experiment executes, in paper order. -timeout
+// bounds the whole run: when it expires the running experiment's solver
+// aborts at its next budget poll and the run fails with the deadline
+// error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	which := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := fs.Int64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,7 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	if err := exp.Run(stdout, exp.Config{Seed: *seed, Quick: *quick}, ids...); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := exp.Run(ctx, stdout, exp.Config{Seed: *seed, Quick: *quick}, ids...); err != nil {
 		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 1
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestReduceVMCPipeline(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := coherence.Solve(tr.Exec, 0, nil)
+			res, err := coherence.Solve(context.Background(), tr.Exec, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +49,7 @@ func TestReduceVMCPipeline(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err = coherence.Solve(tr.Exec, 0, nil)
+			res, err = coherence.Solve(context.Background(), tr.Exec, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +70,7 @@ func TestReduceWideClauseConversion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(tr.Exec, 0, nil)
+	res, err := coherence.Solve(context.Background(), tr.Exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestReduceVSCC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := consistency.SolveVSCC(tr.Exec, nil)
+	res, err := consistency.SolveVSCC(context.Background(), tr.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

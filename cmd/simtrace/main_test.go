@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestMESITraceIsCoherent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, err := coherence.Coherent(tr.Exec, nil)
+	ok, bad, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestTSOTracePassesTSOChecker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := consistency.VerifyTSO(tr.Exec, nil)
+	res, err := consistency.VerifyTSO(context.Background(), tr.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFaultInjectionEventuallyDetectable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, _, err := coherence.Coherent(tr.Exec, nil)
+		ok, _, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestRecordOrderEmitsOrders(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, a := range tr.Exec.Addresses() {
-		res, err := coherence.SolveWithWriteOrder(tr.Exec, a, tr.WriteOrders[a], nil)
+		res, err := coherence.SolveWithWriteOrder(context.Background(), tr.Exec, a, tr.WriteOrders[a], nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestDirectoryMachineTraceIsCoherent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, err := coherence.Coherent(tr.Exec, nil)
+	ok, bad, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestDirectoryFaultInjection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, _, err := coherence.Coherent(tr.Exec, nil)
+		ok, _, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

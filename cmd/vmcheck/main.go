@@ -2,16 +2,25 @@
 //
 // Usage:
 //
-//	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-max-states N] [-cert] [trace-file]
+//	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-portfolio]
+//	        [-max-states N] [-timeout D] [-stats] [-cert] [-diagnose]
+//	        [-online] [trace-file]
 //
 // The trace is read from the file argument or standard input, in the
 // format of internal/trace. The exit status is 0 when the trace adheres
-// to the model, 1 when it does not, and 2 on usage or input errors.
+// to the model, 1 when it does not (or the solver's budget ran out
+// before a verdict), and 2 on usage or input errors.
+//
 // With -use-order, per-address "order" lines in the trace are used to
 // run the polynomial write-order algorithms of §5.2 for coherence.
+// With -portfolio, every applicable coherence algorithm races on a
+// shared worker pool and the first verdict wins. -max-states and
+// -timeout bound the search; a blown budget reports UNDECIDED. -stats
+// prints the solver's per-solve search statistics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +31,7 @@ import (
 	"memverify/internal/consistency"
 	"memverify/internal/memory"
 	"memverify/internal/monitor"
+	"memverify/internal/solver"
 	"memverify/internal/trace"
 )
 
@@ -34,7 +44,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	model := fs.String("model", "coherence", "model to verify: coherence, sc, tso, pso or lrc")
 	useOrder := fs.Bool("use-order", false, "use the trace's per-address write orders (polynomial algorithms of §5.2)")
+	portfolio := fs.Bool("portfolio", false, "race all applicable coherence algorithms on a worker pool; first verdict wins")
 	maxStates := fs.Int("max-states", 0, "abort search after N states (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole check, e.g. 500ms (0 = none)")
+	showStats := fs.Bool("stats", false, "print per-solve search statistics")
 	cert := fs.Bool("cert", false, "print the certificate schedule or witness on success")
 	diagnose := fs.Bool("diagnose", false, "on a coherence violation, shrink it to a minimal core (implies -model coherence)")
 	online := fs.Bool("online", false, "replay the trace in file order through the incremental monitor (requires the file order to be the completion order, as simtrace emits)")
@@ -62,8 +75,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := &consistency.Options{MaxStates: *maxStates}
-	cohOpts := &coherence.Options{MaxStates: *maxStates}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := solver.New(solver.WithMaxStates(*maxStates))
 
 	if *online {
 		return checkOnline(tr, stdout)
@@ -71,7 +89,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	switch *model {
 	case "coherence":
-		return checkCoherence(tr, *useOrder, cohOpts, *cert, *diagnose, stdout, stderr)
+		c := &coherenceCheck{
+			useOrder:  *useOrder,
+			portfolio: *portfolio,
+			stats:     *showStats,
+			cert:      *cert,
+			diagnose:  *diagnose,
+			opts:      opts,
+		}
+		return c.run(ctx, tr, stdout, stderr)
 	case "sc", "tso", "pso", "lrc":
 		m := map[string]consistency.Model{
 			"sc": consistency.SC, "tso": consistency.TSO,
@@ -82,30 +108,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *useOrder && m == consistency.SC {
 			// §6.3: the write orders constrain (and usually prune) the
 			// SC search — but the question stays NP-Complete.
-			res, err = consistency.SolveVSCWithWriteOrders(tr.Exec, tr.WriteOrders, opts)
+			res, err = consistency.SolveVSCWithWriteOrders(ctx, tr.Exec, tr.WriteOrders, opts)
 		} else {
-			res, err = consistency.Verify(m, tr.Exec, opts)
+			res, err = consistency.Verify(ctx, m, tr.Exec, opts)
 		}
 		if err != nil {
+			if be, ok := solver.AsBudgetError(err); ok {
+				reportUndecided(stdout, m.String(), be, *showStats)
+				return 1
+			}
 			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
 			return 2
 		}
-		if !res.Decided {
-			fmt.Fprintf(stdout, "UNDECIDED: state budget exhausted after %d states\n", res.Stats.States)
-			return 1
-		}
-		if !res.Consistent {
-			fmt.Fprintf(stdout, "VIOLATION: trace does not adhere to %s\n", m)
-			return 1
-		}
-		fmt.Fprintf(stdout, "OK: trace adheres to %s (%d states)\n", m, res.Stats.States)
-		if *cert {
-			if len(res.Schedule) > 0 {
-				fmt.Fprintln(stdout, res.Schedule.Format(tr.Exec))
-			}
+		report(stdout, m.String(), res, tr.Exec, *showStats, *cert)
+		if *cert && res.Holds() {
 			for _, e := range res.Events {
 				fmt.Fprintln(stdout, e)
 			}
+		}
+		if !res.Holds() {
+			return 1
 		}
 		return 0
 	default:
@@ -114,53 +136,78 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 }
 
-func checkCoherence(tr *trace.Trace, useOrder bool, opts *coherence.Options, cert, diagnose bool, stdout, stderr io.Writer) int {
+// report renders the unified verdict line shared by every model:
+// subject, OK/VIOLATION, the algorithm that decided, and optionally the
+// solver statistics and certificate schedule.
+func report(w io.Writer, subject string, v solver.Verdict, exec *memory.Execution, stats, cert bool) {
+	verdict := "VIOLATION"
+	if v.Holds() {
+		verdict = "OK"
+	}
+	fmt.Fprintf(w, "%s: %s (%s)\n", subject, verdict, v.AlgorithmName())
+	if stats {
+		fmt.Fprintf(w, "  stats: %s\n", v.SolverStats())
+	}
+	if cert && v.Holds() {
+		if s := v.Certificate(); len(s) > 0 {
+			fmt.Fprintln(w, "  ", s.Format(exec))
+		}
+	}
+}
+
+// reportUndecided renders a blown solver budget in the same shape.
+func reportUndecided(w io.Writer, subject string, be *solver.ErrBudgetExceeded, stats bool) {
+	fmt.Fprintf(w, "%s: UNDECIDED (%s after %d states)\n", subject, be.Reason, be.Stats.States)
+	if stats {
+		fmt.Fprintf(w, "  stats: %s\n", be.Stats)
+	}
+}
+
+// coherenceCheck bundles the per-address coherence verification flags.
+type coherenceCheck struct {
+	useOrder  bool
+	portfolio bool
+	stats     bool
+	cert      bool
+	diagnose  bool
+	opts      *coherence.Options
+}
+
+func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stderr io.Writer) int {
 	addrs := tr.Exec.Addresses()
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	solve := coherence.SolveAuto
+	if c.portfolio {
+		solve = coherence.SolvePortfolio
+	}
 	bad := 0
 	for _, a := range addrs {
 		var res *coherence.Result
 		var err error
-		if useOrder {
+		if c.useOrder {
 			order, ok := tr.WriteOrders[a]
 			if !ok && countWrites(tr.Exec, a) > 0 {
 				fmt.Fprintf(stderr, "vmcheck: no write order recorded for %s\n", tr.Name(a))
 				return 2
 			}
-			res, err = coherence.SolveWithWriteOrder(tr.Exec, a, order, opts)
+			res, err = coherence.SolveWithWriteOrder(ctx, tr.Exec, a, order, c.opts)
 		} else {
-			res, err = coherence.SolveAuto(tr.Exec, a, opts)
+			res, err = solve(ctx, tr.Exec, a, c.opts)
 		}
 		if err != nil {
+			if be, ok := solver.AsBudgetError(err); ok {
+				reportUndecided(stdout, tr.Name(a), be, c.stats)
+				bad++
+				continue
+			}
 			fmt.Fprintf(stderr, "vmcheck: %s: %v\n", tr.Name(a), err)
 			return 2
 		}
-		switch {
-		case !res.Decided:
-			fmt.Fprintf(stdout, "%s: UNDECIDED (state budget exhausted)\n", tr.Name(a))
+		report(stdout, tr.Name(a), res, tr.Exec, c.stats, c.cert)
+		if !res.Coherent {
 			bad++
-		case !res.Coherent:
-			fmt.Fprintf(stdout, "%s: VIOLATION (no coherent schedule, %s)\n", tr.Name(a), res.Algorithm)
-			bad++
-			if diagnose && !useOrder {
-				d, err := coherence.Diagnose(tr.Exec, a, opts)
-				if err != nil {
-					fmt.Fprintf(stderr, "vmcheck: diagnosis of %s failed: %v\n", tr.Name(a), err)
-					break
-				}
-				fmt.Fprintf(stdout, "  minimal core (%d ops", len(d.Ops))
-				if d.FinalValueInvolved {
-					fmt.Fprint(stdout, " + final value")
-				}
-				fmt.Fprintln(stdout, "):")
-				for _, r := range d.Ops {
-					fmt.Fprintf(stdout, "    %s: %s\n", r, tr.Exec.Op(r))
-				}
-			}
-		default:
-			fmt.Fprintf(stdout, "%s: coherent (%s)\n", tr.Name(a), res.Algorithm)
-			if cert {
-				fmt.Fprintln(stdout, "  ", res.Schedule.Format(tr.Exec))
+			if c.diagnose && !c.useOrder {
+				c.printDiagnosis(ctx, tr, a, stdout, stderr)
 			}
 		}
 	}
@@ -170,6 +217,22 @@ func checkCoherence(tr *trace.Trace, useOrder bool, opts *coherence.Options, cer
 	}
 	fmt.Fprintf(stdout, "OK: execution coherent at all %d addresses\n", len(addrs))
 	return 0
+}
+
+func (c *coherenceCheck) printDiagnosis(ctx context.Context, tr *trace.Trace, a memory.Addr, stdout, stderr io.Writer) {
+	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "vmcheck: diagnosis of %s failed: %v\n", tr.Name(a), err)
+		return
+	}
+	fmt.Fprintf(stdout, "  minimal core (%d ops", len(d.Ops))
+	if d.FinalValueInvolved {
+		fmt.Fprint(stdout, " + final value")
+	}
+	fmt.Fprintln(stdout, "):")
+	for _, r := range d.Ops {
+		fmt.Fprintf(stdout, "    %s: %s\n", r, tr.Exec.Op(r))
+	}
 }
 
 // checkOnline replays the trace in file (completion) order through the

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,7 +23,7 @@ func main() {
 	healthy := mesi.New(mesi.Config{Processors: 4})
 	prog := mesi.RandomProgram(rng, 4, 12, 3, 0.4, 0.1)
 	exec := mesi.Run(healthy, prog, rng)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 			if sys.Stats().FaultsFired == 0 {
 				continue
 			}
-			ok, addr, err := coherence.Coherent(ex, nil)
+			ok, addr, err := coherence.Coherent(context.Background(), ex, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 		memory.History{memory.R(x, 1), memory.R(x, 2)},
 	).SetInitial(x, 0)
 
-	res, err := coherence.SolveAuto(good, x, nil)
+	res, err := coherence.SolveAuto(context.Background(), good, x, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 		memory.History{memory.R(x, 2), memory.R(x, 1)},
 	).SetInitial(x, 0)
 
-	res, err = coherence.SolveAuto(bad, x, nil)
+	res, err = coherence.SolveAuto(context.Background(), bad, x, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 		memory.History{memory.W(0, 1), memory.W(1, 5)},
 		memory.History{memory.R(0, 1), memory.R(1, 99)}, // address 1 is broken
 	).SetInitial(0, 0).SetInitial(1, 0)
-	ok, addr, err := coherence.Coherent(multi, nil)
+	ok, addr, err := coherence.Coherent(context.Background(), multi, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

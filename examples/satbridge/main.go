@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		len(inst.Exec.Histories), inst.Exec.NumOps())
 
 	// Decide SAT by deciding coherence.
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := coherence.Solve(inst2.Exec, inst2.Addr, nil)
+	res2, err := coherence.Solve(context.Background(), inst2.Exec, inst2.Addr, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

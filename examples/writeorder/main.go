@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
 	"memverify/internal/coherence"
+	"memverify/internal/solver"
 	"memverify/internal/workload"
 )
 
@@ -34,18 +36,19 @@ func main() {
 		})
 
 		start := time.Now()
-		res, err := coherence.Solve(exec, 0, &coherence.Options{MaxStates: budget})
-		if err != nil {
-			log.Fatal(err)
-		}
+		_, err := coherence.Solve(context.Background(), exec, 0, &coherence.Options{MaxStates: budget})
 		general := time.Since(start)
 		generalNote := fmt.Sprintf("%v", general)
-		if !res.Decided {
-			generalNote = fmt.Sprintf("gave up after %d states (%v)", res.Stats.States, general)
+		if err != nil {
+			be, ok := solver.AsBudgetError(err)
+			if !ok {
+				log.Fatal(err)
+			}
+			generalNote = fmt.Sprintf("gave up after %d states (%v)", be.Stats.States, general)
 		}
 
 		start = time.Now()
-		wres, err := coherence.SolveWithWriteOrder(exec, 0, orders[0], nil)
+		wres, err := coherence.SolveWithWriteOrder(context.Background(), exec, 0, orders[0], nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := coherence.SolveWithWriteOrder(mut, 0, orders[0], nil)
+	res, err := coherence.SolveWithWriteOrder(context.Background(), mut, 0, orders[0], nil)
 	if err != nil {
 		log.Fatal(err)
 	}

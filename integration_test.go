@@ -6,6 +6,7 @@ package memverify_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestPipelineSimulatorToVerifier(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, bad, err := coherence.Coherent(tr.Exec, nil)
+		ok, bad, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func TestPipelineFormulaRoundTrip(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+				res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -115,7 +116,7 @@ func TestPipelineRelaxedMachineToCheckers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := consistency.VerifyTSO(tr.Exec, nil)
+		res, err := consistency.VerifyTSO(context.Background(), tr.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestPipelineViolationStability(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		before, _, err := coherence.Coherent(mut, nil)
+		before, _, err := coherence.Coherent(context.Background(), mut, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestPipelineViolationStability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		after, _, err := coherence.Coherent(tr.Exec, nil)
+		after, _, err := coherence.Coherent(context.Background(), tr.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestPipelineVSCC(t *testing.T) {
 	}
 	// Addresses may be renumbered by the parser; the verdicts must hold
 	// regardless.
-	res, err := consistency.SolveVSCC(tr.Exec, nil)
+	res, err := consistency.SolveVSCC(context.Background(), tr.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,73 +14,46 @@
 //     process, and read-modify-write chains;
 //   - per-execution verification (VerifyExecution), which checks each
 //     address independently, per the paper's definition of a coherent
-//     multiprocessor execution.
+//     multiprocessor execution;
+//   - a portfolio racer (SolvePortfolio) that runs every applicable
+//     algorithm concurrently on a shared bounded pool and keeps the
+//     first finisher.
+//
+// Every entry point takes a context.Context and honors the unified
+// resource budget of internal/solver: cancellation, the per-solve
+// wall-clock Options.Timeout, and the Options.MaxStates bound all abort
+// the solve with a *solver.ErrBudgetExceeded carrying the partial Stats.
 //
 // All solvers return a certificate schedule on success; certificates are
 // validated by memory.CheckCoherent in the package tests.
 package coherence
 
 import (
-	"fmt"
+	"context"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
-// Options control the search-based solvers. The zero value (or nil) asks
+// Options control the search-based solvers; the type is shared with
+// internal/consistency via internal/solver. The zero value (or nil) asks
 // for a complete, memoized, eager-read search with no resource bound.
-type Options struct {
-	// MaxStates bounds the number of search states explored. 0 means
-	// unlimited. When the bound is hit the result has Decided == false.
-	MaxStates int
-	// DisableMemoization turns off failed-state caching (ablation knob:
-	// without it the search is the naive exponential interleaving
-	// enumeration, not the paper's O(n^k) constant-process algorithm).
-	DisableMemoization bool
-	// DisableEagerReads turns off the rule that schedules an enabled read
-	// immediately when its value matches the current one (ablation knob;
-	// the rule is sound because reads do not change the memory state, so
-	// any coherent schedule can be rearranged to schedule such a read at
-	// the point it first becomes enabled).
-	DisableEagerReads bool
-	// DisableWriteGuidance turns off the branching heuristic that tries
-	// writes whose value some blocked read is waiting for before other
-	// writes (ablation knob; ordering the candidates differently cannot
-	// affect completeness, only how fast a certificate or refutation is
-	// found).
-	DisableWriteGuidance bool
-}
+// Construct with a literal or with solver.New(solver.WithMaxStates(n),
+// solver.WithTimeout(d), ...).
+type Options = solver.Options
 
-func (o *Options) maxStates() int {
-	if o == nil {
-		return 0
-	}
-	return o.MaxStates
-}
+// Stats describes the work a solver performed (shared with
+// internal/consistency via internal/solver).
+type Stats = solver.Stats
 
-func (o *Options) memoize() bool { return o == nil || !o.DisableMemoization }
-
-func (o *Options) eagerReads() bool { return o == nil || !o.DisableEagerReads }
-
-func (o *Options) writeGuidance() bool { return o == nil || !o.DisableWriteGuidance }
-
-// Stats describes the work a solver performed.
-type Stats struct {
-	// States is the number of distinct branching states visited by the
-	// search-based solvers (0 for the direct polynomial algorithms).
-	States int
-	// MemoHits counts states pruned by the failed-state cache.
-	MemoHits int
-	// EagerReads counts reads scheduled by the eager rule.
-	EagerReads int
-}
-
-// Result is the outcome of a VMC query.
+// Result is the outcome of a VMC query. It implements solver.Verdict.
 type Result struct {
-	// Coherent reports whether a coherent schedule exists. Only
-	// meaningful when Decided is true.
+	// Coherent reports whether a coherent schedule exists.
 	Coherent bool
-	// Decided is false when a resource bound (Options.MaxStates) stopped
-	// the search before an answer was established.
+	// Decided is retained for legacy callers: solvers now report budget
+	// exhaustion as a *solver.ErrBudgetExceeded instead of returning an
+	// undecided result, so any Result returned without error has
+	// Decided == true.
 	Decided bool
 	// Schedule is a certificate coherent schedule when Coherent is true,
 	// with references into the execution the solver was given.
@@ -90,6 +63,21 @@ type Result struct {
 	// Stats describes the work performed.
 	Stats Stats
 }
+
+// Holds implements solver.Verdict.
+func (r *Result) Holds() bool { return r.Coherent }
+
+// IsDecided implements solver.Verdict.
+func (r *Result) IsDecided() bool { return r.Decided }
+
+// AlgorithmName implements solver.Verdict.
+func (r *Result) AlgorithmName() string { return r.Algorithm }
+
+// SolverStats implements solver.Verdict.
+func (r *Result) SolverStats() solver.Stats { return r.Stats }
+
+// Certificate implements solver.Verdict.
+func (r *Result) Certificate() memory.Schedule { return r.Schedule }
 
 // instance is a single-address VMC instance extracted from an execution:
 // the per-process histories restricted to one address, the optional
@@ -185,34 +173,58 @@ func (in *instance) maxWritesPerValue() int {
 	return max
 }
 
+// stampOps records the work of a direct polynomial algorithm: each
+// operation processed counts as one state, so -stats output stays
+// meaningful on every algorithm path.
+func stampOps(r *Result, inst *instance) {
+	if r != nil && r.Stats.States == 0 {
+		r.Stats.States = inst.nops
+	}
+}
+
+// withAddr annotates a budget error with the address being solved.
+func withAddr(e *solver.ErrBudgetExceeded, addr memory.Addr) *solver.ErrBudgetExceeded {
+	if e != nil && !e.HasAddr {
+		e.Addr, e.HasAddr = addr, true
+	}
+	return e
+}
+
 // Solve decides VMC for the operations of exec at address addr using the
-// general memoized search. It is complete: for nil options it always
+// general memoized search. It is complete: absent a budget it always
 // returns a decided result (at worst in exponential time — VMC is
 // NP-Complete). With k histories and n operations the memoized search
 // visits O(n^k · |D|) states, matching the constant-process polynomial
-// bound of Figure 5.3.
-func Solve(exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+// bound of Figure 5.3. A tripped budget (states, deadline, or
+// cancellation) yields a nil Result and a *solver.ErrBudgetExceeded.
+func Solve(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	inst := project(exec, addr)
-	return searchInstance(inst, opts), nil
+	r, e := searchInstance(ctx, inst, opts)
+	if e != nil {
+		return nil, withAddr(e, addr)
+	}
+	return r, nil
 }
 
 // VerifyExecution checks whether exec is a coherent execution: per the
 // paper, a coherent schedule must exist for each address independently.
 // It dispatches each address to the fastest applicable algorithm (see
 // SolveAuto) and returns the per-address results. The execution is
-// coherent iff every result is Decided && Coherent.
-func VerifyExecution(exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
+// coherent iff every result is Coherent. When a per-address solve trips
+// its budget, the results completed so far are returned alongside the
+// *solver.ErrBudgetExceeded (whose Addr names the aborted address).
+func VerifyExecution(ctx context.Context, exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	out := make(map[memory.Addr]*Result)
 	for _, a := range exec.Addresses() {
-		r, err := SolveAuto(exec, a, opts)
+		r, err := SolveAuto(ctx, exec, a, opts)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out[a] = r
 	}
@@ -221,18 +233,19 @@ func VerifyExecution(exec *memory.Execution, opts *Options) (map[memory.Addr]*Re
 
 // Coherent is a convenience wrapper over VerifyExecution: it reports
 // whether the execution as a whole is coherent, returning the offending
-// address when it is not (or when the search was undecided).
-func Coherent(exec *memory.Execution, opts *Options) (bool, memory.Addr, error) {
-	results, err := VerifyExecution(exec, opts)
+// address when it is not. A budget abort surfaces as the
+// *solver.ErrBudgetExceeded from the per-address solve, with the
+// affected address in both the return value and the error.
+func Coherent(ctx context.Context, exec *memory.Execution, opts *Options) (bool, memory.Addr, error) {
+	results, err := VerifyExecution(ctx, exec, opts)
 	if err != nil {
+		if be, ok := solver.AsBudgetError(err); ok && be.HasAddr {
+			return false, be.Addr, err
+		}
 		return false, 0, err
 	}
 	for _, a := range exec.Addresses() {
-		r := results[a]
-		if !r.Decided {
-			return false, a, fmt.Errorf("coherence: verification of address %d undecided (state budget exhausted)", a)
-		}
-		if !r.Coherent {
+		if !results[a].Coherent {
 			return false, a, nil
 		}
 	}
@@ -247,12 +260,28 @@ func Coherent(exec *memory.Execution, opts *Options) (bool, memory.Addr, error) 
 //  3. otherwise                    -> general memoized search.
 //
 // The write-order algorithms require extra input and are exposed
-// separately (SolveWithWriteOrder).
-func SolveAuto(exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+// separately (SolveWithWriteOrder). SolvePortfolio instead races the
+// applicable algorithms concurrently.
+func SolveAuto(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	inst := project(exec, addr)
+	r, err := solveAutoInstance(ctx, inst, opts)
+	if err != nil {
+		if be, ok := solver.AsBudgetError(err); ok {
+			return nil, withAddr(be, addr)
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// solveAutoInstance is SolveAuto on a projected instance.
+func solveAutoInstance(ctx context.Context, inst *instance, opts *Options) (*Result, error) {
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, e
+	}
 	if inst.maxWritesPerValue() <= 1 {
 		if r, ok := readMapInstance(inst); ok {
 			return r, nil
@@ -268,5 +297,9 @@ func SolveAuto(exec *memory.Execution, addr memory.Addr, opts *Options) (*Result
 			return r, nil
 		}
 	}
-	return searchInstance(inst, opts), nil
+	r, e := searchInstance(ctx, inst, opts)
+	if e != nil {
+		return nil, e
+	}
+	return r, nil
 }

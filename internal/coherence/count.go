@@ -1,10 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"encoding/binary"
 	"math/big"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // Count returns the exact number of distinct coherent schedules for the
@@ -18,24 +20,32 @@ import (
 // Counting generalizes the decision problem (the count is zero iff the
 // instance is incoherent) and is used by the tests as an independent
 // cross-check of the solver against brute-force enumeration.
-func Count(exec *memory.Execution, addr memory.Addr) (*big.Int, error) {
+func Count(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*big.Int, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	inst := project(exec, addr)
 	c := &counter{
-		inst: inst,
-		pos:  make([]int, len(inst.hist)),
-		memo: make(map[string]*big.Int),
+		inst:   inst,
+		budget: solver.Start(ctx, nil),
+		pos:    make([]int, len(inst.hist)),
+		memo:   make(map[string]*big.Int),
 	}
 	if inst.init != nil {
 		c.cur, c.bound = *inst.init, true
 	}
-	return c.count(), nil
+	n := c.count()
+	if e := c.budget.Err(); e != nil {
+		e.Stats.States = c.states
+		return nil, withAddr(e, addr)
+	}
+	return n, nil
 }
 
 type counter struct {
 	inst   *instance
+	budget *solver.Budget
+	states int
 	pos    []int
 	cur    memory.Value
 	bound  bool
@@ -75,6 +85,10 @@ func (c *counter) count() *big.Int {
 	key := c.key()
 	if v, ok := c.memo[key]; ok {
 		return v
+	}
+	c.states++
+	if c.budget.Charge(c.states) != nil {
+		return big.NewInt(0)
 	}
 	total := big.NewInt(0)
 	for h := range c.inst.hist {

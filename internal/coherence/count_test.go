@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -55,7 +56,7 @@ func TestCountMatchesBruteForce(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		exec := randomInstance(rng)
 		want := bruteForceCount(exec, 0)
-		got, err := Count(exec, 0)
+		got, err := Count(context.Background(), exec, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,11 +77,11 @@ func TestCountZeroIffIncoherent(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	for i := 0; i < 200; i++ {
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := Count(exec, 0)
+		n, err := Count(context.Background(), exec, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestCountKnownValues(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	)
-	n, err := Count(e, 0)
+	n, err := Count(context.Background(), e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCountKnownValues(t *testing.T) {
 	}
 	// Final value pins the order: 1.
 	e.SetFinal(0, 2)
-	n, err = Count(e, 0)
+	n, err = Count(context.Background(), e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestCountKnownValues(t *testing.T) {
 		t.Errorf("Count with final = %v, want 1", n)
 	}
 	// Empty instance: exactly the empty schedule.
-	n, err = Count(memory.NewExecution(), 0)
+	n, err = Count(context.Background(), memory.NewExecution(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCountLargeInstanceFeasible(t *testing.T) {
 		h2 = append(h2, memory.W(0, 1))
 	}
 	e := memory.NewExecution(h1, h2)
-	n, err := Count(e, 0)
+	n, err := Count(context.Background(), e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

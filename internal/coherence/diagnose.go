@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/memory"
@@ -30,11 +31,11 @@ type Diagnosis struct {
 // incoherent core using delta-debugging-style removal: operations are
 // deleted greedily (suffixes first, then one by one) while incoherence
 // persists. The result pinpoints the violation. An error is returned if
-// the execution is actually coherent at addr, or if the search is
-// undecided under opts.
+// the execution is actually coherent at addr, or if a budget (states,
+// deadline, cancellation) aborts one of the inner solves.
 //
 // Worst-case cost is O(n) solver calls on shrinking instances.
-func Diagnose(exec *memory.Execution, addr memory.Addr, opts *Options) (*Diagnosis, error) {
+func Diagnose(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Diagnosis, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,9 +71,9 @@ func Diagnose(exec *memory.Execution, addr memory.Addr, opts *Options) (*Diagnos
 		return e
 	}
 	incoherent := func() (bool, error) {
-		res := searchInstance(project(build(), addr), opts)
-		if !res.Decided {
-			return false, fmt.Errorf("coherence: diagnosis undecided (state budget exhausted)")
+		res, e := searchInstance(ctx, project(build(), addr), opts)
+		if e != nil {
+			return false, fmt.Errorf("coherence: diagnosis aborted: %w", withAddr(e, addr))
 		}
 		return !res.Coherent, nil
 	}

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestDiagnoseRejectsCoherent(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 0)
-	if _, err := Diagnose(e, 0, nil); err == nil {
+	if _, err := Diagnose(context.Background(), e, 0, nil); err == nil {
 		t.Error("coherent execution diagnosed")
 	}
 }
@@ -24,7 +25,7 @@ func TestDiagnoseShrinksToCore(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.R(0, 1), memory.W(0, 2), memory.R(0, 2)},
 		memory.History{memory.R(0, 1), memory.R(0, 2), memory.R(0, 99)},
 	).SetInitial(0, 0)
-	d, err := Diagnose(e, 0, nil)
+	d, err := Diagnose(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestDiagnoseFinalValueInvolvement(t *testing.T) {
 	e := memory.NewExecution(
 		memory.History{memory.W(0, 1)},
 	).SetInitial(0, 0).SetFinal(0, 9)
-	d, err := Diagnose(e, 0, nil)
+	d, err := Diagnose(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestDiagnoseMinimality(t *testing.T) {
 	diagnosed := 0
 	for i := 0; i < 200 && diagnosed < 40; i++ {
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,12 +70,12 @@ func TestDiagnoseMinimality(t *testing.T) {
 			continue
 		}
 		diagnosed++
-		d, err := Diagnose(exec, 0, nil)
+		d, err := Diagnose(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Core is incoherent.
-		coreRes, err := Solve(d.Core, 0, nil)
+		coreRes, err := Solve(context.Background(), d.Core, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestDiagnoseMinimality(t *testing.T) {
 				shrunk := d.Core.Clone()
 				h := shrunk.Histories[p]
 				shrunk.Histories[p] = append(append(memory.History{}, h[:idx]...), h[idx+1:]...)
-				r, err := Solve(shrunk, 0, nil)
+				r, err := Solve(context.Background(), shrunk, 0, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -121,7 +122,7 @@ func TestDiagnoseUndecidedBudget(t *testing.T) {
 		memory.History{memory.W(0, 3)},
 		memory.History{memory.W(0, 3)},
 	).SetInitial(0, 0).SetFinal(0, 9)
-	if _, err := Diagnose(e, 0, &Options{MaxStates: 1}); err == nil {
+	if _, err := Diagnose(context.Background(), e, 0, &Options{MaxStates: 1}); err == nil {
 		t.Error("budget-starved diagnosis should error")
 	}
 }

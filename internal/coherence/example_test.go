@@ -1,6 +1,7 @@
 package coherence_test
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/coherence"
@@ -13,7 +14,7 @@ func ExampleSolveAuto() {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 0)
-	res, err := coherence.SolveAuto(exec, 0, nil)
+	res, err := coherence.SolveAuto(context.Background(), exec, 0, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -29,7 +30,7 @@ func ExampleSolveWithWriteOrder() {
 		memory.History{memory.R(0, 1), memory.R(0, 2)},
 	).SetInitial(0, 0)
 	order := []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}
-	res, err := coherence.SolveWithWriteOrder(exec, 0, order, nil)
+	res, err := coherence.SolveWithWriteOrder(context.Background(), exec, 0, order, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -43,7 +44,7 @@ func ExampleCount() {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	)
-	n, err := coherence.Count(exec, 0)
+	n, err := coherence.Count(context.Background(), exec, 0)
 	if err != nil {
 		panic(err)
 	}
@@ -57,7 +58,7 @@ func ExampleDiagnose() {
 		memory.History{memory.W(0, 1), memory.R(0, 1)},
 		memory.History{memory.R(0, 1), memory.R(0, 42)}, // 42 has no source
 	).SetInitial(0, 0)
-	d, err := coherence.Diagnose(exec, 0, nil)
+	d, err := coherence.Diagnose(context.Background(), exec, 0, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -11,8 +12,14 @@ import (
 // fanned out across workers goroutines (runtime.NumCPU() when workers
 // <= 0). Coherence is defined address-by-address (Section 3), so the
 // checks are embarrassingly parallel; on wide multi-address traces this
-// is a near-linear speedup. Results are identical to VerifyExecution.
-func VerifyExecutionParallel(exec *memory.Execution, opts *Options, workers int) (map[memory.Addr]*Result, error) {
+// is a near-linear speedup.
+//
+// Results are deterministic: each per-address solve is independent and
+// runs to its own completion or budget regardless of goroutine
+// scheduling, and when several addresses fail the returned error is
+// always the one for the lowest-indexed address in exec.Addresses()
+// order — so two runs over the same input produce diffable output.
+func VerifyExecutionParallel(ctx context.Context, exec *memory.Execution, opts *Options, workers int) (map[memory.Addr]*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -24,46 +31,37 @@ func VerifyExecutionParallel(exec *memory.Execution, opts *Options, workers int)
 		workers = len(addrs)
 	}
 	if workers <= 1 {
-		return VerifyExecution(exec, opts)
+		return VerifyExecution(ctx, exec, opts)
 	}
 
-	type outcome struct {
-		addr memory.Addr
-		res  *Result
-		err  error
-	}
-	jobs := make(chan memory.Addr)
-	results := make(chan outcome)
+	// Workers write into per-address slots, so no result ordering
+	// depends on channel receive order (the source of the old
+	// nondeterministic first-error selection).
+	results := make([]*Result, len(addrs))
+	errs := make([]error, len(addrs))
+	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for a := range jobs {
-				r, err := SolveAuto(exec, a, opts)
-				results <- outcome{addr: a, res: r, err: err}
+			for i := range next {
+				results[i], errs[i] = SolveAuto(ctx, exec, addrs[i], opts)
 			}
 		}()
 	}
-	go func() {
-		for _, a := range addrs {
-			jobs <- a
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	for i := range addrs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 
 	out := make(map[memory.Addr]*Result, len(addrs))
-	var firstErr error
-	for o := range results {
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
+	for i, a := range addrs {
+		if errs[i] != nil {
+			return out, errs[i]
 		}
-		out[o.addr] = o.res
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		out[a] = results[i]
 	}
 	return out, nil
 }

@@ -1,10 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // multiAddressInstance builds a random execution over several addresses
@@ -36,12 +38,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for i := 0; i < 50; i++ {
 		exec := multiAddressInstance(rng, 1+rng.Intn(6))
-		serial, err := VerifyExecution(exec, nil)
+		serial, err := VerifyExecution(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{0, 1, 2, 8} {
-			par, err := VerifyExecutionParallel(exec, nil, workers)
+			par, err := VerifyExecutionParallel(context.Background(), exec, nil, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,15 +65,56 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelDeterministicUnderBudget is the regression test for the
+// old unordered-channel fan-out: when several addresses blow the state
+// budget, the reported error (and the partial result map) used to
+// depend on goroutine scheduling. Now the error is always the one for
+// the lowest-indexed failing address, and earlier successes survive in
+// the partial map, regardless of worker count or run.
+func TestParallelDeterministicUnderBudget(t *testing.T) {
+	// Address 0 has unique write values, so SolveAuto dispatches it to
+	// the polynomial read-map algorithm, which ignores the state budget.
+	// Addresses 1 and 2 duplicate a write value and need the general
+	// search, which trips MaxStates: 1 immediately.
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1), memory.W(1, 5), memory.R(1, 5), memory.W(2, 5), memory.R(2, 5)},
+		memory.History{memory.R(0, 1), memory.W(1, 5), memory.R(1, 5), memory.W(2, 5), memory.R(2, 5)},
+	).SetInitial(0, 0).SetInitial(1, 0).SetInitial(2, 0)
+	opts := &Options{MaxStates: 1}
+
+	for rep := 0; rep < 30; rep++ {
+		for _, workers := range []int{2, 3, 8} {
+			partial, err := VerifyExecutionParallel(context.Background(), exec, opts, workers)
+			if err == nil {
+				t.Fatalf("rep %d workers %d: budget of 1 state did not trip", rep, workers)
+			}
+			be, ok := solver.AsBudgetError(err)
+			if !ok {
+				t.Fatalf("rep %d workers %d: error is not a budget error: %v", rep, workers, err)
+			}
+			if !be.HasAddr || be.Addr != 1 {
+				t.Fatalf("rep %d workers %d: error for address %d (hasAddr=%v), want the lowest failing address 1",
+					rep, workers, be.Addr, be.HasAddr)
+			}
+			if res := partial[0]; res == nil || !res.Coherent {
+				t.Fatalf("rep %d workers %d: address 0 success missing from partial map: %+v", rep, workers, partial)
+			}
+			if len(partial) != 1 {
+				t.Fatalf("rep %d workers %d: partial map %v, want only address 0", rep, workers, partial)
+			}
+		}
+	}
+}
+
 func TestParallelPropagatesErrors(t *testing.T) {
 	bad := memory.NewExecution(memory.History{{Kind: memory.Kind(99), Addr: 0}})
-	if _, err := VerifyExecutionParallel(bad, nil, 4); err == nil {
+	if _, err := VerifyExecutionParallel(context.Background(), bad, nil, 4); err == nil {
 		t.Error("invalid execution accepted")
 	}
 }
 
 func TestParallelEmptyExecution(t *testing.T) {
-	res, err := VerifyExecutionParallel(memory.NewExecution(), nil, 4)
+	res, err := VerifyExecutionParallel(context.Background(), memory.NewExecution(), nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

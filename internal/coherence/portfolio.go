@@ -1,0 +1,152 @@
+package coherence
+
+import (
+	"context"
+
+	"memverify/internal/memory"
+	"memverify/internal/solver"
+)
+
+// portfolioMinOps is the instance size below which SolvePortfolio
+// dispatches directly instead of racing: tiny instances are solved in
+// microseconds by whichever algorithm applies, so goroutine and channel
+// overhead would dominate and the racer would lose to SolveAuto on
+// specialist-heavy workloads.
+const portfolioMinOps = 24
+
+// portfolioProbeFactor sizes the escalation probe: before racing,
+// SolvePortfolio runs the standard search capped at factor·n states. An
+// easy instance (the common case on real traces) decides within the cap
+// and costs the same as SolveAuto; only instances that blow the probe
+// are hard enough for the race to pay for its goroutine, pool, and —
+// on undersubscribed machines — time-slicing overhead.
+const portfolioProbeFactor = 32
+
+// SolvePortfolio decides VMC for one address with a staged portfolio
+// strategy. The polynomial specialists (read-map, single-op, RMW-Euler)
+// are tried inline where their preconditions hold — racing a
+// linear-time algorithm against an exponential search is a foregone
+// conclusion, and on an undersubscribed pool the instant specialist
+// could even starve behind the searches. Then the standard memoized
+// search probes under a small state cap, deciding every easy instance
+// at SolveAuto's cost. Only if the probe exhausts its cap do two
+// general-search configurations race concurrently on the shared bounded
+// worker pool (solver.Shared): the standard search and one with the
+// write-guidance ordering flipped, which explores the state space in a
+// different order and often certifies (or refutes) first on adversarial
+// instances. The first racer to finish wins; the loser is cancelled
+// through the context plumbing and stops at its next budget poll. Race
+// winners are annotated "portfolio:<algorithm>".
+//
+// Instances smaller than a fixed threshold skip all staging and
+// dispatch like SolveAuto. The staging bounds the overhead: easy
+// instances cost one probe (= the SolveAuto search), hard ones add at
+// most one extra search configuration — and gain whenever the flipped
+// configuration wins.
+//
+// The verdict is identical to SolveAuto's (every candidate is a complete
+// decision procedure for the instances it accepts); only the Algorithm
+// annotation reveals which racer won.
+func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	inst := project(exec, addr)
+	if inst.nops < portfolioMinOps {
+		r, err := solveAutoInstance(ctx, inst, opts)
+		if err != nil {
+			if be, ok := solver.AsBudgetError(err); ok {
+				return nil, withAddr(be, addr)
+			}
+			return nil, err
+		}
+		return r, nil
+	}
+
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
+	}
+	if inst.maxWritesPerValue() <= 1 {
+		if r, ok := readMapInstance(inst); ok {
+			return r, nil
+		}
+	}
+	if inst.maxOpsPerProcess() <= 1 {
+		if inst.allRMW() {
+			return eulerInstance(inst), nil
+		}
+		if r, ok := singleOpInstance(inst); ok {
+			return r, nil
+		}
+	}
+
+	// Escalation probe: run the standard search under a tight state cap.
+	// Easy instances decide here and pay nothing over SolveAuto. The cap
+	// never loosens a caller budget, and a trip of the caller's own
+	// budget (or deadline, or cancellation) propagates instead of
+	// escalating.
+	probeCap := portfolioProbeFactor * inst.nops
+	callerLimit := opts.Limit()
+	if callerLimit == 0 || callerLimit > probeCap {
+		probe := opts.Clone()
+		probe.MaxStates = probeCap
+		r, err := searchInstance(ctx, inst, probe)
+		if err == nil {
+			return r, nil
+		}
+		be, ok := solver.AsBudgetError(err)
+		if !ok {
+			return nil, err
+		}
+		if be.Reason != solver.ExceededStates {
+			return nil, withAddr(be, addr)
+		}
+		// Probe cap exhausted: the instance is genuinely hard — race.
+	}
+
+	var cands []func(context.Context) (*Result, error)
+	// The projection is shared read-only across racers; every searcher
+	// keeps its own position vector and memo table.
+	search := func(o *Options) func(context.Context) (*Result, error) {
+		return func(rctx context.Context) (*Result, error) {
+			r, e := searchInstance(rctx, inst, o)
+			if e != nil {
+				return nil, e
+			}
+			return r, nil
+		}
+	}
+	cands = append(cands, search(opts))
+	flipped := opts.Clone()
+	flipped.DisableWriteGuidance = !flipped.DisableWriteGuidance
+	cands = append(cands, search(flipped))
+
+	r, err := solver.Race(ctx, solver.Shared(), cands)
+	if err != nil {
+		if be, ok := solver.AsBudgetError(err); ok {
+			return nil, withAddr(be, addr)
+		}
+		return nil, err
+	}
+	r.Algorithm = "portfolio:" + r.Algorithm
+	return r, nil
+}
+
+// VerifyExecutionPortfolio is VerifyExecution with each per-address
+// check dispatched through SolvePortfolio. Addresses are checked
+// sequentially; within each address the applicable algorithms race on
+// the shared pool.
+func VerifyExecutionPortfolio(ctx context.Context, exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[memory.Addr]*Result)
+	for _, a := range exec.Addresses() {
+		r, err := SolvePortfolio(ctx, exec, a, opts)
+		if err != nil {
+			return out, err
+		}
+		out[a] = r
+	}
+	return out, nil
+}

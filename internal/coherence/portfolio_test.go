@@ -1,0 +1,154 @@
+package coherence
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"memverify/internal/memory"
+	"memverify/internal/solver"
+)
+
+// racingInstance generates an execution with at least portfolioMinOps
+// operations at address 0, coherent by construction (the generation
+// order is a witness schedule). With incoherent=true one read is
+// corrupted to a value nothing ever writes.
+func racingInstance(rng *rand.Rand, incoherent bool) *memory.Execution {
+	const nproc = 3
+	nops := portfolioMinOps + rng.Intn(16)
+	exec := &memory.Execution{Histories: make([]memory.History, nproc)}
+	exec.SetInitial(0, 0)
+	cur := memory.Value(0)
+	readRefs := []memory.Ref{}
+	for i := 0; i < nops; i++ {
+		p := rng.Intn(nproc)
+		if rng.Intn(3) == 0 {
+			// Values repeat, so the read-map specialist is inapplicable
+			// and the general searches must race.
+			cur = memory.Value(1 + rng.Intn(3))
+			exec.Histories[p] = append(exec.Histories[p], memory.W(0, cur))
+		} else {
+			readRefs = append(readRefs, memory.Ref{Proc: p, Index: len(exec.Histories[p])})
+			exec.Histories[p] = append(exec.Histories[p], memory.R(0, cur))
+		}
+	}
+	if incoherent && len(readRefs) > 0 {
+		r := readRefs[rng.Intn(len(readRefs))]
+		exec.Histories[r.Proc][r.Index].Data = 9999
+	}
+	return exec
+}
+
+// TestPortfolioMatchesOracleSmall drives the direct-dispatch path (under
+// portfolioMinOps operations) against the brute-force oracle.
+func TestPortfolioMatchesOracleSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		exec := randomInstance(rng)
+		want, _ := bruteForceCoherent(exec, 0)
+		got, err := SolvePortfolio(context.Background(), exec, 0, nil)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if got.Coherent != want {
+			t.Fatalf("instance %d: portfolio says %v, oracle says %v\nhistories=%v init=%v",
+				i, got.Coherent, want, exec.Histories, exec.Initial)
+		}
+		if got.Coherent {
+			if err := memory.CheckCoherent(exec, 0, got.Schedule); err != nil {
+				t.Fatalf("instance %d: invalid certificate: %v", i, err)
+			}
+		}
+	}
+}
+
+// hardRacingInstance builds an instance that defeats the escalation
+// probe: four processes of same-valued writes give the search a
+// position-vector space far above the probe's 32·n state cap, and an
+// impossible read (a value nothing writes) forces the search to exhaust
+// that space before concluding incoherent.
+func hardRacingInstance(rng *rand.Rand) *memory.Execution {
+	const nproc, perProc = 4, 10
+	exec := &memory.Execution{Histories: make([]memory.History, nproc)}
+	exec.SetInitial(0, 0)
+	for p := 0; p < nproc; p++ {
+		for i := 0; i < perProc; i++ {
+			exec.Histories[p] = append(exec.Histories[p], memory.W(0, memory.Value(1+rng.Intn(3))))
+		}
+	}
+	exec.Histories[0] = append(exec.Histories[0], memory.R(0, 9999))
+	return exec
+}
+
+// TestPortfolioMatchesAutoLarge drives the staged paths on instances
+// above the direct-dispatch threshold: easy ones decide at the probe,
+// hard ones must escalate to the race (annotated "portfolio:"), and
+// every verdict must agree with SolveAuto.
+func TestPortfolioMatchesAutoLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 40; i++ {
+		exec := racingInstance(rng, i%2 == 1)
+		want, err := SolveAuto(context.Background(), exec, 0, nil)
+		if err != nil {
+			t.Fatalf("instance %d: auto: %v", i, err)
+		}
+		got, err := SolvePortfolio(context.Background(), exec, 0, nil)
+		if err != nil {
+			t.Fatalf("instance %d: portfolio: %v", i, err)
+		}
+		if got.Coherent != want.Coherent {
+			t.Fatalf("instance %d: portfolio says %v, auto says %v\nhistories=%v",
+				i, got.Coherent, want.Coherent, exec.Histories)
+		}
+		if got.Coherent {
+			if err := memory.CheckCoherent(exec, 0, got.Schedule); err != nil {
+				t.Fatalf("instance %d: invalid certificate: %v", i, err)
+			}
+		}
+	}
+
+	raced := 0
+	for i := 0; i < 5; i++ {
+		exec := hardRacingInstance(rng)
+		want, err := SolveAuto(context.Background(), exec, 0, nil)
+		if err != nil {
+			t.Fatalf("hard instance %d: auto: %v", i, err)
+		}
+		got, err := SolvePortfolio(context.Background(), exec, 0, nil)
+		if err != nil {
+			t.Fatalf("hard instance %d: portfolio: %v", i, err)
+		}
+		if got.Coherent != want.Coherent {
+			t.Fatalf("hard instance %d: portfolio says %v, auto says %v",
+				i, got.Coherent, want.Coherent)
+		}
+		if strings.HasPrefix(got.Algorithm, "portfolio:") {
+			raced++
+		}
+	}
+	if raced == 0 {
+		t.Error("no hard instance escalated past the probe to the race")
+	}
+}
+
+// TestPortfolioBudgetPropagates: when every racer blows the budget, the
+// caller gets one merged budget error tagged with the address.
+func TestPortfolioBudgetPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	exec := racingInstance(rng, false)
+	_, err := SolvePortfolio(context.Background(), exec, 0, &Options{MaxStates: 1})
+	if err == nil {
+		t.Fatal("budget of 1 state did not trip the portfolio")
+	}
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		t.Fatalf("error is not a budget error: %v", err)
+	}
+	if !be.HasAddr || be.Addr != 0 {
+		t.Errorf("budget error not tagged with address 0: %+v", be)
+	}
+	if be.Stats.States == 0 {
+		t.Error("merged budget error carries no partial stats")
+	}
+}

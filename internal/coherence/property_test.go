@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func TestCoherenceSchedulePrefixClosure(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomInstance(rng)
 		delete(exec.Final, 0)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil || !res.Decided {
 			return false
 		}
@@ -67,7 +68,7 @@ func TestCoherenceHistoryPermutationInvariance(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			return false
 		}
@@ -80,7 +81,7 @@ func TestCoherenceHistoryPermutationInvariance(t *testing.T) {
 		for i, j := range perm {
 			shuffled.Histories[j] = exec.Histories[i]
 		}
-		r2, err := Solve(shuffled, 0, nil)
+		r2, err := Solve(context.Background(), shuffled, 0, nil)
 		if err != nil {
 			return false
 		}
@@ -98,7 +99,7 @@ func TestCoherenceValueRenamingInvariance(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			return false
 		}
@@ -122,7 +123,7 @@ func TestCoherenceValueRenamingInvariance(t *testing.T) {
 		if v, ok := mapped.Final[0]; ok {
 			mapped.Final[0] = rename(v)
 		}
-		r2, err := Solve(mapped, 0, nil)
+		r2, err := Solve(context.Background(), mapped, 0, nil)
 		if err != nil {
 			return false
 		}
@@ -141,7 +142,7 @@ func TestCoherenceAppendWriteReadPair(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomInstance(rng)
 		delete(exec.Final, 0)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil || !res.Coherent {
 			return err == nil
 		}
@@ -149,7 +150,7 @@ func TestCoherenceAppendWriteReadPair(t *testing.T) {
 		grown := exec.Clone()
 		grown.Histories[p] = append(grown.Histories[p],
 			memory.W(0, memory.Value(v)), memory.R(0, memory.Value(v)))
-		r2, err := Solve(grown, 0, nil)
+		r2, err := Solve(context.Background(), grown, 0, nil)
 		if err != nil {
 			return false
 		}
@@ -166,7 +167,7 @@ func TestCertificateWellFormed(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			return false
 		}

@@ -1,9 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // SolveReadMap decides VMC in linear time for instances in which every
@@ -22,10 +25,14 @@ import (
 // An error is returned if some value is written twice, or in the
 // ambiguous corner where the declared initial value is also written and
 // observed by some read (then the read-map is not forced; use Solve).
-func SolveReadMap(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveReadMap(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
+	}
+	start := time.Now()
 	inst := project(exec, addr)
 	if max := inst.maxWritesPerValue(); max > 1 {
 		return nil, fmt.Errorf("coherence: some value is written %d times; the read-map algorithm requires at most one write per value", max)
@@ -34,13 +41,15 @@ func SolveReadMap(exec *memory.Execution, addr memory.Addr) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("coherence: the read-map for address %d is not forced (initial-value ambiguity); use the general solver", addr)
 	}
+	r.Stats.Duration = time.Since(start)
 	return r, nil
 }
 
 // readMapInstance runs the cluster-chain algorithm. ok is false only in
 // the ambiguous initial-value corner described on SolveReadMap, or when a
 // value is written more than once (callers check first).
-func readMapInstance(inst *instance) (*Result, bool) {
+func readMapInstance(inst *instance) (r *Result, ok bool) {
+	defer func() { stampOps(r, inst) }()
 	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "read-map"}
 
 	// Cluster 0 is the initial-value cluster; each written value d gets

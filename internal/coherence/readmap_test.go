@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestReadMapBasic(t *testing.T) {
 	// clusters {W1,R1} and {W2,R2} cross: W1 < R2's cluster boundary...
 	// cluster(1) -> cluster(2) (P0) and cluster(2) -> cluster(1) (P1):
 	// cycle, incoherent.
-	res, err := SolveReadMap(exec, 0)
+	res, err := SolveReadMap(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestReadMapBasic(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.R(0, 2)},
 		memory.History{memory.R(0, 1), memory.W(0, 2)},
 	).SetInitial(0, 0)
-	res, err = SolveReadMap(ok, 0)
+	res, err = SolveReadMap(context.Background(), ok, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestReadMapRejectsDuplicateWrites(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.W(0, 1)},
 	)
-	if _, err := SolveReadMap(exec, 0); err == nil {
+	if _, err := SolveReadMap(context.Background(), exec, 0); err == nil {
 		t.Error("duplicate writes accepted by the read-map algorithm")
 	}
 }
@@ -56,11 +57,11 @@ func TestReadMapAmbiguousInitial(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 1)
-	if _, err := SolveReadMap(exec, 0); err == nil {
+	if _, err := SolveReadMap(context.Background(), exec, 0); err == nil {
 		t.Error("ambiguous initial-value instance accepted")
 	}
 	// SolveAuto must still answer, via the general solver.
-	res, err := SolveAuto(exec, 0, nil)
+	res, err := SolveAuto(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +78,12 @@ func TestReadMapUnboundInitialAmbiguity(t *testing.T) {
 		memory.History{memory.R(0, 5), memory.W(0, 9)},
 		memory.History{memory.R(0, 9), memory.W(0, 5)},
 	)
-	if _, err := SolveReadMap(exec, 0); err == nil {
+	if _, err := SolveReadMap(context.Background(), exec, 0); err == nil {
 		t.Error("unbound-initial ambiguity not detected")
 	}
 	// The instance is genuinely coherent via initial binding; SolveAuto
 	// must find it.
-	res, err := SolveAuto(exec, 0, nil)
+	res, err := SolveAuto(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestReadMapInitialReads(t *testing.T) {
 		memory.History{memory.R(0, 7), memory.W(0, 1)},
 		memory.History{memory.R(0, 7), memory.R(0, 1)},
 	).SetInitial(0, 7)
-	res, err := SolveReadMap(exec, 0)
+	res, err := SolveReadMap(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestReadMapInitialReads(t *testing.T) {
 	bad := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.R(0, 7)},
 	).SetInitial(0, 7)
-	res, err = SolveReadMap(bad, 0)
+	res, err = SolveReadMap(context.Background(), bad, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestReadMapReadBeforeOwnSourceWrite(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.R(0, 1), memory.W(0, 1)},
 	).SetInitial(0, 0)
-	res, err := SolveReadMap(exec, 0)
+	res, err := SolveReadMap(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestReadMapFinalValue(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	).SetInitial(0, 0).SetFinal(0, 2)
-	res, err := SolveReadMap(exec, 0)
+	res, err := SolveReadMap(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestReadMapFinalValue(t *testing.T) {
 	chained := memory.NewExecution(
 		memory.History{memory.W(0, 2), memory.W(0, 1)},
 	).SetInitial(0, 0).SetFinal(0, 2)
-	res, err = SolveReadMap(chained, 0)
+	res, err = SolveReadMap(context.Background(), chained, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestReadMapFinalValue(t *testing.T) {
 	missing := memory.NewExecution(
 		memory.History{memory.W(0, 1)},
 	).SetInitial(0, 0).SetFinal(0, 9)
-	res, err = SolveReadMap(missing, 0)
+	res, err = SolveReadMap(context.Background(), missing, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestReadMapRMWChains(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1), memory.R(0, 2)},
 		memory.History{memory.R(0, 1), memory.RW(0, 1, 2)},
 	).SetInitial(0, 0)
-	res, err := SolveReadMap(exec, 0)
+	res, err := SolveReadMap(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestReadMapRMWChains(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 0, 2)},
 	).SetInitial(0, 0)
-	res, err = SolveReadMap(clash, 0)
+	res, err = SolveReadMap(context.Background(), clash, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestReadMapRMWChains(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 		memory.History{memory.RW(0, 2, 1)},
 	).SetInitial(0, 0)
-	res, err = SolveReadMap(cycle, 0)
+	res, err = SolveReadMap(context.Background(), cycle, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestReadMapMatchesOracle(t *testing.T) {
 	checked := 0
 	for i := 0; i < 600; i++ {
 		exec := uniqueWriteInstance(rng)
-		res, err := SolveReadMap(exec, 0)
+		res, err := SolveReadMap(context.Background(), exec, 0)
 		if err != nil {
 			continue // ambiguous corner; SolveAuto covers it elsewhere
 		}

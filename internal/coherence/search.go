@@ -1,9 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"encoding/binary"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // searcher is the general VMC decision procedure: a depth-first search
@@ -16,49 +19,55 @@ import (
 // read immediately when it matches the current value) shrinks the
 // branching factor to the number of histories with an enabled write.
 type searcher struct {
-	inst *instance
-	opts *Options
+	inst   *instance
+	opts   *Options
+	budget *solver.Budget
 
 	pos      []int // next unscheduled op per history
 	cur      memory.Value
 	bound    bool
 	schedule []memory.Ref // projection refs, in scheduled order
 
-	memo     map[string]struct{}
-	states   int
-	memoHits int
-	eager    int
-	exceeded bool
+	memo  map[string]struct{}
+	stats solver.Stats
+	abort *solver.ErrBudgetExceeded
 
 	keyBuf []byte
 }
 
-// searchInstance runs the general search on a projected instance.
-func searchInstance(inst *instance, opts *Options) *Result {
+// searchInstance runs the general search on a projected instance. A
+// tripped budget (state bound, deadline, or cancellation) returns a nil
+// Result and the budget error carrying the partial stats.
+func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result, *solver.ErrBudgetExceeded) {
+	start := time.Now()
+	budget := solver.Start(ctx, opts)
+	defer budget.Stop()
 	s := &searcher{
-		inst: inst,
-		opts: opts,
-		pos:  make([]int, len(inst.hist)),
-		memo: make(map[string]struct{}),
+		inst:   inst,
+		opts:   opts,
+		budget: budget,
+		pos:    make([]int, len(inst.hist)),
+		memo:   make(map[string]struct{}),
 	}
 	if inst.init != nil {
 		s.cur, s.bound = *inst.init, true
 	}
 	found := s.dfs()
+	s.stats.Duration = time.Since(start)
+	if s.abort != nil {
+		s.abort.Stats = s.stats
+		return nil, s.abort
+	}
 	res := &Result{
 		Coherent:  found,
-		Decided:   found || !s.exceeded,
+		Decided:   true,
 		Algorithm: "general-search",
-		Stats: Stats{
-			States:     s.states,
-			MemoHits:   s.memoHits,
-			EagerReads: s.eager,
-		},
+		Stats:     s.stats,
 	}
 	if found {
 		res.Schedule = inst.translate(s.schedule)
 	}
-	return res
+	return res, nil
 }
 
 // key serializes the current state for memoization.
@@ -126,7 +135,7 @@ func (s *searcher) apply(h int) func() {
 // coherent completion exists after scheduling them iff one existed
 // before.
 func (s *searcher) scheduleEagerReads() int {
-	if !s.opts.eagerReads() || !s.bound {
+	if !s.opts.EagerReads() || !s.bound {
 		return 0
 	}
 	n := 0
@@ -141,7 +150,7 @@ func (s *searcher) scheduleEagerReads() int {
 				s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
 				s.pos[h]++
 				n++
-				s.eager++
+				s.stats.EagerReads++
 				progress = true
 			}
 		}
@@ -182,7 +191,7 @@ func (s *searcher) enabled(o memory.Op) bool {
 // completeness (all candidates are still tried), only search speed.
 func (s *searcher) candidates() []int {
 	var needed map[memory.Value]bool
-	if s.opts.writeGuidance() && s.bound {
+	if s.opts.WriteGuidance() && s.bound {
 		for h := range s.inst.hist {
 			if s.pos[h] >= len(s.inst.hist[h]) {
 				continue
@@ -205,7 +214,7 @@ func (s *searcher) candidates() []int {
 		if !s.enabled(o) {
 			continue
 		}
-		if s.opts.eagerReads() && o.Kind == memory.Read && s.bound {
+		if s.opts.EagerReads() && o.Kind == memory.Read && s.bound {
 			// Matching reads were consumed by the eager rule; a read that
 			// remains here mismatches and is disabled. (When unbound, a
 			// read is a genuine branch: it binds the initial value.)
@@ -229,6 +238,9 @@ func (s *searcher) candidates() []int {
 // was found (and s.schedule holds it).
 func (s *searcher) dfs() bool {
 	eager := s.scheduleEagerReads()
+	if d := len(s.schedule); d > s.stats.PeakDepth {
+		s.stats.PeakDepth = d
+	}
 	if s.done() {
 		if s.finalOK() {
 			return true
@@ -238,35 +250,38 @@ func (s *searcher) dfs() bool {
 	}
 
 	var key string
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
-			s.memoHits++
+			s.stats.MemoHits++
 			s.undoEagerReads(eager)
 			return false
 		}
+		s.stats.MemoMisses++
 	}
 
-	s.states++
-	if max := s.opts.maxStates(); max > 0 && s.states > max {
-		s.exceeded = true
+	s.stats.States++
+	if e := s.budget.Charge(s.stats.States); e != nil {
+		s.abort = e
 		s.undoEagerReads(eager)
 		return false
 	}
 
-	for _, h := range s.candidates() {
+	cands := s.candidates()
+	s.stats.Branches += len(cands)
+	for _, h := range cands {
 		undo := s.apply(h)
 		if s.dfs() {
 			return true
 		}
 		undo()
-		if s.exceeded {
+		if s.abort != nil {
 			s.undoEagerReads(eager)
 			return false
 		}
 	}
 
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}
 	s.undoEagerReads(eager)

@@ -1,10 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // figure42Instance builds the worked example of Figure 4.2: the VMC
@@ -23,7 +25,7 @@ func figure42Instance() *memory.Execution {
 
 func TestSolveFigure42Coherent(t *testing.T) {
 	exec := figure42Instance()
-	res, err := Solve(exec, 0, nil)
+	res, err := Solve(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestSolveUnsatisfiableInstance(t *testing.T) {
 		memory.History{memory.R(0, dub), memory.R(0, du), memory.W(0, dc2)},                   // literal ū, clause c2
 		memory.History{memory.R(0, dc1), memory.R(0, dc2), memory.W(0, du), memory.W(0, dub)}, // h3
 	).SetInitial(0, 0)
-	res, err := Solve(exec, 0, nil)
+	res, err := Solve(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func TestSolveUnsatisfiableInstance(t *testing.T) {
 
 func TestSolveTrivialCases(t *testing.T) {
 	// Empty execution.
-	res, err := Solve(memory.NewExecution(), 0, nil)
+	res, err := Solve(context.Background(), memory.NewExecution(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestSolveTrivialCases(t *testing.T) {
 
 	// Single read of the declared initial value.
 	e := memory.NewExecution(memory.History{memory.R(0, 5)}).SetInitial(0, 5)
-	res, err = Solve(e, 0, nil)
+	res, err = Solve(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestSolveTrivialCases(t *testing.T) {
 
 	// Single read of a never-written, non-initial value.
 	e = memory.NewExecution(memory.History{memory.R(0, 5)}).SetInitial(0, 4)
-	res, err = Solve(e, 0, nil)
+	res, err = Solve(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestSolveFinalValue(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	).SetFinal(0, 1)
-	res, err := Solve(e, 0, nil)
+	res, err := Solve(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestSolveFinalValue(t *testing.T) {
 	}
 
 	e.SetFinal(0, 3)
-	res, err = Solve(e, 0, nil)
+	res, err = Solve(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestSolveRMWChain(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 		memory.History{memory.RW(0, 2, 3)},
 	).SetInitial(0, 0).SetFinal(0, 3)
-	res, err := Solve(e, 0, nil)
+	res, err := Solve(context.Background(), e, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestSolveRMWChain(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 0, 2)},
 	).SetInitial(0, 0)
-	res, err = Solve(bad, 0, nil)
+	res, err = Solve(context.Background(), bad, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,14 +161,25 @@ func TestSolveRMWChain(t *testing.T) {
 
 func TestSolveStateBudget(t *testing.T) {
 	// A moderately hard incoherent instance; with a 1-state budget the
-	// search must give up and report undecided.
+	// search must give up with a typed budget error carrying partial
+	// stats, not report a definite negative.
 	exec := figure42Instance()
-	res, err := Solve(exec, 0, &Options{MaxStates: 1})
-	if err != nil {
-		t.Fatal(err)
+	res, err := Solve(context.Background(), exec, 0, &Options{MaxStates: 1})
+	if err == nil {
+		t.Fatalf("budget-limited search returned a verdict (coherent=%v)", res.Coherent)
 	}
-	if res.Decided && !res.Coherent {
-		t.Error("budget-limited search reported a definite negative")
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		t.Fatalf("error is not *solver.ErrBudgetExceeded: %v", err)
+	}
+	if be.Reason != solver.ExceededStates {
+		t.Errorf("reason = %v, want ExceededStates", be.Reason)
+	}
+	if be.Stats.States == 0 {
+		t.Error("budget error carries no partial stats")
+	}
+	if !be.HasAddr || be.Addr != 0 {
+		t.Errorf("budget error address = %v/%v, want 0", be.Addr, be.HasAddr)
 	}
 }
 
@@ -183,7 +196,7 @@ func TestSolveAblationsAgree(t *testing.T) {
 		exec := randomInstance(rng)
 		want, _ := bruteForceCoherent(exec, 0)
 		for vi, opts := range variants {
-			res, err := Solve(exec, 0, opts)
+			res, err := Solve(context.Background(), exec, 0, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -209,7 +222,7 @@ func TestSolveMatchesOracleOnRandomInstances(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		exec := randomInstance(rng)
 		want, _ := bruteForceCoherent(exec, 0)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +246,7 @@ func TestSolveAutoMatchesOracle(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		exec := randomInstance(rng)
 		want, _ := bruteForceCoherent(exec, 0)
-		res, err := SolveAuto(exec, 0, nil)
+		res, err := SolveAuto(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +268,7 @@ func TestVerifyExecutionPerAddress(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.R(1, 9)},
 		memory.History{memory.R(0, 1), memory.W(1, 5)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	results, err := VerifyExecution(e, nil)
+	results, err := VerifyExecution(context.Background(), e, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +278,7 @@ func TestVerifyExecutionPerAddress(t *testing.T) {
 	if results[1].Coherent {
 		t.Error("address 1 should be incoherent (R(1,9) has no source)")
 	}
-	ok, bad, err := Coherent(e, nil)
+	ok, bad, err := Coherent(context.Background(), e, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +292,7 @@ func TestCoherentAllGood(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.W(1, 2)},
 		memory.History{memory.R(0, 1), memory.R(1, 2)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	ok, _, err := Coherent(e, nil)
+	ok, _, err := Coherent(context.Background(), e, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +303,7 @@ func TestCoherentAllGood(t *testing.T) {
 
 func TestSolveStatsPopulated(t *testing.T) {
 	exec := figure42Instance()
-	res, err := Solve(exec, 0, nil)
+	res, err := Solve(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +317,7 @@ func TestSolveStatsPopulated(t *testing.T) {
 
 func TestSolveRejectsInvalidExecution(t *testing.T) {
 	bad := memory.NewExecution(memory.History{{Kind: memory.Kind(88)}})
-	if _, err := Solve(bad, 0, nil); err == nil {
+	if _, err := Solve(context.Background(), bad, 0, nil); err == nil {
 		t.Error("invalid execution accepted")
 	}
 }
@@ -314,11 +327,11 @@ func TestEagerReadsReduceStates(t *testing.T) {
 	// states than the ablated search.
 	rng := rand.New(rand.NewSource(3))
 	exec, _ := randomCoherentTrace(rng, 3, 6, 2)
-	withRule, err := Solve(exec, 0, nil)
+	withRule, err := Solve(context.Background(), exec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Solve(exec, 0, &Options{DisableEagerReads: true})
+	without, err := Solve(context.Background(), exec, 0, &Options{DisableEagerReads: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 package coherence
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // SolveSingleOp decides VMC for instances with at most one simple
@@ -15,10 +18,14 @@ import (
 // come first, and a write of the final value goes last. The
 // implementation sorts operations by value, O(n log n) as the paper
 // lists.
-func SolveSingleOp(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveSingleOp(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
+	}
+	start := time.Now()
 	inst := project(exec, addr)
 	if inst.maxOpsPerProcess() > 1 {
 		return nil, fmt.Errorf("coherence: address %d has a history with more than one operation", addr)
@@ -27,13 +34,15 @@ func SolveSingleOp(exec *memory.Execution, addr memory.Addr) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("coherence: address %d has read-modify-write operations; use SolveSingleOpRMW", addr)
 	}
+	r.Stats.Duration = time.Since(start)
 	return r, nil
 }
 
 // singleOpInstance solves the single-op simple-operation case. ok is
 // false when the instance contains read-modify-writes (different
 // algorithm) or a history with more than one op.
-func singleOpInstance(inst *instance) (*Result, bool) {
+func singleOpInstance(inst *instance) (r *Result, ok bool) {
+	defer func() { stampOps(r, inst) }()
 	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "single-op"}
 
 	type group struct {
@@ -145,10 +154,14 @@ func singleOpInstance(inst *instance) (*Result, bool) {
 // form an Eulerian path starting at the initial value (when declared) and
 // ending with a write of the final value (when declared). Hierholzer's
 // algorithm constructs the path.
-func SolveSingleOpRMW(exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveSingleOpRMW(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
+	}
+	start := time.Now()
 	inst := project(exec, addr)
 	if inst.maxOpsPerProcess() > 1 {
 		return nil, fmt.Errorf("coherence: address %d has a history with more than one operation", addr)
@@ -156,11 +169,14 @@ func SolveSingleOpRMW(exec *memory.Execution, addr memory.Addr) (*Result, error)
 	if !inst.allRMW() {
 		return nil, fmt.Errorf("coherence: address %d has simple operations; use SolveSingleOp", addr)
 	}
-	return eulerInstance(inst), nil
+	r := eulerInstance(inst)
+	r.Stats.Duration = time.Since(start)
+	return r, nil
 }
 
 // eulerInstance solves the RMW-only single-op case via Eulerian paths.
-func eulerInstance(inst *instance) *Result {
+func eulerInstance(inst *instance) (r *Result) {
+	defer func() { stampOps(r, inst) }()
 	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "rmw-euler"}
 
 	type edge struct {

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestSingleOpBasic(t *testing.T) {
 		memory.History{memory.W(0, 2)},
 		memory.History{memory.R(0, 2)},
 	).SetInitial(0, 0)
-	res, err := SolveSingleOp(exec, 0)
+	res, err := SolveSingleOp(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestSingleOpUnsourcedRead(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 9)},
 	).SetInitial(0, 0)
-	res, err := SolveSingleOp(exec, 0)
+	res, err := SolveSingleOp(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSingleOpInitialBinding(t *testing.T) {
 		memory.History{memory.R(0, 9)},
 		memory.History{memory.R(0, 9)},
 	)
-	res, err := SolveSingleOp(agree, 0)
+	res, err := SolveSingleOp(context.Background(), agree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSingleOpInitialBinding(t *testing.T) {
 		memory.History{memory.R(0, 9)},
 		memory.History{memory.R(0, 8)},
 	)
-	res, err = SolveSingleOp(disagree, 0)
+	res, err = SolveSingleOp(context.Background(), disagree, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSingleOpFinalValue(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	).SetFinal(0, 1)
-	res, err := SolveSingleOp(exec, 0)
+	res, err := SolveSingleOp(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSingleOpFinalValue(t *testing.T) {
 		t.Errorf("invalid certificate: %v", err)
 	}
 	exec.SetFinal(0, 9)
-	res, err = SolveSingleOp(exec, 0)
+	res, err = SolveSingleOp(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestSingleOpRejectsLongHistories(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.R(0, 1)},
 	)
-	if _, err := SolveSingleOp(exec, 0); err == nil {
+	if _, err := SolveSingleOp(context.Background(), exec, 0); err == nil {
 		t.Error("multi-op history accepted")
 	}
 }
@@ -105,7 +106,7 @@ func TestSingleOpRejectsRMW(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.RW(0, 0, 1)},
 	)
-	if _, err := SolveSingleOp(exec, 0); err == nil {
+	if _, err := SolveSingleOp(context.Background(), exec, 0); err == nil {
 		t.Error("RMW accepted by the simple single-op solver")
 	}
 }
@@ -115,7 +116,7 @@ func TestSingleOpMatchesOracle(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		exec := singleOpRandom(rng, false)
 		want, _ := bruteForceCoherent(exec, 0)
-		res, err := SolveSingleOp(exec, 0)
+		res, err := SolveSingleOp(context.Background(), exec, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestSingleOpRMWEulerChain(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 		memory.History{memory.RW(0, 2, 3)},
 	).SetInitial(0, 0).SetFinal(0, 3)
-	res, err := SolveSingleOpRMW(exec, 0)
+	res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestSingleOpRMWCircuit(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 1, 0)},
 	).SetInitial(0, 0).SetFinal(0, 0)
-	res, err := SolveSingleOpRMW(exec, 0)
+	res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSingleOpRMWCircuit(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 1, 0)},
 	).SetInitial(0, 7)
-	res, err = SolveSingleOpRMW(off, 0)
+	res, err = SolveSingleOpRMW(context.Background(), off, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestSingleOpRMWDisconnected(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 5, 6)},
 	).SetInitial(0, 0)
-	res, err := SolveSingleOpRMW(exec, 0)
+	res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestSingleOpRMWDegreeViolations(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 		memory.History{memory.RW(0, 1, 3)},
 	)
-	res, err := SolveSingleOpRMW(exec, 0)
+	res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSingleOpRMWDegreeViolations(t *testing.T) {
 
 func TestSingleOpRMWEmpty(t *testing.T) {
 	empty := memory.NewExecution(memory.History{})
-	res, err := SolveSingleOpRMW(empty, 0)
+	res, err := SolveSingleOpRMW(context.Background(), empty, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestSingleOpRMWEmpty(t *testing.T) {
 		t.Error("empty RMW instance rejected")
 	}
 	conflict := memory.NewExecution(memory.History{}).SetInitial(0, 1).SetFinal(0, 2)
-	res, err = SolveSingleOpRMW(conflict, 0)
+	res, err = SolveSingleOpRMW(context.Background(), conflict, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSingleOpRMWFinalPinsCircuitStart(t *testing.T) {
 		memory.History{memory.RW(0, 0, 1)},
 		memory.History{memory.RW(0, 1, 0)},
 	).SetFinal(0, 0)
-	res, err := SolveSingleOpRMW(exec, 0)
+	res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestSingleOpRMWMatchesOracle(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		exec := singleOpRandom(rng, true)
 		want, _ := bruteForceCoherent(exec, 0)
-		res, err := SolveSingleOpRMW(exec, 0)
+		res, err := SolveSingleOpRMW(context.Background(), exec, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

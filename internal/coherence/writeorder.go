@@ -1,9 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // SolveWithWriteOrder decides VMC for address addr when the memory system
@@ -30,16 +33,24 @@ import (
 // instance (wrong operations, duplicates, or program order violated); an
 // incoherent result (Coherent == false) is returned when the order is
 // valid but no coherent schedule extends it.
-func SolveWithWriteOrder(exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*Result, error) {
+func SolveWithWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
+	}
+	start := time.Now()
 	inst := project(exec, addr)
 	order, err := inst.toProjectionRefs(writeOrder, addr)
 	if err != nil {
 		return nil, err
 	}
-	return writeOrderInstance(inst, order)
+	r, err := writeOrderInstance(inst, order)
+	if r != nil {
+		r.Stats.Duration = time.Since(start)
+	}
+	return r, err
 }
 
 // toProjectionRefs translates original execution refs to projection refs.
@@ -98,7 +109,8 @@ func (in *instance) validateWriteOrder(order []memory.Ref) error {
 
 // writeOrderInstance runs the §5.2 algorithm over a projected instance.
 // order holds projection refs of the writing operations.
-func writeOrderInstance(inst *instance, order []memory.Ref) (*Result, error) {
+func writeOrderInstance(inst *instance, order []memory.Ref) (r *Result, err error) {
+	defer func() { stampOps(r, inst) }()
 	if err := inst.validateWriteOrder(order); err != nil {
 		return nil, err
 	}
@@ -251,9 +263,12 @@ func placeReads(inst *instance, order []memory.Ref, init *memory.Value) ([]memor
 // write order is then a total order of all operations, and coherence
 // holds iff the read component of each operation returns the value stored
 // by the write component of its predecessor (§5.2, final remark).
-func CheckRMWWriteOrder(exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref) (*Result, error) {
+func CheckRMWWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
+	}
+	if e := solver.Interrupted(ctx); e != nil {
+		return nil, withAddr(e, addr)
 	}
 	inst := project(exec, addr)
 	if !inst.allRMW() {
@@ -271,6 +286,7 @@ func CheckRMWWriteOrder(exec *memory.Execution, addr memory.Addr, writeOrder []m
 		return nil, err
 	}
 	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "rmw-write-order"}
+	stampOps(incoherent, inst)
 
 	var cur memory.Value
 	bound := false
@@ -287,10 +303,12 @@ func CheckRMWWriteOrder(exec *memory.Execution, addr memory.Addr, writeOrder []m
 	if inst.final != nil && bound && cur != *inst.final {
 		return incoherent, nil
 	}
-	return &Result{
+	res := &Result{
 		Coherent:  true,
 		Decided:   true,
 		Schedule:  inst.translate(order),
 		Algorithm: "rmw-write-order",
-	}, nil
+	}
+	stampOps(res, inst)
+	return res, nil
 }

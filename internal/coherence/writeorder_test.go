@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestWriteOrderAcceptsRecordedTrace(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 200; i++ {
 		exec, order := randomCoherentTrace(rng, 3, 5, 3)
-		res, err := SolveWithWriteOrder(exec, 0, order, nil)
+		res, err := SolveWithWriteOrder(context.Background(), exec, 0, order, nil)
 		if err != nil {
 			t.Fatalf("instance %d: %v", i, err)
 		}
@@ -33,7 +34,7 @@ func TestWriteOrderDetectsViolation(t *testing.T) {
 		memory.History{memory.R(0, 2), memory.R(0, 1)},
 	).SetInitial(0, 0)
 	order := []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}
-	res, err := SolveWithWriteOrder(exec, 0, order, nil)
+	res, err := SolveWithWriteOrder(context.Background(), exec, 0, order, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,29 +51,29 @@ func TestWriteOrderValidatesInput(t *testing.T) {
 	w1 := memory.Ref{Proc: 0, Index: 1}
 
 	// Program order violated in the supplied write order.
-	if _, err := SolveWithWriteOrder(exec, 0, []memory.Ref{w1, w0}, nil); err == nil {
+	if _, err := SolveWithWriteOrder(context.Background(), exec, 0, []memory.Ref{w1, w0}, nil); err == nil {
 		t.Error("write order violating program order accepted")
 	}
 	// Missing write.
-	if _, err := SolveWithWriteOrder(exec, 0, []memory.Ref{w0}, nil); err == nil {
+	if _, err := SolveWithWriteOrder(context.Background(), exec, 0, []memory.Ref{w0}, nil); err == nil {
 		t.Error("incomplete write order accepted")
 	}
 	// Duplicate.
-	if _, err := SolveWithWriteOrder(exec, 0, []memory.Ref{w0, w0}, nil); err == nil {
+	if _, err := SolveWithWriteOrder(context.Background(), exec, 0, []memory.Ref{w0, w0}, nil); err == nil {
 		t.Error("duplicate write order entry accepted")
 	}
 	// A read in the write order.
 	withRead := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.R(0, 1)},
 	)
-	if _, err := SolveWithWriteOrder(withRead, 0, []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}, nil); err == nil {
+	if _, err := SolveWithWriteOrder(context.Background(), withRead, 0, []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}, nil); err == nil {
 		t.Error("read accepted as a write order entry")
 	}
 	// A ref that is not an operation of the address.
 	other := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.W(1, 2)},
 	)
-	if _, err := SolveWithWriteOrder(other, 0, []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}, nil); err == nil {
+	if _, err := SolveWithWriteOrder(context.Background(), other, 0, []memory.Ref{{Proc: 0, Index: 0}, {Proc: 0, Index: 1}}, nil); err == nil {
 		t.Error("write to another address accepted in the write order")
 	}
 }
@@ -83,7 +84,7 @@ func TestWriteOrderFinalValue(t *testing.T) {
 		memory.History{memory.W(0, 2)},
 	).SetFinal(0, 2)
 	good := []memory.Ref{{Proc: 0, Index: 0}, {Proc: 1, Index: 0}}
-	res, err := SolveWithWriteOrder(exec, 0, good, nil)
+	res, err := SolveWithWriteOrder(context.Background(), exec, 0, good, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestWriteOrderFinalValue(t *testing.T) {
 		t.Error("write order ending on the final value rejected")
 	}
 	bad := []memory.Ref{{Proc: 1, Index: 0}, {Proc: 0, Index: 0}}
-	res, err = SolveWithWriteOrder(exec, 0, bad, nil)
+	res, err = SolveWithWriteOrder(context.Background(), exec, 0, bad, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestWriteOrderRMWEmbedded(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 	).SetInitial(0, 0)
 	good := []memory.Ref{{Proc: 0, Index: 0}, {Proc: 1, Index: 0}}
-	res, err := SolveWithWriteOrder(exec, 0, good, nil)
+	res, err := SolveWithWriteOrder(context.Background(), exec, 0, good, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestWriteOrderRMWEmbedded(t *testing.T) {
 		t.Error("valid RMW write order rejected")
 	}
 	bad := []memory.Ref{{Proc: 1, Index: 0}, {Proc: 0, Index: 0}}
-	res, err = SolveWithWriteOrder(exec, 0, bad, nil)
+	res, err = SolveWithWriteOrder(context.Background(), exec, 0, bad, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestWriteOrderUnboundInitialBindsViaRMW(t *testing.T) {
 		memory.History{memory.R(0, 7)},
 	)
 	order := []memory.Ref{{Proc: 0, Index: 0}}
-	res, err := SolveWithWriteOrder(exec, 0, order, nil)
+	res, err := SolveWithWriteOrder(context.Background(), exec, 0, order, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestWriteOrderUnboundInitialCandidates(t *testing.T) {
 		memory.History{memory.R(0, 3), memory.R(0, 3)},
 		memory.History{memory.R(0, 3)},
 	)
-	res, err := SolveWithWriteOrder(agree, 0, nil, nil)
+	res, err := SolveWithWriteOrder(context.Background(), agree, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestWriteOrderUnboundInitialCandidates(t *testing.T) {
 		memory.History{memory.R(0, 3)},
 		memory.History{memory.R(0, 4)},
 	)
-	res, err = SolveWithWriteOrder(disagree, 0, nil, nil)
+	res, err = SolveWithWriteOrder(context.Background(), disagree, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestWriteOrderConsistentWithGeneralSolver(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for i := 0; i < 300; i++ {
 		exec := randomInstance(rng)
-		res, err := Solve(exec, 0, nil)
+		res, err := Solve(context.Background(), exec, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func TestWriteOrderConsistentWithGeneralSolver(t *testing.T) {
 				order = append(order, r)
 			}
 		}
-		wres, err := SolveWithWriteOrder(exec, 0, order, nil)
+		wres, err := SolveWithWriteOrder(context.Background(), exec, 0, order, nil)
 		if err != nil {
 			t.Fatalf("instance %d: %v (histories=%v)", i, err, exec.Histories)
 		}
@@ -214,7 +215,7 @@ func TestCheckRMWWriteOrder(t *testing.T) {
 		memory.History{memory.RW(0, 1, 2)},
 	).SetInitial(0, 0).SetFinal(0, 3)
 	good := []memory.Ref{{Proc: 0, Index: 0}, {Proc: 1, Index: 0}, {Proc: 0, Index: 1}}
-	res, err := CheckRMWWriteOrder(exec, 0, good)
+	res, err := CheckRMWWriteOrder(context.Background(), exec, 0, good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,10 +228,10 @@ func TestCheckRMWWriteOrder(t *testing.T) {
 
 	// Broken chain.
 	bad := []memory.Ref{{Proc: 1, Index: 0}, {Proc: 0, Index: 0}, {Proc: 0, Index: 1}}
-	if _, err := CheckRMWWriteOrder(exec, 0, bad); err != nil {
+	if _, err := CheckRMWWriteOrder(context.Background(), exec, 0, bad); err != nil {
 		t.Fatal(err)
 	}
-	res, err = CheckRMWWriteOrder(exec, 0, bad)
+	res, err = CheckRMWWriteOrder(context.Background(), exec, 0, bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestCheckRMWWriteOrder(t *testing.T) {
 
 	// Wrong final value.
 	exec.SetFinal(0, 9)
-	res, err = CheckRMWWriteOrder(exec, 0, good)
+	res, err = CheckRMWWriteOrder(context.Background(), exec, 0, good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,12 +251,12 @@ func TestCheckRMWWriteOrder(t *testing.T) {
 
 	// Non-RMW instance rejected.
 	mixed := memory.NewExecution(memory.History{memory.W(0, 1)})
-	if _, err := CheckRMWWriteOrder(mixed, 0, []memory.Ref{{Proc: 0, Index: 0}}); err == nil {
+	if _, err := CheckRMWWriteOrder(context.Background(), mixed, 0, []memory.Ref{{Proc: 0, Index: 0}}); err == nil {
 		t.Error("non-RMW instance accepted")
 	}
 
 	// Wrong cardinality.
-	if _, err := CheckRMWWriteOrder(exec, 0, good[:2]); err == nil {
+	if _, err := CheckRMWWriteOrder(context.Background(), exec, 0, good[:2]); err == nil {
 		t.Error("short write order accepted")
 	}
 }

@@ -19,13 +19,20 @@
 //     discipline of Figure 6.1 (every access bracketed by acquire and
 //     release), under which Lazy Release Consistency forces per-address
 //     serialization, i.e. coherence.
+//
+// Every entry point takes a context.Context and shares the resource
+// budget machinery of internal/solver with the coherence package:
+// cancellation, Options.Timeout and Options.MaxStates all abort a solve
+// with a *solver.ErrBudgetExceeded carrying the partial Stats.
 package consistency
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/coherence"
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // Model names a memory consistency model supported by Verify.
@@ -67,49 +74,25 @@ func (m Model) String() string {
 	}
 }
 
-// Options control the search-based verifiers. The zero value (or nil)
-// requests a complete memoized search.
-type Options struct {
-	// MaxStates bounds the number of search states explored; 0 means
-	// unlimited. When hit, the result has Decided == false.
-	MaxStates int
-	// DisableMemoization turns off visited-state caching (ablation).
-	DisableMemoization bool
-	// DisableEagerReads turns off eager scheduling of matching reads in
-	// the VSC search (ablation).
-	DisableEagerReads bool
-	// DisableWriteGuidance turns off the branching heuristic that tries
-	// writes whose (address, value) some blocked read is waiting for
-	// before other candidates (ablation; ordering never affects
-	// completeness).
-	DisableWriteGuidance bool
-}
+// Options control the search-based verifiers; the type is shared with
+// internal/coherence via internal/solver, so one options value
+// configures both packages. The zero value (or nil) requests a complete
+// memoized search with no resource bound.
+type Options = solver.Options
 
-func (o *Options) maxStates() int {
-	if o == nil {
-		return 0
-	}
-	return o.MaxStates
-}
+// Stats describes the work a verifier performed (shared with
+// internal/coherence via internal/solver).
+type Stats = solver.Stats
 
-func (o *Options) memoize() bool { return o == nil || !o.DisableMemoization }
-
-func (o *Options) eagerReads() bool { return o == nil || !o.DisableEagerReads }
-
-func (o *Options) writeGuidance() bool { return o == nil || !o.DisableWriteGuidance }
-
-// Stats describes the work a verifier performed.
-type Stats struct {
-	States   int
-	MemoHits int
-}
-
-// Result is the outcome of a consistency query.
+// Result is the outcome of a consistency query. It implements
+// solver.Verdict.
 type Result struct {
 	// Consistent reports whether the execution adheres to the model.
-	// Only meaningful when Decided is true.
 	Consistent bool
-	// Decided is false when a resource bound stopped the search.
+	// Decided is retained for legacy callers: verifiers now report
+	// budget exhaustion as a *solver.ErrBudgetExceeded instead of
+	// returning an undecided result, so any Result returned without
+	// error has Decided == true.
 	Decided bool
 	// Schedule is a witness sequentially consistent schedule, when the
 	// model admits one (SC, VSCC, merge). Relaxed-model verifiers return
@@ -125,40 +108,50 @@ type Result struct {
 	Stats Stats
 }
 
+// Holds implements solver.Verdict.
+func (r *Result) Holds() bool { return r.Consistent }
+
+// IsDecided implements solver.Verdict.
+func (r *Result) IsDecided() bool { return r.Decided }
+
+// AlgorithmName implements solver.Verdict.
+func (r *Result) AlgorithmName() string { return r.Algorithm }
+
+// SolverStats implements solver.Verdict.
+func (r *Result) SolverStats() solver.Stats { return r.Stats }
+
+// Certificate implements solver.Verdict.
+func (r *Result) Certificate() memory.Schedule { return r.Schedule }
+
 // Verify checks exec against the given model. For CoherenceOnly the
 // result's Schedule is empty (coherence certificates are per address; use
-// coherence.VerifyExecution directly for those).
-func Verify(model Model, exec *memory.Execution, opts *Options) (*Result, error) {
+// coherence.VerifyExecution directly for those) and Stats aggregates the
+// per-address solves.
+func Verify(ctx context.Context, model Model, exec *memory.Execution, opts *Options) (*Result, error) {
 	switch model {
 	case SC:
-		return SolveVSC(exec, opts)
+		return SolveVSC(ctx, exec, opts)
 	case TSO:
-		return VerifyTSO(exec, opts)
+		return VerifyTSO(ctx, exec, opts)
 	case PSO:
-		return VerifyPSO(exec, opts)
+		return VerifyPSO(ctx, exec, opts)
 	case CoherenceOnly:
-		ok, _, err := coherence.Coherent(exec, coherenceOptions(opts))
+		results, err := coherence.VerifyExecution(ctx, exec, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Consistent: ok, Decided: true, Algorithm: "per-address-coherence"}, nil
+		res := &Result{Consistent: true, Decided: true, Algorithm: "per-address-coherence"}
+		for _, r := range results {
+			if !r.Coherent {
+				res.Consistent = false
+			}
+			res.Stats.Merge(r.Stats)
+		}
+		return res, nil
 	case LRC:
-		return VerifyLRC(exec, opts)
+		return VerifyLRC(ctx, exec, opts)
 	default:
 		return nil, fmt.Errorf("consistency: unknown model %v", model)
-	}
-}
-
-// coherenceOptions adapts consistency options for the coherence solvers.
-func coherenceOptions(opts *Options) *coherence.Options {
-	if opts == nil {
-		return nil
-	}
-	return &coherence.Options{
-		MaxStates:            opts.MaxStates,
-		DisableMemoization:   opts.DisableMemoization,
-		DisableEagerReads:    opts.DisableEagerReads,
-		DisableWriteGuidance: opts.DisableWriteGuidance,
 	}
 }
 
@@ -168,15 +161,15 @@ func coherenceOptions(opts *Options) *coherence.Options {
 // promise does not hold (the problem is then undefined). It then decides
 // VSC. Per §6.3 this second step remains NP-Complete even though the
 // promise holds.
-func SolveVSCC(exec *memory.Execution, opts *Options) (*Result, error) {
-	ok, bad, err := coherence.Coherent(exec, coherenceOptions(opts))
+func SolveVSCC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	ok, bad, err := coherence.Coherent(ctx, exec, opts)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("consistency: VSCC promise violated: address %d has no coherent schedule", bad)
 	}
-	res, err := SolveVSC(exec, opts)
+	res, err := SolveVSC(ctx, exec, opts)
 	if err != nil {
 		return nil, err
 	}

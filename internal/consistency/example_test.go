@@ -1,6 +1,7 @@
 package consistency_test
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/consistency"
@@ -16,7 +17,7 @@ func ExampleVerify() {
 	).SetInitial(0, 0).SetInitial(1, 0)
 
 	for _, m := range []consistency.Model{consistency.SC, consistency.TSO, consistency.CoherenceOnly} {
-		res, err := consistency.Verify(m, dekker, nil)
+		res, err := consistency.Verify(context.Background(), m, dekker, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -35,7 +36,7 @@ func ExampleSolveVSCC() {
 		memory.History{memory.W(0, 1), memory.W(1, 1)},
 		memory.History{memory.R(1, 1), memory.R(0, 1)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	res, err := consistency.SolveVSCC(exec, nil)
+	res, err := consistency.SolveVSCC(context.Background(), exec, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/coherence"
@@ -76,28 +77,23 @@ func CheckDiscipline(exec *memory.Execution) SynchronizationDiscipline {
 // Executions that are not fully synchronized are rejected with an error:
 // LRC places no useful constraint on unsynchronized accesses, so neither
 // acceptance nor rejection would be meaningful.
-func VerifyLRC(exec *memory.Execution, opts *Options) (*Result, error) {
+func VerifyLRC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if d := CheckDiscipline(exec); d != FullySynchronized {
 		return nil, fmt.Errorf("consistency: execution is %s; VerifyLRC requires the fully synchronized discipline of Figure 6.1", d)
 	}
-	results, err := coherence.VerifyExecution(exec, coherenceOptions(opts))
+	results, err := coherence.VerifyExecution(ctx, exec, opts)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Consistent: true, Decided: true, Algorithm: "lrc-synchronized"}
 	for _, r := range results {
-		if !r.Decided {
-			res.Decided = false
-		}
 		if !r.Coherent {
 			res.Consistent = false
 		}
-	}
-	if !res.Decided {
-		res.Consistent = false
+		res.Stats.Merge(r.Stats)
 	}
 	return res, nil
 }

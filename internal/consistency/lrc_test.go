@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"testing"
 
 	"memverify/internal/memory"
@@ -55,7 +56,7 @@ func TestVerifyLRCCoherentExecution(t *testing.T) {
 		wrap(memory.History{memory.W(0, 1)}),
 		wrap(memory.History{memory.R(0, 1)}),
 	).SetInitial(0, 0)
-	res, err := VerifyLRC(exec, nil)
+	res, err := VerifyLRC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestVerifyLRCIncoherentExecution(t *testing.T) {
 	exec := memory.NewExecution(
 		wrap(memory.History{memory.R(0, 5)}),
 	).SetInitial(0, 0)
-	res, err := VerifyLRC(exec, nil)
+	res, err := VerifyLRC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestVerifyLRCRequiresDiscipline(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.W(0, 1)},
 	)
-	if _, err := VerifyLRC(exec, nil); err == nil {
+	if _, err := VerifyLRC(context.Background(), exec, nil); err == nil {
 		t.Error("unsynchronized execution accepted by VerifyLRC")
 	}
 }
@@ -91,11 +92,11 @@ func TestVerifyDispatchLRC(t *testing.T) {
 		wrap(memory.History{memory.W(0, 1)}),
 		wrap(memory.History{memory.R(0, 1)}),
 	).SetInitial(0, 0)
-	res, err := Verify(LRC, exec, nil)
+	res, err := Verify(context.Background(), LRC, exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Consistent {
-		t.Error("Verify(LRC) rejected a coherent synchronized execution")
+		t.Error("Verify(context.Background(), LRC) rejected a coherent synchronized execution")
 	}
 }

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestMergeDetectsConflict(t *testing.T) {
 	// Dekker: per-address coherent schedules exist, but any choice is
 	// unmergeable (the execution is not SC).
 	exec := dekkerExecution()
-	results, err := coherence.VerifyExecution(exec, nil)
+	results, err := coherence.VerifyExecution(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestMergeWrongScheduleSetFailsButVSCSucceeds(t *testing.T) {
 		t.Error("wrong schedule set merged; expected a precedence cycle")
 	}
 	// …while the full VSC search still certifies the execution as SC.
-	vsc, err := SolveVSC(noFinal, nil)
+	vsc, err := SolveVSC(context.Background(), noFinal, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMergeRoundTripFromSCCertificate(t *testing.T) {
 	merged := 0
 	for i := 0; i < 300; i++ {
 		exec := randomMultiAddress(rng)
-		vsc, err := SolveVSC(exec, nil)
+		vsc, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -14,14 +15,14 @@ func TestSCImpliesCoherence(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomMultiAddress(rng)
-		sc, err := SolveVSC(exec, nil)
+		sc, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			return false
 		}
 		if !sc.Consistent {
 			return true
 		}
-		coh, err := Verify(CoherenceOnly, exec, nil)
+		coh, err := Verify(context.Background(), CoherenceOnly, exec, nil)
 		if err != nil {
 			return false
 		}
@@ -55,11 +56,11 @@ func TestModelAddressRenamingInvariance(t *testing.T) {
 			mapped.SetFinal(rename(a), v)
 		}
 		for _, m := range []Model{SC, TSO, PSO, CoherenceOnly} {
-			a, err := Verify(m, exec, nil)
+			a, err := Verify(context.Background(), m, exec, nil)
 			if err != nil {
 				return false
 			}
-			b, err := Verify(m, mapped, nil)
+			b, err := Verify(context.Background(), m, mapped, nil)
 			if err != nil {
 				return false
 			}
@@ -92,14 +93,14 @@ func TestFenceMonotonicity(t *testing.T) {
 		h := fenced.Histories[p]
 		fenced.Histories[p] = append(append(append(memory.History{}, h[:at]...), memory.Bar()), h[at:]...)
 		for _, m := range []Model{TSO, PSO} {
-			withFence, err := Verify(m, fenced, nil)
+			withFence, err := Verify(context.Background(), m, fenced, nil)
 			if err != nil {
 				return false
 			}
 			if !withFence.Consistent {
 				continue
 			}
-			without, err := Verify(m, exec, nil)
+			without, err := Verify(context.Background(), m, exec, nil)
 			if err != nil {
 				return false
 			}
@@ -119,7 +120,7 @@ func TestVSCCertificateWellFormed(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		exec := randomMultiAddress(rng)
-		res, err := SolveVSC(exec, nil)
+		res, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			return false
 		}

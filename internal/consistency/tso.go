@@ -1,11 +1,14 @@
 package consistency
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // EventKind discriminates witness events of the operational verifiers.
@@ -55,9 +58,10 @@ type bufferEntry struct {
 // address, else read memory. Read-modify-writes, fences, acquires and
 // releases require an empty (own) buffer and act on memory directly.
 type tsoSearcher struct {
-	exec *memory.Execution
-	opts *Options
-	pso  bool
+	exec   *memory.Execution
+	opts   *Options
+	budget *solver.Budget
+	pso    bool
 
 	addrIndex map[memory.Addr]int
 	pos       []int
@@ -66,29 +70,28 @@ type tsoSearcher struct {
 	bound     []bool
 	events    []Event
 
-	memo     map[string]struct{}
-	states   int
-	memoHits int
-	exceeded bool
-	keyBuf   []byte
+	memo   map[string]struct{}
+	stats  solver.Stats
+	abort  *solver.ErrBudgetExceeded
+	keyBuf []byte
 }
 
 // VerifyTSO checks whether exec is explainable by a Total Store Order
 // machine: per-processor FIFO store buffers with forwarding, writes
 // committing to a single coherent memory in issue order. The witness
 // issue/commit event trace is returned on success.
-func VerifyTSO(exec *memory.Execution, opts *Options) (*Result, error) {
-	return verifyStoreBuffer(exec, opts, false)
+func VerifyTSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return verifyStoreBuffer(ctx, exec, opts, false)
 }
 
 // VerifyPSO checks whether exec is explainable by a Partial Store Order
 // machine: like TSO but stores to different addresses may commit out of
 // issue order (per-address FIFOs).
-func VerifyPSO(exec *memory.Execution, opts *Options) (*Result, error) {
-	return verifyStoreBuffer(exec, opts, true)
+func VerifyPSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return verifyStoreBuffer(ctx, exec, opts, true)
 }
 
-func verifyStoreBuffer(exec *memory.Execution, opts *Options, pso bool) (*Result, error) {
+func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Options, pso bool) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,12 +117,20 @@ func verifyStoreBuffer(exec *memory.Execution, opts *Options, pso bool) (*Result
 	if pso {
 		algorithm = "pso-operational"
 	}
+	start := time.Now()
+	s.budget = solver.Start(ctx, opts)
+	defer s.budget.Stop()
 	found := s.dfs()
+	s.stats.Duration = time.Since(start)
+	if s.abort != nil {
+		s.abort.Stats = s.stats
+		return nil, s.abort
+	}
 	res := &Result{
 		Consistent: found,
-		Decided:    found || !s.exceeded,
+		Decided:    true,
 		Algorithm:  algorithm,
-		Stats:      Stats{States: s.states, MemoHits: s.memoHits},
+		Stats:      s.stats,
 	}
 	if found {
 		res.Events = append([]Event(nil), s.events...)
@@ -313,46 +324,52 @@ func (s *tsoSearcher) commit(p, idx int) func() {
 }
 
 func (s *tsoSearcher) dfs() bool {
+	if d := len(s.events); d > s.stats.PeakDepth {
+		s.stats.PeakDepth = d
+	}
 	if s.done() {
 		return s.finalOK()
 	}
 	var key string
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
-			s.memoHits++
+			s.stats.MemoHits++
 			return false
 		}
+		s.stats.MemoMisses++
 	}
-	s.states++
-	if max := s.opts.maxStates(); max > 0 && s.states > max {
-		s.exceeded = true
+	s.stats.States++
+	if e := s.budget.Charge(s.stats.States); e != nil {
+		s.abort = e
 		return false
 	}
 
 	for p := range s.exec.Histories {
 		if undo := s.tryIssue(p); undo != nil {
+			s.stats.Branches++
 			if s.dfs() {
 				return true
 			}
 			undo()
-			if s.exceeded {
+			if s.abort != nil {
 				return false
 			}
 		}
 		for _, idx := range s.commitChoices(p) {
+			s.stats.Branches++
 			undo := s.commit(p, idx)
 			if s.dfs() {
 				return true
 			}
 			undo()
-			if s.exceeded {
+			if s.abort != nil {
 				return false
 			}
 		}
 	}
 
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}
 	return false

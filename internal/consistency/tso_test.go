@@ -1,15 +1,17 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 func TestTSOAcceptsDekker(t *testing.T) {
 	exec := dekkerExecution()
-	res, err := VerifyTSO(exec, nil)
+	res, err := VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,7 @@ func TestTSOAcceptsDekker(t *testing.T) {
 func TestTSORejectsStaleMessagePassing(t *testing.T) {
 	// TSO commits stores in order, so the flag cannot become visible
 	// before the data.
-	res, err := VerifyTSO(messagePassingStale(), nil)
+	res, err := VerifyTSO(context.Background(), messagePassingStale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestTSORejectsStaleMessagePassing(t *testing.T) {
 
 func TestPSOAcceptsStaleMessagePassing(t *testing.T) {
 	exec := messagePassingStale()
-	res, err := VerifyPSO(exec, nil)
+	res, err := VerifyPSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestPSOKeepsPerAddressOrder(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.W(0, 2)},
 		memory.History{memory.R(0, 2), memory.R(0, 1)},
 	).SetInitial(0, 0)
-	res, err := VerifyPSO(exec, nil)
+	res, err := VerifyPSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestTSOFenceRestoresSC(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.Bar(), memory.R(1, 0)},
 		memory.History{memory.W(1, 1), memory.Bar(), memory.R(0, 0)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	res, err := VerifyTSO(exec, nil)
+	res, err := VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func TestTSOForwarding(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.R(0, 1), memory.R(1, 0)},
 		memory.History{memory.W(1, 1), memory.R(1, 1), memory.R(0, 0)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	res, err := VerifyTSO(exec, nil)
+	res, err := VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestTSORMWDrainsBuffer(t *testing.T) {
 	exec := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.RW(0, 0, 2)},
 	).SetInitial(0, 0)
-	res, err := VerifyTSO(exec, nil)
+	res, err := VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestTSORMWDrainsBuffer(t *testing.T) {
 	ok := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.RW(0, 1, 2)},
 	).SetInitial(0, 0).SetFinal(0, 2)
-	res, err = VerifyTSO(ok, nil)
+	res, err = VerifyTSO(context.Background(), ok, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +130,7 @@ func TestTSOFinalValues(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	).SetInitial(0, 0).SetFinal(0, 2)
-	res, err := VerifyTSO(exec, nil)
+	res, err := VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestTSOFinalValues(t *testing.T) {
 		t.Fatal("achievable final value rejected")
 	}
 	exec.SetFinal(0, 9)
-	res, err = VerifyTSO(exec, nil)
+	res, err = VerifyTSO(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,15 +153,15 @@ func TestModelHierarchy(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for i := 0; i < 200; i++ {
 		exec := randomMultiAddress(rng)
-		sc, err := SolveVSC(exec, nil)
+		sc, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tso, err := VerifyTSO(exec, nil)
+		tso, err := VerifyTSO(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pso, err := VerifyPSO(exec, nil)
+		pso, err := VerifyPSO(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,12 +187,16 @@ func TestModelHierarchy(t *testing.T) {
 }
 
 func TestTSOBudget(t *testing.T) {
-	res, err := VerifyTSO(messagePassingStale(), &Options{MaxStates: 1})
-	if err != nil {
-		t.Fatal(err)
+	res, err := VerifyTSO(context.Background(), messagePassingStale(), &Options{MaxStates: 1})
+	if err == nil {
+		t.Fatalf("budget-limited verification returned a verdict (consistent=%v)", res.Consistent)
 	}
-	if res.Decided && !res.Consistent {
-		t.Error("budget-limited verification reported a definite negative")
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		t.Fatalf("error is not *solver.ErrBudgetExceeded: %v", err)
+	}
+	if be.Reason != solver.ExceededStates || be.Stats.States == 0 {
+		t.Errorf("budget error reason=%v states=%d, want ExceededStates with partial stats", be.Reason, be.Stats.States)
 	}
 }
 

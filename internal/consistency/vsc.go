@@ -1,9 +1,12 @@
 package consistency
 
 import (
+	"context"
 	"encoding/binary"
+	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // vscSearcher decides VSC by depth-first search over partial schedules.
@@ -14,8 +17,9 @@ import (
 // O(n^k · |D|^c), matching the O(n^k · k^c)-flavored constant-process
 // bound cited in §5.1 from Gibbons & Korach.
 type vscSearcher struct {
-	exec *memory.Execution
-	opts *Options
+	exec   *memory.Execution
+	opts   *Options
+	budget *solver.Budget
 
 	addrIndex map[memory.Addr]int
 	pos       []int
@@ -30,19 +34,41 @@ type vscSearcher struct {
 	writeRank map[memory.Ref]int
 	nextRank  []int
 
-	memo     map[string]struct{}
-	states   int
-	memoHits int
-	exceeded bool
-	keyBuf   []byte
+	memo   map[string]struct{}
+	stats  solver.Stats
+	abort  *solver.ErrBudgetExceeded
+	keyBuf []byte
+}
+
+// run drives the search and packages the result or the budget error.
+func (s *vscSearcher) run(ctx context.Context, algorithm string) (*Result, error) {
+	start := time.Now()
+	s.budget = solver.Start(ctx, s.opts)
+	defer s.budget.Stop()
+	found := s.dfs()
+	s.stats.Duration = time.Since(start)
+	if s.abort != nil {
+		s.abort.Stats = s.stats
+		return nil, s.abort
+	}
+	res := &Result{
+		Consistent: found,
+		Decided:    true,
+		Algorithm:  algorithm,
+		Stats:      s.stats,
+	}
+	if found {
+		res.Schedule = append(memory.Schedule(nil), s.schedule...)
+	}
+	return res, nil
 }
 
 // SolveVSC decides Verifying Sequential Consistency (Definition 6.1): is
 // there a schedule of all operations, all addresses, in which every read
 // returns the value written by the immediately preceding write to the
-// same address? The search is complete for nil options; VSC is
+// same address? The search is complete absent a budget; VSC is
 // NP-Complete, so worst-case time is exponential.
-func SolveVSC(exec *memory.Execution, opts *Options) (*Result, error) {
+func SolveVSC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,17 +88,7 @@ func SolveVSC(exec *memory.Execution, opts *Options) (*Result, error) {
 			s.values[i], s.bound[i] = d, true
 		}
 	}
-	found := s.dfs()
-	res := &Result{
-		Consistent: found,
-		Decided:    found || !s.exceeded,
-		Algorithm:  "vsc-search",
-		Stats:      Stats{States: s.states, MemoHits: s.memoHits},
-	}
-	if found {
-		res.Schedule = append(memory.Schedule(nil), s.schedule...)
-	}
-	return res, nil
+	return s.run(ctx, "vsc-search")
 }
 
 func (s *vscSearcher) key() string {
@@ -157,7 +173,7 @@ func (s *vscSearcher) isPassive(o memory.Op) bool {
 }
 
 func (s *vscSearcher) scheduleEager() int {
-	if !s.opts.eagerReads() {
+	if !s.opts.EagerReads() {
 		return 0
 	}
 	n := 0
@@ -172,6 +188,7 @@ func (s *vscSearcher) scheduleEager() int {
 				s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
 				s.pos[h]++
 				n++
+				s.stats.EagerReads++
 				progress = true
 			}
 		}
@@ -235,7 +252,7 @@ type needKey struct {
 // completeness.
 func (s *vscSearcher) candidates() []int {
 	var needed map[needKey]bool
-	if s.opts.writeGuidance() {
+	if s.opts.WriteGuidance() {
 		for h := range s.exec.Histories {
 			if s.pos[h] >= len(s.exec.Histories[h]) {
 				continue
@@ -264,7 +281,7 @@ func (s *vscSearcher) candidates() []int {
 		if !s.enabled(h, o) {
 			continue
 		}
-		if s.opts.eagerReads() && s.isPassive(o) {
+		if s.opts.EagerReads() && s.isPassive(o) {
 			continue // consumed by the eager rule
 		}
 		if needed != nil && o.IsMemory() {
@@ -283,6 +300,9 @@ func (s *vscSearcher) candidates() []int {
 
 func (s *vscSearcher) dfs() bool {
 	eager := s.scheduleEager()
+	if d := len(s.schedule); d > s.stats.PeakDepth {
+		s.stats.PeakDepth = d
+	}
 	if s.done() {
 		if s.finalOK() {
 			return true
@@ -292,35 +312,38 @@ func (s *vscSearcher) dfs() bool {
 	}
 
 	var key string
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
-			s.memoHits++
+			s.stats.MemoHits++
 			s.undoEager(eager)
 			return false
 		}
+		s.stats.MemoMisses++
 	}
 
-	s.states++
-	if max := s.opts.maxStates(); max > 0 && s.states > max {
-		s.exceeded = true
+	s.stats.States++
+	if e := s.budget.Charge(s.stats.States); e != nil {
+		s.abort = e
 		s.undoEager(eager)
 		return false
 	}
 
-	for _, h := range s.candidates() {
+	cands := s.candidates()
+	s.stats.Branches += len(cands)
+	for _, h := range cands {
 		undo := s.apply(h)
 		if s.dfs() {
 			return true
 		}
 		undo()
-		if s.exceeded {
+		if s.abort != nil {
 			s.undoEager(eager)
 			return false
 		}
 	}
 
-	if s.opts.memoize() {
+	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}
 	s.undoEager(eager)

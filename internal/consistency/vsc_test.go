@@ -1,10 +1,12 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // bruteForceSC enumerates every interleaving of the memory operations and
@@ -95,7 +97,7 @@ func TestSolveVSCAcceptsSCExecution(t *testing.T) {
 		memory.History{memory.W(0, 1), memory.W(1, 1)},
 		memory.History{memory.R(1, 1), memory.R(0, 1)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	res, err := SolveVSC(exec, nil)
+	res, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestSolveVSCAcceptsSCExecution(t *testing.T) {
 }
 
 func TestSolveVSCRejectsDekker(t *testing.T) {
-	res, err := SolveVSC(dekkerExecution(), nil)
+	res, err := SolveVSC(context.Background(), dekkerExecution(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestSolveVSCRejectsDekker(t *testing.T) {
 }
 
 func TestSolveVSCRejectsStaleMessagePassing(t *testing.T) {
-	res, err := SolveVSC(messagePassingStale(), nil)
+	res, err := SolveVSC(context.Background(), messagePassingStale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestSolveVSCIRIW(t *testing.T) {
 		memory.History{memory.R(0, 1), memory.R(1, 0)},
 		memory.History{memory.R(1, 1), memory.R(0, 0)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	res, err := SolveVSC(exec, nil)
+	res, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestSolveVSCWithSyncOps(t *testing.T) {
 		memory.History{memory.Acq(), memory.W(0, 1), memory.Rel()},
 		memory.History{memory.Acq(), memory.R(0, 1), memory.Rel()},
 	).SetInitial(0, 0)
-	res, err := SolveVSC(exec, nil)
+	res, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestSolveVSCFinalValues(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.W(0, 2)},
 	).SetInitial(0, 0).SetFinal(0, 1)
-	res, err := SolveVSC(exec, nil)
+	res, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,7 @@ func TestSolveVSCFinalValues(t *testing.T) {
 		t.Fatal("achievable final value rejected")
 	}
 	exec.SetFinal(0, 9)
-	res, err = SolveVSC(exec, nil)
+	res, err = SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +192,7 @@ func TestSolveVSCMatchesOracle(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		exec := randomMultiAddress(rng)
 		want := bruteForceSC(exec)
-		res, err := SolveVSC(exec, nil)
+		res, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,7 +226,7 @@ func TestSolveVSCAblationsAgree(t *testing.T) {
 		exec := randomMultiAddress(rng)
 		want := bruteForceSC(exec)
 		for vi, opts := range variants {
-			res, err := SolveVSC(exec, opts)
+			res, err := SolveVSC(context.Background(), exec, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -236,19 +238,23 @@ func TestSolveVSCAblationsAgree(t *testing.T) {
 }
 
 func TestSolveVSCBudget(t *testing.T) {
-	res, err := SolveVSC(dekkerExecution(), &Options{MaxStates: 1})
-	if err != nil {
-		t.Fatal(err)
+	res, err := SolveVSC(context.Background(), dekkerExecution(), &Options{MaxStates: 1})
+	if err == nil {
+		t.Fatalf("budget-limited search returned a verdict (consistent=%v)", res.Consistent)
 	}
-	if res.Decided && !res.Consistent {
-		t.Error("budget-limited search reported a definite negative")
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		t.Fatalf("error is not *solver.ErrBudgetExceeded: %v", err)
+	}
+	if be.Reason != solver.ExceededStates || be.Stats.States == 0 {
+		t.Errorf("budget error reason=%v states=%d, want ExceededStates with partial stats", be.Reason, be.Stats.States)
 	}
 }
 
 func TestSolveVSCCPromise(t *testing.T) {
 	// Dekker is coherent per address (each address is just W then R of
 	// initial) but not SC: VSCC must answer false.
-	res, err := SolveVSCC(dekkerExecution(), nil)
+	res, err := SolveVSCC(context.Background(), dekkerExecution(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +266,7 @@ func TestSolveVSCCPromise(t *testing.T) {
 	incoherent := memory.NewExecution(
 		memory.History{memory.R(0, 5)},
 	).SetInitial(0, 0)
-	if _, err := SolveVSCC(incoherent, nil); err == nil {
+	if _, err := SolveVSCC(context.Background(), incoherent, nil); err == nil {
 		t.Error("VSCC accepted an instance violating the coherence promise")
 	}
 
@@ -269,7 +275,7 @@ func TestSolveVSCCPromise(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 0)
-	res, err = SolveVSCC(ok, nil)
+	res, err = SolveVSCC(context.Background(), ok, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +290,7 @@ func TestVerifyDispatch(t *testing.T) {
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 0)
 	for _, m := range []Model{SC, TSO, PSO, CoherenceOnly} {
-		res, err := Verify(m, exec, nil)
+		res, err := Verify(context.Background(), m, exec, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -292,7 +298,7 @@ func TestVerifyDispatch(t *testing.T) {
 			t.Errorf("%v rejected a trivially consistent execution", m)
 		}
 	}
-	if _, err := Verify(Model(99), exec, nil); err == nil {
+	if _, err := Verify(context.Background(), Model(99), exec, nil); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
@@ -316,14 +322,14 @@ func TestCoherentNotSC(t *testing.T) {
 		memory.History{memory.R(0, 1), memory.R(1, 0), memory.R(1, 1), memory.R(0, 1)},
 		memory.History{memory.R(1, 1), memory.R(0, 0), memory.R(0, 1), memory.R(1, 1)},
 	).SetInitial(0, 0).SetInitial(1, 0)
-	cohRes, err := Verify(CoherenceOnly, exec, nil)
+	cohRes, err := Verify(context.Background(), CoherenceOnly, exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !cohRes.Consistent {
 		t.Fatal("execution should be coherent per address")
 	}
-	scRes, err := SolveVSC(exec, nil)
+	scRes, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/memory"
@@ -19,7 +20,7 @@ import (
 // its writing operations. The search is the VSC search with one extra
 // enabledness rule: a writing operation may only be scheduled when it is
 // the next unconsumed entry of its address's order.
-func SolveVSCWithWriteOrders(exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
+func SolveVSCWithWriteOrders(ctx context.Context, exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,15 +86,5 @@ func SolveVSCWithWriteOrders(exec *memory.Execution, orders map[memory.Addr][]me
 			s.values[i], s.bound[i] = d, true
 		}
 	}
-	found := s.dfs()
-	res := &Result{
-		Consistent: found,
-		Decided:    found || !s.exceeded,
-		Algorithm:  "vsc-write-order-search",
-		Stats:      Stats{States: s.states, MemoHits: s.memoHits},
-	}
-	if found {
-		res.Schedule = append(memory.Schedule(nil), s.schedule...)
-	}
-	return res, nil
+	return s.run(ctx, "vsc-write-order-search")
 }

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestVSCWithWriteOrdersAcceptsCertificateOrders(t *testing.T) {
 	checked := 0
 	for i := 0; i < 200; i++ {
 		exec := randomMultiAddress(rng)
-		vsc, err := SolveVSC(exec, nil)
+		vsc, err := SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +44,7 @@ func TestVSCWithWriteOrdersAcceptsCertificateOrders(t *testing.T) {
 		}
 		checked++
 		orders := ordersFromSchedule(exec, vsc.Schedule)
-		res, err := SolveVSCWithWriteOrders(exec, orders, nil)
+		res, err := SolveVSCWithWriteOrders(context.Background(), exec, orders, nil)
 		if err != nil {
 			t.Fatalf("instance %d: %v", i, err)
 		}
@@ -71,7 +72,7 @@ func TestVSCWithWriteOrdersRespectsOrders(t *testing.T) {
 	good := map[memory.Addr][]memory.Ref{
 		0: {{Proc: 0, Index: 0}, {Proc: 1, Index: 0}},
 	}
-	res, err := SolveVSCWithWriteOrders(exec, good, nil)
+	res, err := SolveVSCWithWriteOrders(context.Background(), exec, good, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestVSCWithWriteOrdersRespectsOrders(t *testing.T) {
 	bad := map[memory.Addr][]memory.Ref{
 		0: {{Proc: 1, Index: 0}, {Proc: 0, Index: 0}},
 	}
-	res, err = SolveVSCWithWriteOrders(exec, bad, nil)
+	res, err = SolveVSCWithWriteOrders(context.Background(), exec, bad, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestVSCWithWriteOrdersRespectsOrders(t *testing.T) {
 		t.Error("order contradicting the reads accepted")
 	}
 	// Plain VSC accepts the execution (some order works).
-	plain, err := SolveVSC(exec, nil)
+	plain, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestVSCWithWriteOrdersValidatesInput(t *testing.T) {
 		{0: {{Proc: 5, Index: 0}}}, // out of range
 	}
 	for i, orders := range cases {
-		if _, err := SolveVSCWithWriteOrders(exec, orders, nil); err == nil {
+		if _, err := SolveVSCWithWriteOrders(context.Background(), exec, orders, nil); err == nil {
 			t.Errorf("case %d: invalid orders accepted", i)
 		}
 	}
@@ -127,14 +128,14 @@ func TestVSCWithWriteOrdersPrunes(t *testing.T) {
 		0: {{Proc: 0, Index: 0}},
 		1: {{Proc: 1, Index: 0}},
 	}
-	constrained, err := SolveVSCWithWriteOrders(exec, orders, nil)
+	constrained, err := SolveVSCWithWriteOrders(context.Background(), exec, orders, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if constrained.Consistent {
 		t.Error("Dekker accepted")
 	}
-	plain, err := SolveVSC(exec, nil)
+	plain, err := SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -78,14 +79,14 @@ func TestCorrectProtocolProducesSCTraces(t *testing.T) {
 		s := New(Config{Nodes: 3})
 		prog := mesi.RandomProgram(rng, 3, 6, 3, 0.4, 0.1)
 		exec := run(s, prog, rng)
-		ok, bad, err := coherence.Coherent(exec, nil)
+		ok, bad, err := coherence.Coherent(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !ok {
 			t.Fatalf("run %d: incoherent at address %d\n%v", i, bad, exec.Histories)
 		}
-		res, err := consistency.SolveVSC(exec, nil)
+		res, err := consistency.SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestForgetSharerDetected(t *testing.T) {
 	s.Write(0, 0, 2) // invalidation to node 1 dropped
 	s.RMW(1, 0, 3)   // stale atomic
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestWrongSourceDetected(t *testing.T) {
 	s.Read(1, 0)     // fetch mis-routed: node 1 reads stale 0
 	exec := s.Execution(true)
 	// Node 0's dirty data was dropped: final memory is stale.
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,11 +192,11 @@ func TestLeakEntryBreaksInvariantsButCanBeTraceSilent(t *testing.T) {
 	// The value trace, however, is coherent AND sequentially consistent:
 	// node 0's unobserved write legally serializes after node 1's.
 	exec := s.Execution(false)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := consistency.SolveVSC(exec, nil)
+	res, err := consistency.SolveVSC(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestDropStoreDetected(t *testing.T) {
 	s.Write(0, 0, 7)
 	s.Read(0, 0)
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestLoseWritebackDetected(t *testing.T) {
 	s.Evict(0, 0) // writeback lost
 	s.Read(0, 0)  // refills stale 0
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestProbabilisticInjection(t *testing.T) {
 			continue
 		}
 		fired++
-		ok, _, err := coherence.Coherent(exec, nil)
+		ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"math/rand"
 )
@@ -24,11 +25,14 @@ func pick[T any](c Config, quick, full T) T {
 	return full
 }
 
-// Experiment couples an identifier with its implementation.
+// Experiment couples an identifier with its implementation. Run
+// receives the context of the harness invocation; solver-heavy
+// experiments thread it into every solve so a cmd/experiments -timeout
+// (or an interactive cancellation) aborts mid-search.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) ([]*Table, error)
+	Run   func(ctx context.Context, cfg Config) ([]*Table, error)
 }
 
 // All returns every experiment in presentation order.
@@ -47,12 +51,14 @@ func All() []Experiment {
 		{"A1", "Ablation — memoization and eager reads", AblationSearch},
 		{"A2", "Ablation — SAT solver backends", AblationSAT},
 		{"A3", "Ablation — write-order augmentation speedup", AblationWriteOrder},
+		{"A4", "Ablation — portfolio racer vs. auto dispatch", AblationPortfolio},
 	}
 }
 
 // Run executes the experiments whose IDs are listed (all when ids is
-// empty), rendering each table to w.
-func Run(w io.Writer, cfg Config, ids ...string) error {
+// empty), rendering each table to w. Cancelling ctx aborts the running
+// experiment at its next solver budget poll.
+func Run(ctx context.Context, w io.Writer, cfg Config, ids ...string) error {
 	want := map[string]bool{}
 	for _, id := range ids {
 		want[id] = true
@@ -61,7 +67,7 @@ func Run(w io.Writer, cfg Config, ids ...string) error {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		tables, err := e.Run(cfg)
+		tables, err := e.Run(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -83,7 +84,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(Config{Seed: 1, Quick: true})
+			tables, err := e.Run(context.Background(), Config{Seed: 1, Quick: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -101,7 +102,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestRunFilters(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run(&buf, Config{Seed: 2, Quick: true}, "E1"); err != nil {
+	if err := Run(context.Background(), &buf, Config{Seed: 2, Quick: true}, "E1"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -125,7 +126,7 @@ func TestReductionExperimentsReportFullAgreement(t *testing.T) {
 					exp = e
 				}
 			}
-			tables, err := exp.Run(Config{Seed: 3, Quick: true})
+			tables, err := exp.Run(context.Background(), Config{Seed: 3, Quick: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,7 +18,7 @@ import (
 // firing and the monitor flagging a violation. Offline checking sees the
 // whole trace at once; the online monitor pinpoints the moment a fault's
 // symptom first becomes observable.
-func E9OnlineMonitor(cfg Config) ([]*Table, error) {
+func E9OnlineMonitor(_ context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 
 	// Throughput on healthy streams.

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"memverify/internal/coherence"
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // E10OpenTwoOps probes the paper's open problem (§7, Figure 5.3's "?"
@@ -22,7 +24,7 @@ import (
 // special traction from the two-op restriction; whether the problem
 // itself is tractable (via some structure the search does not exploit)
 // remains exactly as open as the paper left it.
-func E10OpenTwoOps(cfg Config) ([]*Table, error) {
+func E10OpenTwoOps(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	t := &Table{
 		Header: []string{"mix", "exponent (states vs n)", "budget exhausted", "evidence"},
@@ -49,14 +51,14 @@ func E10OpenTwoOps(cfg Config) ([]*Table, error) {
 			var states []int
 			for s := 0; s < samples; s++ {
 				exec := twoOpInstance(rng, n/2, mix.writeFrac, mix.valueRange)
-				res, err := coherence.Solve(exec, 0, &coherence.Options{MaxStates: budget})
-				if err != nil {
-					return nil, err
-				}
 				total++
-				if !res.Decided {
-					exhausted++
-					continue
+				res, err := coherence.Solve(ctx, exec, 0, &coherence.Options{MaxStates: budget})
+				if err != nil {
+					if _, ok := solver.AsBudgetError(err); ok {
+						exhausted++
+						continue
+					}
+					return nil, err
 				}
 				states = append(states, res.Stats.States)
 			}

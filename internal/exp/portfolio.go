@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"memverify/internal/coherence"
+	"memverify/internal/memory"
+	"memverify/internal/reduction"
+	"memverify/internal/workload"
+)
+
+// AblationPortfolio races coherence.SolvePortfolio against the
+// sequential coherence.SolveAuto dispatcher on the E4 workload mix. The
+// claim under test: the portfolio's direct-dispatch fast path keeps it
+// from losing on the many easy instances, while on hard instances the
+// race can only help (the auto choice is one of the racers). The winner
+// column shows which algorithm the portfolio actually settled on.
+func AblationPortfolio(ctx context.Context, cfg Config) ([]*Table, error) {
+	rng := cfg.rng()
+	t := &Table{
+		Header: []string{"workload", "instances", "auto total", "portfolio total", "ratio", "winners"},
+		Caption: "total wall time over the same instance set; ratio = portfolio/auto (≤1 means the\n" +
+			"portfolio is no slower). winners: the algorithm whose result the portfolio returned —\n" +
+			"names prefixed portfolio: won an actual race, plain names were decided by the\n" +
+			"direct-dispatch fast path, an inline specialist, or the escalation probe.",
+	}
+
+	type instance struct {
+		exec *memory.Execution
+		addr memory.Addr
+	}
+	type suite struct {
+		name  string
+		insts []instance
+	}
+
+	var suites []suite
+
+	// E4 rows: one op per process (simple and RMW).
+	var single []instance
+	for _, n := range pick(cfg, []int{50, 100}, []int{200, 400, 800}) {
+		single = append(single,
+			instance{singleOpWorkload(rng, n, false), 0},
+			instance{singleOpWorkload(rng, n, true), 0})
+	}
+	suites = append(suites, suite{"1 op/process", single})
+
+	// E4 row: one write per value (read-map applies).
+	var unique []instance
+	for _, n := range pick(cfg, []int{100, 200}, []int{400, 800, 1600}) {
+		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: 4, OpsPerProc: n / 4, Addresses: 1, UniqueWrites: true, WriteFraction: 0.4,
+		})
+		unique = append(unique, instance{exec, 0})
+	}
+	suites = append(suites, suite{"1 write/value", unique})
+
+	// E4 row: constant processes, general memoized search.
+	var konst []instance
+	for _, n := range pick(cfg, []int{60, 120}, []int{200, 400, 800}) {
+		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: 3, OpsPerProc: n / 3, Addresses: 1, Values: 3, WriteFraction: 0.4,
+		})
+		konst = append(konst, instance{exec, 0})
+	}
+	suites = append(suites, suite{"constant processes", konst})
+
+	// E4 hard rows: reduced SAT instances where the search dominates.
+	var hard []instance
+	for _, m := range pick(cfg, []int{1, 2}, []int{1, 2, 3}) {
+		for s := 0; s < 3; s++ {
+			inst, err := reduction.SATToVMC(randomFormula(rng, m, 2*m))
+			if err != nil {
+				return nil, err
+			}
+			hard = append(hard, instance{inst.Exec, inst.Addr})
+		}
+	}
+	suites = append(suites, suite{"Fig 4.1 hard", hard})
+
+	for _, su := range suites {
+		var autoTime, portTime time.Duration
+		winners := map[string]int{}
+		for _, in := range su.insts {
+			start := time.Now()
+			ares, err := coherence.SolveAuto(ctx, in.exec, in.addr, nil)
+			autoTime += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			pres, err := coherence.SolvePortfolio(ctx, in.exec, in.addr, nil)
+			portTime += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if ares.Coherent != pres.Coherent {
+				return nil, fmt.Errorf("exp: portfolio verdict (%v) diverges from auto dispatch (%v)",
+					pres.Coherent, ares.Coherent)
+			}
+			winners[pres.Algorithm]++
+		}
+		t.Add(su.name, fmt.Sprint(len(su.insts)),
+			fmt.Sprintf("%.3gs", autoTime.Seconds()),
+			fmt.Sprintf("%.3gs", portTime.Seconds()),
+			fmt.Sprintf("%.2f", portTime.Seconds()/autoTime.Seconds()),
+			winnerMix(winners))
+	}
+	return []*Table{t}, nil
+}
+
+// winnerMix renders an algorithm histogram deterministically.
+func winnerMix(w map[string]int) string {
+	names := make([]string, 0, len(w))
+	for n := range w {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s×%d", n, w[n]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -43,7 +44,7 @@ type reductionKind struct {
 // runVMCReduction measures one construction across variable counts:
 // instance sizes, SAT agreement, decoded-certificate validity, and solve
 // cost.
-func runVMCReduction(cfg Config, kind reductionKind, sizes []int) (*Table, error) {
+func runVMCReduction(ctx context.Context, cfg Config, kind reductionKind, sizes []int) (*Table, error) {
 	rng := cfg.rng()
 	samples := pick(cfg, 6, 20)
 
@@ -74,7 +75,7 @@ func runVMCReduction(cfg Config, kind reductionKind, sizes []int) (*Table, error
 				restriction = msg
 			}
 			start := time.Now()
-			res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+			res, err := coherence.Solve(ctx, inst.Exec, inst.Addr, nil)
 			total += time.Since(start)
 			if err != nil {
 				return nil, err
@@ -106,8 +107,8 @@ func runVMCReduction(cfg Config, kind reductionKind, sizes []int) (*Table, error
 // E1Reduction regenerates Figure 4.1/4.2: the general SAT -> VMC
 // construction, its 2m+3 histories / O(mn) operations size, and the
 // Lemma 4.3 equivalence.
-func E1Reduction(cfg Config) ([]*Table, error) {
-	t, err := runVMCReduction(cfg, reductionKind{
+func E1Reduction(ctx context.Context, cfg Config) ([]*Table, error) {
+	t, err := runVMCReduction(ctx, cfg, reductionKind{
 		name:  "fig4.1",
 		build: reduction.SATToVMC,
 		check: func(r reduction.Restrictions) string { return "ok" },
@@ -121,8 +122,8 @@ func E1Reduction(cfg Config) ([]*Table, error) {
 
 // E2Restricted regenerates Figure 5.1: the restricted construction with
 // at most 3 operations per process and 2 writes per value.
-func E2Restricted(cfg Config) ([]*Table, error) {
-	t, err := runVMCReduction(cfg, reductionKind{
+func E2Restricted(ctx context.Context, cfg Config) ([]*Table, error) {
+	t, err := runVMCReduction(ctx, cfg, reductionKind{
 		name:  "fig5.1",
 		build: reduction.ThreeSATToVMCRestricted,
 		check: func(r reduction.Restrictions) string {
@@ -147,8 +148,8 @@ func E2Restricted(cfg Config) ([]*Table, error) {
 
 // E3RMW regenerates Figure 5.2: the RMW-only construction with at most 2
 // RMWs per process and 3 writes per value.
-func E3RMW(cfg Config) ([]*Table, error) {
-	t, err := runVMCReduction(cfg, reductionKind{
+func E3RMW(ctx context.Context, cfg Config) ([]*Table, error) {
+	t, err := runVMCReduction(ctx, cfg, reductionKind{
 		name:  "fig5.2",
 		build: reduction.ThreeSATToVMCRMW,
 		check: func(r reduction.Restrictions) string {
@@ -173,7 +174,7 @@ func E3RMW(cfg Config) ([]*Table, error) {
 
 // E5LRC regenerates Figure 6.1: the synchronized instance, verified
 // under Lazy Release Consistency semantics.
-func E5LRC(cfg Config) ([]*Table, error) {
+func E5LRC(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	sizes := pick(cfg, []int{1, 2}, []int{1, 2, 3, 4})
 	samples := pick(cfg, 6, 20)
@@ -199,7 +200,7 @@ func E5LRC(cfg Config) ([]*Table, error) {
 			}
 			ops = inst.Exec.NumOps()
 			disc = consistency.CheckDiscipline(inst.Exec).String()
-			res, err := consistency.VerifyLRC(inst.Exec, nil)
+			res, err := consistency.VerifyLRC(ctx, inst.Exec, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -215,7 +216,7 @@ func E5LRC(cfg Config) ([]*Table, error) {
 // E6VSCC regenerates Figures 6.2 and 6.3: the multi-address VSCC
 // construction is coherent at every address by construction, yet
 // sequentially consistent iff the formula is satisfiable.
-func E6VSCC(cfg Config) ([]*Table, error) {
+func E6VSCC(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	sizes := pick(cfg, []int{1, 2}, []int{1, 2, 3})
 	samples := pick(cfg, 6, 15)
@@ -240,14 +241,14 @@ func E6VSCC(cfg Config) ([]*Table, error) {
 			}
 			hist = len(inst.Exec.Histories)
 			addrs = len(inst.Exec.Addresses())
-			ok, _, err := coherence.Coherent(inst.Exec, nil)
+			ok, _, err := coherence.Coherent(ctx, inst.Exec, nil)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
 				promise++
 			}
-			res, err := consistency.SolveVSC(inst.Exec, nil)
+			res, err := consistency.SolveVSC(ctx, inst.Exec, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"memverify/internal/memory"
 	"memverify/internal/reduction"
 	"memverify/internal/sat"
+	"memverify/internal/solver"
 	"memverify/internal/workload"
 )
 
@@ -19,7 +21,7 @@ import (
 // constructions of Figures 5.1/5.2 and reports the growth ratio of
 // visited search states per size step (persistently above 1 means
 // exponential growth). Rows the paper leaves open are marked as such.
-func E4SummaryTable(cfg Config) ([]*Table, error) {
+func E4SummaryTable(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	t := &Table{
 		Title:  "Figure 5.3 measured",
@@ -38,7 +40,7 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 	// --- 1 operation per process, simple reads/writes: O(n lg n). ---
 	points := Measure(polySizes, reps, func(n int) func() {
 		exec := singleOpWorkload(rng, n, false)
-		return func() { mustSolve(coherence.SolveSingleOp(exec, 0)) }
+		return func() { mustSolve(coherence.SolveSingleOp(ctx, exec, 0)) }
 	})
 	t.Add("1 op/process", "simple", "O(n lg n)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 
@@ -46,7 +48,7 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 	// linear. ---
 	points = Measure(polySizes, reps, func(n int) func() {
 		exec := singleOpWorkload(rng, n, true)
-		return func() { mustSolve(coherence.SolveSingleOpRMW(exec, 0)) }
+		return func() { mustSolve(coherence.SolveSingleOpRMW(ctx, exec, 0)) }
 	})
 	t.Add("1 op/process", "RMW", "O(n^2)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 
@@ -54,14 +56,14 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 	t.Add("2 ops/process", "simple", "?", "open problem", "(not measured; unresolved in the paper)")
 
 	// --- 2 operations per process, RMW: NP-Complete (Figure 5.2). ---
-	growth, evidence, err := hardGrowth(rng, hardRMW, reduction.ThreeSATToVMCRMW)
+	growth, evidence, rmwStats, err := hardGrowth(ctx, rng, hardRMW, reduction.ThreeSATToVMCRMW)
 	if err != nil {
 		return nil, err
 	}
 	t.Add("2 ops/process", "RMW", "NP-Complete", fmt.Sprintf("states ×%.1f per var", growth), evidence)
 
 	// --- 3+ operations per process, simple: NP-Complete (Figure 5.1). --
-	growth, evidence, err = hardGrowth(rng, hardRestricted, reduction.ThreeSATToVMCRestricted)
+	growth, evidence, restrictedStats, err := hardGrowth(ctx, rng, hardRestricted, reduction.ThreeSATToVMCRestricted)
 	if err != nil {
 		return nil, err
 	}
@@ -74,18 +76,21 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 	constSizes := pick(cfg, []int{60, 120, 240}, []int{200, 400, 800, 1600})
 	const k = 3
 	gaveUp := 0
+	var constStats coherence.Stats
 	points = Measure(constSizes, reps, func(n int) func() {
 		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
 			Processors: k, OpsPerProc: n / k, Addresses: 1, Values: 3, WriteFraction: 0.4,
 		})
 		return func() {
-			res, err := coherence.Solve(exec, 0, &coherence.Options{MaxStates: 5_000_000})
+			res, err := coherence.Solve(ctx, exec, 0, &coherence.Options{MaxStates: 5_000_000})
 			if err != nil {
+				if _, ok := solver.AsBudgetError(err); ok {
+					gaveUp++
+					return
+				}
 				panic(err)
 			}
-			if !res.Decided {
-				gaveUp++
-			}
+			constStats.Merge(res.Stats)
 		}
 	})
 	note := ""
@@ -100,14 +105,14 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
 			Processors: 4, OpsPerProc: n / 4, Addresses: 1, UniqueWrites: true, WriteFraction: 0.4,
 		})
-		return func() { mustSolve(coherence.SolveReadMap(exec, 0)) }
+		return func() { mustSolve(coherence.SolveReadMap(ctx, exec, 0)) }
 	})
 	t.Add("1 write/value", "simple", "O(n)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 	points = Measure(polySizes, reps, func(n int) func() {
 		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
 			Processors: 4, OpsPerProc: n / 4, Addresses: 1, UniqueWrites: true, RMWFraction: 1,
 		})
-		return func() { mustSolve(coherence.SolveReadMap(exec, 0)) }
+		return func() { mustSolve(coherence.SolveReadMap(ctx, exec, 0)) }
 	})
 	t.Add("1 write/value", "RMW", "O(n lg n)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 
@@ -122,18 +127,46 @@ func E4SummaryTable(cfg Config) ([]*Table, error) {
 		exec, orders := workload.GenerateCoherent(rng, workload.GenConfig{
 			Processors: 4, OpsPerProc: n / 4, Addresses: 1, Values: 4, WriteFraction: 0.4,
 		})
-		return func() { mustSolve(coherence.SolveWithWriteOrder(exec, 0, orders[0], nil)) }
+		return func() { mustSolve(coherence.SolveWithWriteOrder(ctx, exec, 0, orders[0], nil)) }
 	})
 	t.Add("write-order given", "simple", "O(n^2)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 	points = Measure(polySizes, reps, func(n int) func() {
 		exec, orders := workload.GenerateCoherent(rng, workload.GenConfig{
 			Processors: 4, OpsPerProc: n / 4, Addresses: 1, Values: 4, RMWFraction: 1,
 		})
-		return func() { mustSolve(coherence.CheckRMWWriteOrder(exec, 0, orders[0])) }
+		return func() { mustSolve(coherence.CheckRMWWriteOrder(ctx, exec, 0, orders[0])) }
 	})
 	t.Add("write-order given", "RMW", "O(n)", fmt.Sprintf("exponent %.2f", FitExponent(points)), FormatPoints(points))
 
-	return []*Table{t}, nil
+	// Real search counters for the rows that exercised the general
+	// memoized search, from the solver's per-solve Stats.
+	inst := &Table{
+		Title:  "search instrumentation",
+		Header: []string{"row", "states", "memo hit", "branch", "peak depth", "eager reads"},
+		Caption: "aggregated solver.Stats over every general-search solve of the row above;\n" +
+			"memo hit = hits / (hits + misses), branch = mean branching factor.",
+	}
+	for _, row := range []struct {
+		name  string
+		stats coherence.Stats
+	}{
+		{"2 ops/process (Fig 5.2)", rmwStats},
+		{"3+ ops/process (Fig 5.1)", restrictedStats},
+		{"constant processes (k=3)", constStats},
+	} {
+		lookups := row.stats.MemoHits + row.stats.MemoMisses
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = float64(row.stats.MemoHits) / float64(lookups)
+		}
+		inst.Add(row.name, fmt.Sprint(row.stats.States),
+			fmt.Sprintf("%.1f%%", 100*hitRate),
+			fmt.Sprintf("%.2f", row.stats.BranchFactor()),
+			fmt.Sprint(row.stats.PeakDepth),
+			fmt.Sprint(row.stats.EagerReads))
+	}
+
+	return []*Table{t, inst}, nil
 }
 
 // singleOpWorkload builds a coherent one-op-per-process instance with n
@@ -174,9 +207,11 @@ func mustSolve(res *coherence.Result, err error) {
 }
 
 // hardGrowth runs the complete search on reduced hard instances of
-// growing variable count and reports the mean growth of visited states.
-func hardGrowth(rng *rand.Rand, sizes []int, build func(*sat.Formula) (*reduction.VMCInstance, error)) (float64, string, error) {
+// growing variable count and reports the mean growth of visited states,
+// plus the aggregated solver stats across every solve.
+func hardGrowth(ctx context.Context, rng *rand.Rand, sizes []int, build func(*sat.Formula) (*reduction.VMCInstance, error)) (float64, string, coherence.Stats, error) {
 	var points []Point
+	var agg coherence.Stats
 	for _, m := range sizes {
 		states := 0
 		samples := 3
@@ -184,15 +219,16 @@ func hardGrowth(rng *rand.Rand, sizes []int, build func(*sat.Formula) (*reductio
 			q := randomFormula(rng, m, 2*m)
 			inst, err := build(q)
 			if err != nil {
-				return 0, "", err
+				return 0, "", agg, err
 			}
-			res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+			res, err := coherence.Solve(ctx, inst.Exec, inst.Addr, nil)
 			if err != nil {
-				return 0, "", err
+				return 0, "", agg, err
 			}
 			states += res.Stats.States
+			agg.Merge(res.Stats)
 		}
 		points = append(points, Point{N: m, Cost: float64(states) / float64(samples)})
 	}
-	return GrowthRatio(points), FormatPoints(points), nil
+	return GrowthRatio(points), FormatPoints(points), agg, nil
 }

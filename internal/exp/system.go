@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"memverify/internal/mesi"
 	"memverify/internal/reduction"
 	"memverify/internal/sat"
+	"memverify/internal/solver"
 	"memverify/internal/workload"
 )
 
@@ -27,7 +29,7 @@ import (
 // independently (by the per-address solvers) often fail to merge into an
 // SC schedule even when the execution IS sequentially consistent — the
 // failure only means the wrong set of coherent schedules was chosen.
-func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
+func E7WriteOrderAndMerge(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 
 	wo := &Table{
@@ -45,7 +47,7 @@ func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
 		// Obtain a write order per address from per-address certificates.
 		var cohTime time.Duration
 		for _, a := range inst.Exec.Addresses() {
-			res, err := coherence.SolveAuto(inst.Exec, a, nil)
+			res, err := coherence.SolveAuto(ctx, inst.Exec, a, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -54,7 +56,7 @@ func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
 			}
 			order := writesOf(inst.Exec, res.Schedule)
 			start := time.Now()
-			wres, err := coherence.SolveWithWriteOrder(inst.Exec, a, order, nil)
+			wres, err := coherence.SolveWithWriteOrder(ctx, inst.Exec, a, order, nil)
 			cohTime += time.Since(start)
 			if err != nil {
 				return nil, err
@@ -63,7 +65,7 @@ func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
 				return nil, fmt.Errorf("exp: write order from a certificate rejected")
 			}
 		}
-		vsc, err := consistency.SolveVSC(inst.Exec, nil)
+		vsc, err := consistency.SolveVSC(ctx, inst.Exec, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +86,7 @@ func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
 			exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
 				Processors: 3, OpsPerProc: ops, Addresses: 2, Values: 2, WriteFraction: 0.5,
 			})
-			vsc, err := consistency.SolveVSC(exec, nil)
+			vsc, err := consistency.SolveVSC(ctx, exec, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -94,7 +96,7 @@ func E7WriteOrderAndMerge(cfg Config) ([]*Table, error) {
 			scCount++
 			schedules := map[memory.Addr]memory.Schedule{}
 			for _, a := range exec.Addresses() {
-				res, err := coherence.SolveAuto(exec, a, nil)
+				res, err := coherence.SolveAuto(ctx, exec, a, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -133,7 +135,7 @@ func writesOf(exec *memory.Execution, s memory.Schedule) []memory.Ref {
 // recorded write order adds a third, strictly stronger and polynomial
 // checker (§5.2's augmentation also improves detection power: the order
 // is an extra constraint the observed values must satisfy).
-func E8FaultDetection(cfg Config) ([]*Table, error) {
+func E8FaultDetection(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	runs := pick(cfg, 20, 120)
 	mesiTable := &Table{
@@ -155,7 +157,7 @@ func E8FaultDetection(cfg Config) ([]*Table, error) {
 			}
 			fired++
 			flagged := false
-			ok, _, err := coherence.Coherent(exec, nil)
+			ok, _, err := coherence.Coherent(ctx, exec, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +168,7 @@ func E8FaultDetection(cfg Config) ([]*Table, error) {
 			orders := sys.WriteOrders()
 			orderBad := false
 			for _, a := range exec.Addresses() {
-				res, err := coherence.SolveWithWriteOrder(exec, a, orders[a], nil)
+				res, err := coherence.SolveWithWriteOrder(ctx, exec, a, orders[a], nil)
 				if err != nil {
 					return nil, err
 				}
@@ -182,11 +184,14 @@ func E8FaultDetection(cfg Config) ([]*Table, error) {
 			if !ok {
 				scFlag++ // incoherent implies not SC
 			} else {
-				res, err := consistency.SolveVSC(exec, &consistency.Options{MaxStates: 200000})
+				// A blown state budget leaves SC undecided; the run simply
+				// is not flagged by this checker.
+				res, err := consistency.SolveVSC(ctx, exec, &consistency.Options{MaxStates: 200000})
 				if err != nil {
-					return nil, err
-				}
-				if res.Decided && !res.Consistent {
+					if _, budget := solver.AsBudgetError(err); !budget {
+						return nil, err
+					}
+				} else if !res.Consistent {
 					scFlag++
 					flagged = true
 				}
@@ -220,7 +225,7 @@ func E8FaultDetection(cfg Config) ([]*Table, error) {
 			if invariantBroken {
 				invFlag++
 			}
-			ok, _, err := coherence.Coherent(exec, nil)
+			ok, _, err := coherence.Coherent(ctx, exec, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -229,11 +234,12 @@ func E8FaultDetection(cfg Config) ([]*Table, error) {
 				scFlag++
 				continue
 			}
-			res, err := consistency.SolveVSC(exec, &consistency.Options{MaxStates: 200000})
+			res, err := consistency.SolveVSC(ctx, exec, &consistency.Options{MaxStates: 200000})
 			if err != nil {
-				return nil, err
-			}
-			if res.Decided && !res.Consistent {
+				if _, budget := solver.AsBudgetError(err); !budget {
+					return nil, err
+				}
+			} else if !res.Consistent {
 				scFlag++
 			}
 		}
@@ -287,7 +293,7 @@ func runDirectoryProgram(s *directory.System, p mesi.Program, rng *rand.Rand) (*
 // AblationSearch measures the two search optimizations the design calls
 // out: failed-state memoization and eager read scheduling, by state
 // count on Figure 4.1 instances.
-func AblationSearch(cfg Config) ([]*Table, error) {
+func AblationSearch(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	t := &Table{
 		Header: []string{"vars m", "full search", "no memoization", "no eager reads", "no write guidance", "none"},
@@ -310,7 +316,7 @@ func AblationSearch(cfg Config) ([]*Table, error) {
 		}
 		cells := []string{fmt.Sprint(m)}
 		for _, opts := range variants {
-			res, err := coherence.Solve(inst.Exec, inst.Addr, opts)
+			res, err := coherence.Solve(ctx, inst.Exec, inst.Addr, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -323,7 +329,7 @@ func AblationSearch(cfg Config) ([]*Table, error) {
 
 // AblationSAT contrasts the SAT backends (CDCL vs DPLL vs brute force)
 // on random 3SAT near the phase transition.
-func AblationSAT(cfg Config) ([]*Table, error) {
+func AblationSAT(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	t := &Table{
 		Header:  []string{"vars", "clauses", "CDCL", "DPLL", "brute force"},
@@ -368,7 +374,7 @@ func AblationSAT(cfg Config) ([]*Table, error) {
 // AblationWriteOrder measures the paper's practical recommendation (§8):
 // with the write order supplied by the memory system, verification cost
 // collapses from a search to a near-linear pass.
-func AblationWriteOrder(cfg Config) ([]*Table, error) {
+func AblationWriteOrder(ctx context.Context, cfg Config) ([]*Table, error) {
 	rng := cfg.rng()
 	t := &Table{
 		Header: []string{"ops", "general search", "write-order algorithm", "speedup"},
@@ -383,17 +389,18 @@ func AblationWriteOrder(cfg Config) ([]*Table, error) {
 		var gaveUp bool
 		general := Measure([]int{n}, 1, func(int) func() {
 			return func() {
-				res, err := coherence.Solve(exec, 0, &coherence.Options{MaxStates: budget})
+				_, err := coherence.Solve(ctx, exec, 0, &coherence.Options{MaxStates: budget})
 				if err != nil {
+					if _, ok := solver.AsBudgetError(err); ok {
+						gaveUp = true
+						return
+					}
 					panic(err)
-				}
-				if !res.Decided {
-					gaveUp = true
 				}
 			}
 		})
 		withOrder := Measure([]int{n}, 1, func(int) func() {
-			return func() { mustSolve(coherence.SolveWithWriteOrder(exec, 0, orders[0], nil)) }
+			return func() { mustSolve(coherence.SolveWithWriteOrder(ctx, exec, 0, orders[0], nil)) }
 		})
 		generalCell := fmt.Sprintf("%.3gs", general[0].Cost)
 		speedupCell := fmt.Sprintf("%.1fx", general[0].Cost/withOrder[0].Cost)

@@ -1,6 +1,7 @@
 package mesi
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestCorrectProtocolProducesSCTraces(t *testing.T) {
 		s := New(Config{Processors: 3, CacheSets: 2, CacheWays: 1})
 		prog := RandomProgram(rng, 3, 6, 3, 0.4, 0.1)
 		exec := Run(s, prog, rng)
-		ok, bad, err := coherence.Coherent(exec, nil)
+		ok, bad, err := coherence.Coherent(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestCorrectProtocolProducesSCTraces(t *testing.T) {
 			t.Fatalf("run %d: correct protocol produced incoherent trace at address %d\n%v",
 				i, bad, exec.Histories)
 		}
-		res, err := consistency.SolveVSC(exec, nil)
+		res, err := consistency.SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestDropInvalidateDetected(t *testing.T) {
 	s.Write(1, 0, 2) // upgrade; invalidation to P0 dropped
 	s.RMW(0, 0, 3)   // reads stale 1, writes 3
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestLoseWritebackDetected(t *testing.T) {
 	s.Read(0, 1) // evicts addr 0; writeback lost
 	s.Read(0, 0) // refills from stale memory: 0
 	exec := s.Execution(true)
-	ok, bad, err := coherence.Coherent(exec, nil)
+	ok, bad, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestStaleMemoryDetected(t *testing.T) {
 	exec := s.Execution(true)
 	// P0's dirty line was downgraded without a flush, so the final value
 	// in memory is stale: the last write (1) does not match.
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestCorruptFillDetected(t *testing.T) {
 	s.Write(0, 0, 8)
 	s.Read(1, 0) // second fill opportunity: corrupted to 9
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestDropWriteDetected(t *testing.T) {
 	s.Write(0, 0, 7)
 	s.Read(0, 0) // observes the old value
 	exec := s.Execution(true)
-	ok, _, err := coherence.Coherent(exec, nil)
+	ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestProbabilisticInjectionSometimesDetected(t *testing.T) {
 			continue
 		}
 		fired++
-		ok, _, err := coherence.Coherent(exec, nil)
+		ok, _, err := coherence.Coherent(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -288,7 +289,7 @@ func TestWriteOrdersUsableByPolynomialVerifier(t *testing.T) {
 		exec := Run(s, prog, rng)
 		orders := s.WriteOrders()
 		for _, a := range exec.Addresses() {
-			res, err := coherence.SolveWithWriteOrder(exec, a, orders[a], nil)
+			res, err := coherence.SolveWithWriteOrder(context.Background(), exec, a, orders[a], nil)
 			if err != nil {
 				t.Fatalf("run %d addr %d: %v", i, a, err)
 			}

@@ -1,6 +1,7 @@
 package reduction_test
 
 import (
+	"context"
 	"fmt"
 
 	"memverify/internal/coherence"
@@ -15,7 +16,7 @@ func ExampleSATToVMC() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestRestrictedEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+		res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestRestrictedViaToThreeSAT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRestrictedEmptyClause(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRestrictedNoClauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRMWEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+		res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +197,7 @@ func TestRMWEmptyClause(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestRMWNoClauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestSATToVMCFigure42Example(t *testing.T) {
 	if got := len(inst.Exec.Histories); got != 5 {
 		t.Errorf("histories = %d, want 5 (2m+3)", got)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSATToVMCUnsatisfiable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestSATToVMCEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+		res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func TestSATToVMCAgainstCDCL(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+		res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestSATToVMCSynchronizedLRCEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := consistency.VerifyLRC(inst.Exec, nil)
+		res, err := consistency.VerifyLRC(context.Background(), inst.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func TestSATToVMCSynchronizedDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coherence.Solve(inst.Exec, inst.Addr, nil)
+	res, err := coherence.Solve(context.Background(), inst.Exec, inst.Addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestVSCCCoherentByConstruction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		results, err := coherence.VerifyExecution(inst.Exec, nil)
+		results, err := coherence.VerifyExecution(context.Background(), inst.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestVSCCEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := consistency.SolveVSCC(inst.Exec, nil)
+		res, err := consistency.SolveVSCC(context.Background(), inst.Exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestVSCCNoClauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := consistency.SolveVSCC(inst.Exec, nil)
+	res, err := consistency.SolveVSCC(context.Background(), inst.Exec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,170 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"memverify/internal/memory"
+)
+
+// Reason says which budget dimension aborted a solve.
+type Reason int
+
+const (
+	// ExceededStates: the Options.MaxStates state-count bound was hit.
+	ExceededStates Reason = iota
+	// ExceededDeadline: the wall-clock timeout (Options.Timeout or a
+	// deadline on the incoming context) expired.
+	ExceededDeadline
+	// Canceled: the incoming context was cancelled.
+	Canceled
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ExceededStates:
+		return "state budget exhausted"
+	case ExceededDeadline:
+		return "deadline exceeded"
+	case Canceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// ErrBudgetExceeded is returned by every solver entry point when a
+// resource budget (state count, wall-clock deadline, or cancellation)
+// stops the search before an answer is established. It carries the
+// partial Stats accumulated up to the abort, so callers can see how far
+// the search got, and — for execution-level entry points that check one
+// address at a time — the address whose solve was aborted.
+type ErrBudgetExceeded struct {
+	// Reason says which budget dimension tripped.
+	Reason Reason
+	// Stats is the partial progress at the abort point.
+	Stats Stats
+	// Addr is the address whose per-address solve was aborted, when the
+	// aborting entry point works per address (HasAddr reports validity:
+	// address 0 is a legitimate address).
+	Addr memory.Addr
+	// HasAddr reports whether Addr is meaningful.
+	HasAddr bool
+	// Cause is the underlying context error (context.Canceled or
+	// context.DeadlineExceeded) when the abort came from the context,
+	// nil for a state-count abort.
+	Cause error
+}
+
+// Error implements error.
+func (e *ErrBudgetExceeded) Error() string {
+	if e.HasAddr {
+		return fmt.Sprintf("solver: %s at address %d after %d states", e.Reason, e.Addr, e.Stats.States)
+	}
+	return fmt.Sprintf("solver: %s after %d states", e.Reason, e.Stats.States)
+}
+
+// Unwrap exposes the context error so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work.
+func (e *ErrBudgetExceeded) Unwrap() error { return e.Cause }
+
+// AsBudgetError unwraps err to an *ErrBudgetExceeded when one is in its
+// chain.
+func AsBudgetError(err error) (*ErrBudgetExceeded, bool) {
+	var e *ErrBudgetExceeded
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// ctxPollInterval is how many Charge calls pass between context polls.
+// A context check is two atomic loads via Done(); amortizing it over a
+// power-of-two window keeps the per-state overhead to one mask-and-test.
+const ctxPollInterval = 64
+
+// Budget enforces a solve's resource limits: the MaxStates bound from
+// Options, the Options.Timeout wall-clock bound, and cancellation of the
+// incoming context. Create one per solve with Start, call Charge once
+// per search state, and call Stop (usually deferred) to release the
+// timeout timer.
+type Budget struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	limit   int
+	tripped *ErrBudgetExceeded
+}
+
+// Start derives a Budget from the incoming context and options. When
+// opts carries a Timeout, the returned budget's context is a child of
+// ctx with that timeout applied.
+func Start(ctx context.Context, opts *Options) *Budget {
+	b := &Budget{ctx: ctx, limit: opts.Limit()}
+	if d := opts.SolveTimeout(); d > 0 {
+		b.ctx, b.cancel = context.WithTimeout(ctx, d)
+	}
+	return b
+}
+
+// Context returns the budget's context (with any Options.Timeout
+// applied), for passing to nested solves.
+func (b *Budget) Context() context.Context { return b.ctx }
+
+// Stop releases the timeout timer, if any. Call it when the solve
+// finishes; deferring it is idiomatic.
+func (b *Budget) Stop() {
+	if b.cancel != nil {
+		b.cancel()
+	}
+}
+
+// Charge records that the search is visiting its states-th state and
+// returns a non-nil *ErrBudgetExceeded when a budget dimension has
+// tripped. The state-count bound is checked on every call; the context
+// is polled every ctxPollInterval calls (and on the first), amortizing
+// the poll cost. Once tripped, every later call returns the same error
+// (the budget is sticky), so deep recursion unwinds promptly.
+func (b *Budget) Charge(states int) *ErrBudgetExceeded {
+	if b.tripped != nil {
+		return b.tripped
+	}
+	if b.limit > 0 && states > b.limit {
+		b.tripped = &ErrBudgetExceeded{Reason: ExceededStates}
+		return b.tripped
+	}
+	if states&(ctxPollInterval-1) == 0 || states == 1 {
+		select {
+		case <-b.ctx.Done():
+			b.tripped = fromContext(b.ctx.Err())
+			return b.tripped
+		default:
+		}
+	}
+	return nil
+}
+
+// Err returns the trip error (nil when the budget has not tripped).
+func (b *Budget) Err() *ErrBudgetExceeded { return b.tripped }
+
+// Interrupted checks a context directly and returns a budget error when
+// it is done. The polynomial solvers use it: they have no state counter
+// to charge, but must still honor cancellation at their entry points.
+func Interrupted(ctx context.Context) *ErrBudgetExceeded {
+	select {
+	case <-ctx.Done():
+		return fromContext(ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// fromContext maps a context error to a budget error.
+func fromContext(cause error) *ErrBudgetExceeded {
+	reason := Canceled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = ExceededDeadline
+	}
+	return &ErrBudgetExceeded{Reason: reason, Cause: cause}
+}

@@ -1,0 +1,115 @@
+// Package solver is the shared engine substrate for every verification
+// solver in this repository (the VMC solvers in internal/coherence and
+// the VSC/TSO/PSO/LRC checkers in internal/consistency). It provides:
+//
+//   - Options: one options type shared by all solvers, with functional
+//     options (WithMaxStates, WithTimeout, WithoutMemoization, ...);
+//   - Budget: a per-solve resource budget combining a state-count limit,
+//     a wall-clock timeout, and context cancellation;
+//   - ErrBudgetExceeded: the typed error returned when a budget trips,
+//     carrying the partial Stats accumulated up to the abort;
+//   - Stats: uniform per-solve instrumentation (states explored, memo
+//     hits/misses, peak search depth, branch factor, eager-read count);
+//   - Verdict: the interface unifying coherence.Result and
+//     consistency.Result so callers can render one report format;
+//   - Pool / Race: a shared bounded worker pool and a portfolio racer
+//     that runs several algorithms concurrently and keeps the first
+//     finisher, cancelling the rest.
+package solver
+
+import "time"
+
+// Options control the search-based solvers. The zero value (or a nil
+// *Options) asks for a complete, memoized, eager-read search with no
+// resource bound. Both internal/coherence and internal/consistency alias
+// this type, so an *Options value can be passed to either package.
+type Options struct {
+	// MaxStates bounds the number of search states explored. 0 means
+	// unlimited. When the bound is hit the solver returns
+	// *ErrBudgetExceeded carrying the partial Stats.
+	MaxStates int
+	// Timeout bounds the wall-clock time of a single solve. 0 means no
+	// timeout. It composes with any deadline already on the incoming
+	// context; whichever expires first aborts the solve.
+	Timeout time.Duration
+	// DisableMemoization turns off failed-state caching (ablation knob:
+	// without it the search is the naive exponential interleaving
+	// enumeration, not the paper's O(n^k) constant-process algorithm).
+	DisableMemoization bool
+	// DisableEagerReads turns off the rule that schedules an enabled read
+	// immediately when its value matches the current one (ablation knob;
+	// the rule is sound because reads do not change the memory state, so
+	// any coherent schedule can be rearranged to schedule such a read at
+	// the point it first becomes enabled).
+	DisableEagerReads bool
+	// DisableWriteGuidance turns off the branching heuristic that tries
+	// writes whose value some blocked read is waiting for before other
+	// writes (ablation knob; ordering the candidates differently cannot
+	// affect completeness, only how fast a certificate or refutation is
+	// found).
+	DisableWriteGuidance bool
+}
+
+// Option is a functional option for New.
+type Option func(*Options)
+
+// New builds an *Options from functional options. New() with no
+// arguments is equivalent to a nil *Options (unbounded complete search).
+func New(opts ...Option) *Options {
+	o := &Options{}
+	for _, f := range opts {
+		f(o)
+	}
+	return o
+}
+
+// WithMaxStates bounds the number of search states explored.
+func WithMaxStates(n int) Option { return func(o *Options) { o.MaxStates = n } }
+
+// WithTimeout bounds the wall-clock time of a single solve.
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// WithoutMemoization disables failed-state caching.
+func WithoutMemoization() Option { return func(o *Options) { o.DisableMemoization = true } }
+
+// WithoutEagerReads disables the eager read-scheduling rule.
+func WithoutEagerReads() Option { return func(o *Options) { o.DisableEagerReads = true } }
+
+// WithoutWriteGuidance disables the write-guidance branching heuristic.
+func WithoutWriteGuidance() Option { return func(o *Options) { o.DisableWriteGuidance = true } }
+
+// Limit returns the state bound (0 = unlimited). Nil-safe.
+func (o *Options) Limit() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxStates
+}
+
+// SolveTimeout returns the per-solve wall-clock bound (0 = none).
+// Nil-safe.
+func (o *Options) SolveTimeout() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return o.Timeout
+}
+
+// Memoize reports whether failed-state caching is on. Nil-safe.
+func (o *Options) Memoize() bool { return o == nil || !o.DisableMemoization }
+
+// EagerReads reports whether the eager read rule is on. Nil-safe.
+func (o *Options) EagerReads() bool { return o == nil || !o.DisableEagerReads }
+
+// WriteGuidance reports whether write guidance is on. Nil-safe.
+func (o *Options) WriteGuidance() bool { return o == nil || !o.DisableWriteGuidance }
+
+// Clone returns a copy of o (an empty Options when o is nil), so callers
+// can derive variant configurations without mutating shared values.
+func (o *Options) Clone() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	c := *o
+	return &c
+}

@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool shared by the portfolio racers: however
+// many races run concurrently, at most `workers` solver goroutines
+// execute at once, so racing algorithms cannot oversubscribe the
+// machine. Submissions beyond the bound queue until a slot frees.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool builds a pool with the given concurrency bound
+// (runtime.GOMAXPROCS(0) when workers <= 0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, workers)}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool used by default for portfolio
+// races, sized to runtime.GOMAXPROCS(0).
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// Go runs `run` on a pool worker once a slot frees. If ctx is cancelled
+// before a slot frees, run is never started and `skipped` (if non-nil)
+// is called instead — exactly one of the two callbacks fires, so a
+// caller counting completions never blocks.
+func (p *Pool) Go(ctx context.Context, run, skipped func()) {
+	go func() {
+		select {
+		case p.slots <- struct{}{}:
+			defer func() { <-p.slots }()
+			run()
+		case <-ctx.Done():
+			if skipped != nil {
+				skipped()
+			}
+		}
+	}()
+}
+
+// Race runs the candidate solvers concurrently on the pool and returns
+// the first one to finish without error; the remaining candidates are
+// cancelled through the derived context (they notice at their next
+// budget poll) and their results discarded. When every candidate fails:
+// if any failed with *ErrBudgetExceeded, Race returns a budget error
+// whose Stats merge the partial progress of all budget-aborted
+// candidates (the racers genuinely ran out of resources); otherwise it
+// returns the error of the lowest-indexed candidate, which keeps the
+// failure deterministic.
+func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if len(candidates) == 0 {
+		return zero, errors.New("solver: no candidates to race")
+	}
+	if len(candidates) == 1 {
+		return candidates[0](ctx)
+	}
+	if p == nil {
+		p = Shared()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		val T
+		err error
+	}
+	// Buffered to len(candidates): losers finishing after the winner
+	// send without blocking, so no goroutine outlives the race for long.
+	ch := make(chan outcome, len(candidates))
+	for i, c := range candidates {
+		i, c := i, c
+		p.Go(rctx,
+			func() {
+				v, err := c(rctx)
+				ch <- outcome{idx: i, val: v, err: err}
+			},
+			func() {
+				ch <- outcome{idx: i, err: fromContext(rctx.Err())}
+			})
+	}
+
+	bestIdx := len(candidates)
+	var bestErr error
+	var budget *ErrBudgetExceeded
+	for range candidates {
+		o := <-ch
+		if o.err == nil {
+			return o.val, nil
+		}
+		if be, ok := AsBudgetError(o.err); ok {
+			if budget == nil {
+				cp := *be
+				budget = &cp
+			} else {
+				budget.Stats.Merge(be.Stats)
+			}
+		} else if o.idx < bestIdx {
+			bestIdx, bestErr = o.idx, o.err
+		}
+	}
+	if budget != nil {
+		return zero, budget
+	}
+	return zero, bestErr
+}

@@ -1,0 +1,63 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats describes the work a solver performed. Every solver entry point
+// populates one, both on success (Result.Stats) and on a budget abort
+// (ErrBudgetExceeded.Stats, the partial progress at the abort point).
+type Stats struct {
+	// States is the number of distinct branching states visited by the
+	// search-based solvers; the direct polynomial algorithms count each
+	// operation processed as one state.
+	States int
+	// MemoHits counts states pruned by the failed-state cache.
+	MemoHits int
+	// MemoMisses counts cache lookups that found no entry (states whose
+	// exploration could not be skipped).
+	MemoMisses int
+	// EagerReads counts reads scheduled by the eager fast-path rule.
+	EagerReads int
+	// PeakDepth is the deepest partial schedule reached by the search
+	// (the peak frontier depth in operations).
+	PeakDepth int
+	// Branches is the total number of candidate branches considered
+	// across all visited states; Branches/States is the mean branching
+	// factor.
+	Branches int
+	// Duration is the wall-clock time the solve took.
+	Duration time.Duration
+}
+
+// BranchFactor returns the mean branching factor (0 when no states were
+// visited).
+func (s Stats) BranchFactor() float64 {
+	if s.States == 0 {
+		return 0
+	}
+	return float64(s.Branches) / float64(s.States)
+}
+
+// Merge accumulates other into s: counters add, PeakDepth takes the
+// maximum, Duration adds (total solver time, not wall-clock span). Used
+// to aggregate per-address results into an execution-level summary.
+func (s *Stats) Merge(other Stats) {
+	s.States += other.States
+	s.MemoHits += other.MemoHits
+	s.MemoMisses += other.MemoMisses
+	s.EagerReads += other.EagerReads
+	s.Branches += other.Branches
+	if other.PeakDepth > s.PeakDepth {
+		s.PeakDepth = other.PeakDepth
+	}
+	s.Duration += other.Duration
+}
+
+// String renders the stats as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("states=%d memo=%d/%d eager=%d depth=%d branch=%.2f t=%s",
+		s.States, s.MemoHits, s.MemoHits+s.MemoMisses, s.EagerReads,
+		s.PeakDepth, s.BranchFactor(), s.Duration.Round(time.Microsecond))
+}

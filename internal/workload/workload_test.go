@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,28 +18,28 @@ func TestLitmusVerdicts(t *testing.T) {
 	for _, l := range all {
 		l := l
 		t.Run(l.Name, func(t *testing.T) {
-			coh, err := consistency.Verify(consistency.CoherenceOnly, l.Exec, nil)
+			coh, err := consistency.Verify(context.Background(), consistency.CoherenceOnly, l.Exec, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if coh.Consistent != l.Coherent {
 				t.Errorf("coherence = %v, table says %v", coh.Consistent, l.Coherent)
 			}
-			sc, err := consistency.SolveVSC(l.Exec, nil)
+			sc, err := consistency.SolveVSC(context.Background(), l.Exec, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if sc.Consistent != l.SC {
 				t.Errorf("SC = %v, table says %v", sc.Consistent, l.SC)
 			}
-			tso, err := consistency.VerifyTSO(l.Exec, nil)
+			tso, err := consistency.VerifyTSO(context.Background(), l.Exec, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if tso.Consistent != l.TSO {
 				t.Errorf("TSO = %v, table says %v", tso.Consistent, l.TSO)
 			}
-			pso, err := consistency.VerifyPSO(l.Exec, nil)
+			pso, err := consistency.VerifyPSO(context.Background(), l.Exec, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,7 +54,7 @@ func TestGenerateCoherentIsSC(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 25; i++ {
 		exec, _ := GenerateCoherent(rng, GenConfig{Processors: 3, OpsPerProc: 6, Addresses: 2, Values: 3})
-		res, err := consistency.SolveVSC(exec, nil)
+		res, err := consistency.SolveVSC(context.Background(), exec, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestGenerateCoherentWriteOrderUsable(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		exec, orders := GenerateCoherent(rng, GenConfig{Processors: 3, OpsPerProc: 8, Addresses: 2, Values: 3, RMWFraction: 0.1, WriteFraction: 0.4})
 		for _, a := range exec.Addresses() {
-			res, err := coherence.SolveWithWriteOrder(exec, a, orders[a], nil)
+			res, err := coherence.SolveWithWriteOrder(context.Background(), exec, a, orders[a], nil)
 			if err != nil {
 				t.Fatalf("run %d addr %d: %v", i, a, err)
 			}
@@ -92,7 +93,7 @@ func TestGenerateCoherentUniqueWrites(t *testing.T) {
 			}
 		}
 		// The read-map algorithm applies.
-		res, err := coherence.SolveReadMap(exec, a)
+		res, err := coherence.SolveReadMap(context.Background(), exec, a)
 		if err != nil {
 			t.Fatalf("addr %d: %v", a, err)
 		}
@@ -115,7 +116,7 @@ func TestInjectViolationsAreUsuallyDetected(t *testing.T) {
 					continue
 				}
 				attempts++
-				ok, _, err := coherence.Coherent(mut, nil)
+				ok, _, err := coherence.Coherent(context.Background(), mut, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
