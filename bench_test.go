@@ -13,6 +13,7 @@ package memverify_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"memverify/internal/memory"
 	"memverify/internal/mesi"
 	"memverify/internal/monitor"
+	"memverify/internal/obs"
 	"memverify/internal/reduction"
 	"memverify/internal/sat"
 	"memverify/internal/solver"
@@ -398,6 +400,46 @@ func BenchmarkAblationSATBackends(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// --- Observability overhead (internal/obs acceptance: with tracing off
+// the instrumented search must stay within 5% of the seed; with metrics
+// on, only the every-64-states delta flush is added; full JSONL tracing
+// is the expensive mode and priced here for reference).
+
+func BenchmarkObsOverhead(b *testing.B) {
+	q := benchFormula(23, 3, 6)
+	inst, err := reduction.SATToVMC(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solve := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coherence.Solve(ctx, inst.Exec, inst.Addr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		solve(b, context.Background())
+	})
+	b.Run("metrics", func(b *testing.B) {
+		ctx := obs.With(context.Background(), &obs.Observer{Metrics: obs.NewMetrics()})
+		solve(b, ctx)
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		jl := obs.NewJSONL(io.Discard)
+		ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(jl)})
+		solve(b, ctx)
+	})
+	b.Run("full", func(b *testing.B) {
+		jl := obs.NewJSONL(io.Discard)
+		ctx := obs.With(context.Background(), &obs.Observer{
+			Tracer:  obs.NewTracer(jl),
+			Metrics: obs.NewMetrics(),
+		})
+		solve(b, ctx)
 	})
 }
 

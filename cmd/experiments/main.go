@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E4,...] [-seed N] [-quick] [-timeout D] [-list]
+//	experiments [-run E1,E4,...] [-seed N] [-quick] [-timeout D]
+//	            [-debug-addr HOST:PORT] [-list]
 //
 // With no -run flag every experiment executes, in paper order. -timeout
 // bounds the whole run: when it expires the running experiment's solver
 // aborts at its next budget poll and the run fails with the deadline
-// error.
+// error. -debug-addr serves live expvar solver counters and
+// net/http/pprof profiles for the duration of the run — useful for
+// profiling the long experiments.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"memverify/internal/exp"
+	"memverify/internal/obs"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address, e.g. localhost:6060")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +59,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *debugAddr != "" {
+		m := obs.NewMetrics()
+		srv, err := obs.ServeDebug(*debugAddr, m)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "experiments: debug endpoints on http://%s/debug/\n", srv.Addr)
+		defer srv.Close()
+		ctx = obs.With(ctx, &obs.Observer{Metrics: m})
 	}
 	if err := exp.Run(ctx, stdout, exp.Config{Seed: *seed, Quick: *quick}, ids...); err != nil {
 		fmt.Fprintf(stderr, "experiments: %v\n", err)

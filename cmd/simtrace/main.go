@@ -26,6 +26,7 @@ import (
 	"memverify/internal/directory"
 	"memverify/internal/memory"
 	"memverify/internal/mesi"
+	"memverify/internal/obs"
 	"memverify/internal/trace"
 	"memverify/internal/tsomachine"
 	"memverify/internal/workload"
@@ -47,10 +48,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultNth := fs.Int("fault-nth", 1, "fire the fault at its Nth opportunity")
 	faultP := fs.Float64("fault-p", 0, "fire the fault with this probability at every opportunity (overrides -fault-nth)")
 	recordOrder := fs.Bool("record-order", false, "emit per-address write-order lines (atomic-memory generator instead of a machine)")
+	traceOut := fs.String("trace", "", "write a JSONL event trace of coherence transactions to this file (mesi/directory machines)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	rng := rand.New(rand.NewSource(*seed))
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "simtrace: %v\n", err)
+			return 2
+		}
+		sink := obs.NewJSONL(f)
+		tracer = obs.NewTracer(sink)
+		defer func() {
+			sink.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "simtrace: %v\n", err)
+			}
+		}()
+	}
 
 	if *recordOrder {
 		exec, orders := workload.GenerateCoherent(rng, workload.GenConfig{
@@ -69,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	prog := mesi.RandomProgram(rng, *procs, *ops, *addrs, 0.4, 0.1)
 	var exec *memory.Execution
 	var arrival []memory.Ref
+	var stats obs.CounterSet
 	switch *machine {
 	case "mesi":
 		var faults *mesi.Faults
@@ -84,10 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				faults = mesi.Once(kind, *faultNth)
 			}
 		}
-		sys := mesi.New(mesi.Config{Processors: *procs, Faults: faults})
+		sys := mesi.New(mesi.Config{Processors: *procs, Faults: faults, Tracer: tracer})
 		exec = mesi.Run(sys, prog, rng)
 		arrival = sys.Arrival()
-		fmt.Fprintf(stderr, "simtrace: %+v\n", sys.Stats())
+		stats = sys.Stats()
 	case "directory":
 		var faults *directory.Faults
 		if *faultName != "" {
@@ -102,10 +122,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				faults = directory.Once(kind, *faultNth)
 			}
 		}
-		sys := directory.New(directory.Config{Nodes: *procs, Faults: faults})
+		sys := directory.New(directory.Config{Nodes: *procs, Faults: faults, Tracer: tracer})
 		exec = runDirectory(sys, prog, rng)
 		arrival = sys.Arrival()
-		fmt.Fprintf(stderr, "simtrace: %+v\n", sys.Stats())
+		stats = sys.Stats()
 	case "tso", "pso":
 		disc := tsomachine.TSO
 		if *machine == "pso" {
@@ -116,6 +136,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "simtrace: unknown machine %q\n", *machine)
 		return 2
+	}
+	if stats != nil {
+		fmt.Fprintf(stderr, "simtrace: %s\n", obs.FormatCounters(stats))
 	}
 	t := trace.New(exec)
 	t.Arrival = arrival

@@ -4,7 +4,8 @@
 //
 //	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-portfolio]
 //	        [-max-states N] [-timeout D] [-stats] [-cert] [-diagnose]
-//	        [-online] [trace-file]
+//	        [-explain] [-trace FILE] [-progress] [-progress-interval D]
+//	        [-debug-addr HOST:PORT] [-online] [trace-file]
 //
 // The trace is read from the file argument or standard input, in the
 // format of internal/trace. The exit status is 0 when the trace adheres
@@ -17,6 +18,15 @@
 // shared worker pool and the first verdict wins. -max-states and
 // -timeout bound the search; a blown budget reports UNDECIDED. -stats
 // prints the solver's per-solve search statistics.
+//
+// Observability (see internal/obs and the README "Observability"
+// section): -trace writes a JSONL event trace of the search (spans,
+// state enters, backtracks, memo hits, portfolio stages, race
+// outcomes); -explain renders a per-address summary of the search tree
+// and names the conflicting operations for incoherent verdicts
+// (coherence model only); -progress samples live solver throughput to
+// stderr; -debug-addr serves expvar counters and net/http/pprof
+// profiles over HTTP for the lifetime of the check.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"memverify/internal/consistency"
 	"memverify/internal/memory"
 	"memverify/internal/monitor"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 	"memverify/internal/trace"
 )
@@ -51,6 +62,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	cert := fs.Bool("cert", false, "print the certificate schedule or witness on success")
 	diagnose := fs.Bool("diagnose", false, "on a coherence violation, shrink it to a minimal core (implies -model coherence)")
 	online := fs.Bool("online", false, "replay the trace in file order through the incremental monitor (requires the file order to be the completion order, as simtrace emits)")
+	traceOut := fs.String("trace", "", "write a JSONL event trace of the search to this file")
+	explain := fs.Bool("explain", false, "summarize the search tree per address and name the conflicting operations on incoherence (coherence model only)")
+	progress := fs.Bool("progress", false, "report live solver progress (states/sec, depth, memo hit-rate) to stderr")
+	progressEvery := fs.Duration("progress-interval", 0, "sampling interval for -progress (default 2s)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address, e.g. localhost:6060")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +99,57 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	opts := solver.New(solver.WithMaxStates(*maxStates))
 
+	// Observability wiring: an event tracer feeds the JSONL writer
+	// and/or the -explain collector; a metrics set feeds the progress
+	// reporter and the debug endpoint. Absent every flag, the context
+	// carries no observer and the solvers run at full speed.
+	var (
+		collector *obs.Collector
+		sinks     []obs.Sink
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+			return 2
+		}
+		jl := obs.NewJSONL(f)
+		sinks = append(sinks, jl)
+		defer func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintf(stderr, "vmcheck: trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+	if *explain {
+		collector = obs.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var o obs.Observer
+	if len(sinks) > 0 {
+		o.Tracer = obs.NewTracer(obs.Multi(sinks...))
+	}
+	if *progress || *debugAddr != "" {
+		o.Metrics = obs.NewMetrics()
+	}
+	if o.Tracer != nil || o.Metrics != nil {
+		ctx = obs.With(ctx, &o)
+	}
+	if *progress {
+		p := obs.StartProgress(stderr, o.Metrics, *progressEvery, int64(*maxStates))
+		defer p.Stop()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, o.Metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vmcheck: debug endpoints on http://%s/debug/\n", srv.Addr)
+		defer srv.Close()
+	}
+
 	if *online {
 		return checkOnline(tr, stdout)
 	}
@@ -95,6 +162,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			stats:     *showStats,
 			cert:      *cert,
 			diagnose:  *diagnose,
+			explain:   *explain,
+			collector: collector,
 			opts:      opts,
 		}
 		return c.run(ctx, tr, stdout, stderr)
@@ -170,6 +239,8 @@ type coherenceCheck struct {
 	stats     bool
 	cert      bool
 	diagnose  bool
+	explain   bool
+	collector *obs.Collector
 	opts      *coherence.Options
 }
 
@@ -209,6 +280,9 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 			if c.diagnose && !c.useOrder {
 				c.printDiagnosis(ctx, tr, a, stdout, stderr)
 			}
+			if c.explain && !c.useOrder {
+				c.printExplanation(ctx, tr, a, stdout, stderr)
+			}
 		}
 	}
 	if bad > 0 {
@@ -232,6 +306,35 @@ func (c *coherenceCheck) printDiagnosis(ctx context.Context, tr *trace.Trace, a 
 	fmt.Fprintln(stdout, "):")
 	for _, r := range d.Ops {
 		fmt.Fprintf(stdout, "    %s: %s\n", r, tr.Exec.Op(r))
+	}
+}
+
+// printExplanation renders the -explain summary for an incoherent
+// address: the per-span search-tree statistics collected during the
+// solve, then the conflicting operations of the minimal incoherent
+// core. The span summaries are snapshotted before Diagnose runs, since
+// its shrinking re-solves would otherwise pollute them.
+func (c *coherenceCheck) printExplanation(ctx context.Context, tr *trace.Trace, a memory.Addr, stdout, stderr io.Writer) {
+	spans := c.collector.ForAddr(int64(a))
+	fmt.Fprintln(stdout, "  explain:")
+	for _, s := range spans {
+		fmt.Fprintf(stdout, "    %s\n", s.Describe())
+		if h := s.BacktrackHistogram(); h != "" {
+			fmt.Fprintf(stdout, "      backtracks by depth: %s\n", h)
+		}
+	}
+	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "vmcheck: explanation of %s incomplete: %v\n", tr.Name(a), err)
+		return
+	}
+	fmt.Fprintf(stdout, "    conflicting operations (minimal core, %d ops", len(d.Ops))
+	if d.FinalValueInvolved {
+		fmt.Fprint(stdout, " + final value")
+	}
+	fmt.Fprintln(stdout, "):")
+	for _, r := range d.Ops {
+		fmt.Fprintf(stdout, "      %s: %s\n", r, tr.Exec.Op(r))
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"context"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 )
 
@@ -182,6 +183,33 @@ func stampOps(r *Result, inst *instance) {
 	}
 }
 
+// beginSolve opens a per-address observability span named after the
+// entry point and bumps the live solve counter. With no observer on the
+// context it returns a no-op span and the unchanged context at the cost
+// of one context lookup.
+func beginSolve(ctx context.Context, name string, addr memory.Addr) (obs.Span, context.Context) {
+	obs.MetricsFrom(ctx).SolveBegin()
+	return obs.TracerFrom(ctx).BeginAddr(ctx, name, int64(addr))
+}
+
+// endSolve closes a solve span with the outcome (verdict + deciding
+// algorithm, or the abort reason) and marks the solve finished.
+func endSolve(ctx context.Context, sp obs.Span, r *Result, err error) {
+	obs.MetricsFrom(ctx).SolveEnd()
+	switch {
+	case err != nil:
+		detail := "error: " + err.Error()
+		if be, ok := solver.AsBudgetError(err); ok {
+			detail = "budget: " + be.Reason.String()
+		}
+		sp.End(detail, 0)
+	case r.Coherent:
+		sp.End("coherent ("+r.Algorithm+")", int64(r.Stats.States))
+	default:
+		sp.End("incoherent ("+r.Algorithm+")", int64(r.Stats.States))
+	}
+}
+
 // withAddr annotates a budget error with the address being solved.
 func withAddr(e *solver.ErrBudgetExceeded, addr memory.Addr) *solver.ErrBudgetExceeded {
 	if e != nil && !e.HasAddr {
@@ -201,11 +229,15 @@ func Solve(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := beginSolve(ctx, "solve", addr)
 	inst := project(exec, addr)
 	r, e := searchInstance(ctx, inst, opts)
 	if e != nil {
-		return nil, withAddr(e, addr)
+		err := withAddr(e, addr)
+		endSolve(ctx, sp, nil, err)
+		return nil, err
 	}
+	endSolve(ctx, sp, r, nil)
 	return r, nil
 }
 
@@ -266,14 +298,17 @@ func SolveAuto(ctx context.Context, exec *memory.Execution, addr memory.Addr, op
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := beginSolve(ctx, "solve-auto", addr)
 	inst := project(exec, addr)
 	r, err := solveAutoInstance(ctx, inst, opts)
 	if err != nil {
 		if be, ok := solver.AsBudgetError(err); ok {
-			return nil, withAddr(be, addr)
+			err = withAddr(be, addr)
 		}
+		endSolve(ctx, sp, nil, err)
 		return nil, err
 	}
+	endSolve(ctx, sp, r, nil)
 	return r, nil
 }
 

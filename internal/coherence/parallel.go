@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 )
 
 // VerifyExecutionParallel is VerifyExecution with the per-address checks
@@ -41,12 +42,20 @@ func VerifyExecutionParallel(ctx context.Context, exec *memory.Execution, opts *
 	errs := make([]error, len(addrs))
 	next := make(chan int)
 	var wg sync.WaitGroup
+	tr := obs.TracerFrom(ctx)
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx := ctx
+			if tr != nil {
+				sp, sctx := tr.BeginWorker(ctx, "verify-worker", w)
+				defer sp.EndWorker(w, "done")
+				wctx = sctx
+			}
 			for i := range next {
-				results[i], errs[i] = SolveAuto(ctx, exec, addrs[i], opts)
+				results[i], errs[i] = SolveAuto(wctx, exec, addrs[i], opts)
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 )
 
@@ -51,8 +52,19 @@ func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Add
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
+	sp, ctx := beginSolve(ctx, "portfolio", addr)
+	r, err := solvePortfolio(ctx, sp, exec, addr, opts)
+	endSolve(ctx, sp, r, err)
+	return r, err
+}
+
+// solvePortfolio is the staged strategy behind SolvePortfolio; sp is the
+// enclosing solve span, into which each stage transition is emitted.
+func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+	tr := obs.TracerFrom(ctx)
 	inst := project(exec, addr)
 	if inst.nops < portfolioMinOps {
+		tr.Stage(sp, "direct")
 		r, err := solveAutoInstance(ctx, inst, opts)
 		if err != nil {
 			if be, ok := solver.AsBudgetError(err); ok {
@@ -66,6 +78,7 @@ func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Add
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	tr.Stage(sp, "specialist")
 	if inst.maxWritesPerValue() <= 1 {
 		if r, ok := readMapInstance(inst); ok {
 			return r, nil
@@ -88,6 +101,7 @@ func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Add
 	probeCap := portfolioProbeFactor * inst.nops
 	callerLimit := opts.Limit()
 	if callerLimit == 0 || callerLimit > probeCap {
+		tr.Stage(sp, "probe")
 		probe := opts.Clone()
 		probe.MaxStates = probeCap
 		r, err := searchInstance(ctx, inst, probe)
@@ -103,6 +117,7 @@ func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Add
 		}
 		// Probe cap exhausted: the instance is genuinely hard — race.
 	}
+	tr.Stage(sp, "race")
 
 	var cands []func(context.Context) (*Result, error)
 	// The projection is shared read-only across racers; every searcher

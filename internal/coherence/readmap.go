@@ -25,13 +25,15 @@ import (
 // An error is returned if some value is written twice, or in the
 // ambiguous corner where the declared initial value is also written and
 // observed by some read (then the read-map is not forced; use Solve).
-func SolveReadMap(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveReadMap(ctx context.Context, exec *memory.Execution, addr memory.Addr) (r *Result, err error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	sp, ctx := beginSolve(ctx, "read-map", addr)
+	defer func() { endSolve(ctx, sp, r, err) }()
 	start := time.Now()
 	inst := project(exec, addr)
 	if max := inst.maxWritesPerValue(); max > 1 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 )
 
@@ -32,7 +33,47 @@ type searcher struct {
 	stats solver.Stats
 	abort *solver.ErrBudgetExceeded
 
+	// Observability handles, resolved once per solve from the context.
+	// tr and met are nil when no observer is attached; obsOn gates the
+	// every-64-states flush so the disabled hot path pays only nil
+	// comparisons (see obs package doc and BenchmarkObsOverhead).
+	tr      *obs.Tracer
+	sp      obs.Span
+	met     *obs.Metrics
+	obsOn   bool
+	flushed obsFlush
+
 	keyBuf []byte
+}
+
+// obsFlush remembers the counter values at the last metrics flush, so
+// each flush adds only the delta since the previous one.
+type obsFlush struct {
+	states, memoHits, memoMisses, eagerReads, branches int
+}
+
+// obsFlushInterval matches the budget's context-poll amortization
+// window: live metrics are pushed at most once per 64 states.
+const obsFlushInterval = 64
+
+// pollObs flushes counter deltas into the shared metrics and emits the
+// budget-poll trace event. Called every obsFlushInterval states and once
+// at the end of the solve.
+func (s *searcher) pollObs() {
+	if s.met != nil {
+		s.met.Flush(
+			int64(s.stats.States-s.flushed.states),
+			int64(s.stats.MemoHits-s.flushed.memoHits),
+			int64(s.stats.MemoMisses-s.flushed.memoMisses),
+			int64(s.stats.EagerReads-s.flushed.eagerReads),
+			int64(s.stats.Branches-s.flushed.branches),
+			len(s.schedule))
+		s.flushed = obsFlush{s.stats.States, s.stats.MemoHits,
+			s.stats.MemoMisses, s.stats.EagerReads, s.stats.Branches}
+	}
+	if s.tr != nil {
+		s.tr.BudgetPoll(s.sp, int64(s.stats.States), len(s.schedule))
+	}
 }
 
 // searchInstance runs the general search on a projected instance. A
@@ -48,14 +89,24 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 		budget: budget,
 		pos:    make([]int, len(inst.hist)),
 		memo:   make(map[string]struct{}),
+		tr:     obs.TracerFrom(ctx),
+		met:    obs.MetricsFrom(ctx),
+	}
+	s.obsOn = s.tr != nil || s.met != nil
+	if s.tr != nil {
+		s.sp, _ = s.tr.BeginAddr(ctx, "general-search", int64(inst.addr))
 	}
 	if inst.init != nil {
 		s.cur, s.bound = *inst.init, true
 	}
 	found := s.dfs()
 	s.stats.Duration = time.Since(start)
+	if s.obsOn {
+		s.pollObs()
+	}
 	if s.abort != nil {
 		s.abort.Stats = s.stats
+		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
 	res := &Result{
@@ -66,6 +117,9 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 	}
 	if found {
 		res.Schedule = inst.translate(s.schedule)
+		s.sp.End("coherent", int64(s.stats.States))
+	} else {
+		s.sp.End("incoherent", int64(s.stats.States))
 	}
 	return res, nil
 }
@@ -238,6 +292,9 @@ func (s *searcher) candidates() []int {
 // was found (and s.schedule holds it).
 func (s *searcher) dfs() bool {
 	eager := s.scheduleEagerReads()
+	if s.tr != nil && eager > 0 {
+		s.tr.EagerReads(s.sp, len(s.schedule), eager)
+	}
 	if d := len(s.schedule); d > s.stats.PeakDepth {
 		s.stats.PeakDepth = d
 	}
@@ -254,17 +311,30 @@ func (s *searcher) dfs() bool {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
 			s.stats.MemoHits++
+			if s.tr != nil {
+				s.tr.MemoHit(s.sp, len(s.schedule))
+			}
 			s.undoEagerReads(eager)
 			return false
 		}
 		s.stats.MemoMisses++
+		if s.tr != nil {
+			s.tr.MemoMiss(s.sp, len(s.schedule))
+		}
 	}
 
 	s.stats.States++
+	s.stats.RecordDepth(len(s.schedule))
+	if s.tr != nil {
+		s.tr.StateEnter(s.sp, len(s.schedule), int64(s.stats.States))
+	}
 	if e := s.budget.Charge(s.stats.States); e != nil {
 		s.abort = e
 		s.undoEagerReads(eager)
 		return false
+	}
+	if s.obsOn && s.stats.States&(obsFlushInterval-1) == 0 {
+		s.pollObs()
 	}
 
 	cands := s.candidates()
@@ -281,6 +351,9 @@ func (s *searcher) dfs() bool {
 		}
 	}
 
+	if s.tr != nil {
+		s.tr.Backtrack(s.sp, len(s.schedule))
+	}
 	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}

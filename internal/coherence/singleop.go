@@ -18,13 +18,15 @@ import (
 // come first, and a write of the final value goes last. The
 // implementation sorts operations by value, O(n log n) as the paper
 // lists.
-func SolveSingleOp(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveSingleOp(ctx context.Context, exec *memory.Execution, addr memory.Addr) (r *Result, err error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	sp, ctx := beginSolve(ctx, "single-op", addr)
+	defer func() { endSolve(ctx, sp, r, err) }()
 	start := time.Now()
 	inst := project(exec, addr)
 	if inst.maxOpsPerProcess() > 1 {
@@ -154,13 +156,15 @@ func singleOpInstance(inst *instance) (r *Result, ok bool) {
 // form an Eulerian path starting at the initial value (when declared) and
 // ending with a write of the final value (when declared). Hierholzer's
 // algorithm constructs the path.
-func SolveSingleOpRMW(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
+func SolveSingleOpRMW(ctx context.Context, exec *memory.Execution, addr memory.Addr) (r *Result, err error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	sp, ctx := beginSolve(ctx, "rmw-euler", addr)
+	defer func() { endSolve(ctx, sp, r, err) }()
 	start := time.Now()
 	inst := project(exec, addr)
 	if inst.maxOpsPerProcess() > 1 {
@@ -169,7 +173,7 @@ func SolveSingleOpRMW(ctx context.Context, exec *memory.Execution, addr memory.A
 	if !inst.allRMW() {
 		return nil, fmt.Errorf("coherence: address %d has simple operations; use SolveSingleOp", addr)
 	}
-	r := eulerInstance(inst)
+	r = eulerInstance(inst)
 	r.Stats.Duration = time.Since(start)
 	return r, nil
 }

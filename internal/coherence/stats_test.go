@@ -1,0 +1,152 @@
+package coherence
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"memverify/internal/memory"
+	"memverify/internal/obs"
+)
+
+// statsEqual compares two Stats ignoring wall-clock Duration (the only
+// field that legitimately differs between identical solves).
+func statsEqual(a, b Stats) bool {
+	a.Duration, b.Duration = 0, 0
+	return a == b
+}
+
+// generalSearchExec builds an execution where every address needs the
+// general memoized search: duplicated write values rule out the read-map
+// specialist and multi-op histories rule out the single-op ones.
+func generalSearchExec(naddr int) *memory.Execution {
+	exec := &memory.Execution{Histories: make([]memory.History, 2)}
+	for a := 0; a < naddr; a++ {
+		addr := memory.Addr(a)
+		exec.SetInitial(addr, 0)
+		exec.Histories[0] = append(exec.Histories[0],
+			memory.W(addr, 1), memory.R(addr, 1), memory.W(addr, 1))
+		exec.Histories[1] = append(exec.Histories[1],
+			memory.R(addr, 1), memory.W(addr, 1), memory.R(addr, 1))
+	}
+	return exec
+}
+
+// TestParallelStatsMatchSerial checks that fanning the per-address
+// solves across workers leaves each address's Stats exactly as the
+// serial run produces them — the solves are independent, so no state,
+// memo lookup, or eager read may appear in two addresses' stats.
+func TestParallelStatsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		exec := multiAddressInstance(rng, 2+rng.Intn(4))
+		serial, err := VerifyExecution(context.Background(), exec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := VerifyExecutionParallel(context.Background(), exec, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sumSerial, sumPar Stats
+		for a, want := range serial {
+			got := par[a]
+			if got == nil {
+				t.Fatalf("instance %d: no parallel result for address %d", i, a)
+			}
+			if !statsEqual(got.Stats, want.Stats) {
+				t.Fatalf("instance %d addr %d: parallel stats %+v != serial %+v",
+					i, a, got.Stats, want.Stats)
+			}
+			sumSerial.Merge(want.Stats)
+			sumPar.Merge(got.Stats)
+		}
+		if !statsEqual(sumPar, sumSerial) {
+			t.Fatalf("instance %d: merged totals differ: %+v != %+v", i, sumPar, sumSerial)
+		}
+	}
+}
+
+// TestParallelMetricsAggregation attaches live Metrics to a parallel
+// verification and checks the shared counters reconcile exactly with
+// the per-address solver.Stats: total states equal the merged sum (no
+// delta flushed twice, none lost) and the solve counter matches the
+// address count.
+func TestParallelMetricsAggregation(t *testing.T) {
+	exec := generalSearchExec(3)
+	m := obs.NewMetrics()
+	ctx := obs.With(context.Background(), &obs.Observer{Metrics: m})
+	par, err := VerifyExecutionParallel(ctx, exec, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Stats
+	for _, r := range par {
+		if r.Algorithm != "general-search" {
+			t.Fatalf("algorithm = %q, want general-search (the test's premise)", r.Algorithm)
+		}
+		sum.Merge(r.Stats)
+	}
+	s := m.Snapshot()
+	if s.States != int64(sum.States) {
+		t.Errorf("metrics states = %d, merged solver stats say %d", s.States, sum.States)
+	}
+	if s.MemoHits != int64(sum.MemoHits) || s.MemoMisses != int64(sum.MemoMisses) {
+		t.Errorf("metrics memo = %d/%d, merged stats say %d/%d",
+			s.MemoHits, s.MemoMisses, sum.MemoHits, sum.MemoMisses)
+	}
+	if s.EagerReads != int64(sum.EagerReads) {
+		t.Errorf("metrics eager reads = %d, merged stats say %d", s.EagerReads, sum.EagerReads)
+	}
+	if s.Branches != int64(sum.Branches) {
+		t.Errorf("metrics branches = %d, merged stats say %d", s.Branches, sum.Branches)
+	}
+	if int64(sum.PeakDepth) > s.PeakDepth {
+		t.Errorf("metrics peak depth = %d below solver peak %d", s.PeakDepth, sum.PeakDepth)
+	}
+	if s.Solves != 3 || s.SolvesDone != 3 {
+		t.Errorf("metrics solves = %d/%d, want 3/3 (one per address)", s.SolvesDone, s.Solves)
+	}
+}
+
+// TestPortfolioStatsSingleCount checks the staged portfolio neither
+// double counts nor double reports: the returned Stats are exactly the
+// deciding stage's (the probe is the same search SolveAuto runs), and
+// the whole staged solve bumps the live solve counter once per address
+// even though several stages execute inside it.
+func TestPortfolioStatsSingleCount(t *testing.T) {
+	// 28 ops at one address: past portfolioMinOps, so the portfolio
+	// stages (specialist check, probe) actually run.
+	exec := &memory.Execution{Histories: make([]memory.History, 2)}
+	exec.SetInitial(0, 0)
+	for i := 0; i < 7; i++ {
+		exec.Histories[0] = append(exec.Histories[0], memory.W(0, 5), memory.R(0, 5))
+		exec.Histories[1] = append(exec.Histories[1], memory.R(0, 5), memory.W(0, 5))
+	}
+
+	auto, err := SolveAuto(context.Background(), exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	ctx := obs.With(context.Background(), &obs.Observer{Metrics: m})
+	port, err := SolvePortfolio(ctx, exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Coherent != auto.Coherent {
+		t.Fatalf("portfolio verdict %v != auto %v", port.Coherent, auto.Coherent)
+	}
+	// The probe decided, so the stats are one search's worth — identical
+	// to SolveAuto's, not auto's plus a probe's.
+	if !statsEqual(port.Stats, auto.Stats) {
+		t.Errorf("portfolio stats %+v != single-search stats %+v", port.Stats, auto.Stats)
+	}
+	s := m.Snapshot()
+	if s.Solves != 1 || s.SolvesDone != 1 {
+		t.Errorf("metrics solves = %d/%d, want 1/1 for one staged solve", s.SolvesDone, s.Solves)
+	}
+	if s.States != int64(port.Stats.States) {
+		t.Errorf("metrics states = %d, solver stats say %d", s.States, port.Stats.States)
+	}
+}

@@ -33,20 +33,22 @@ import (
 // instance (wrong operations, duplicates, or program order violated); an
 // incoherent result (Coherent == false) is returned when the order is
 // valid but no coherent schedule extends it.
-func SolveWithWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*Result, error) {
+func SolveWithWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (r *Result, err error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	sp, ctx := beginSolve(ctx, "write-order", addr)
+	defer func() { endSolve(ctx, sp, r, err) }()
 	start := time.Now()
 	inst := project(exec, addr)
 	order, err := inst.toProjectionRefs(writeOrder, addr)
 	if err != nil {
 		return nil, err
 	}
-	r, err := writeOrderInstance(inst, order)
+	r, err = writeOrderInstance(inst, order)
 	if r != nil {
 		r.Stats.Duration = time.Since(start)
 	}
@@ -263,13 +265,15 @@ func placeReads(inst *instance, order []memory.Ref, init *memory.Value) ([]memor
 // write order is then a total order of all operations, and coherence
 // holds iff the read component of each operation returns the value stored
 // by the write component of its predecessor (§5.2, final remark).
-func CheckRMWWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref) (*Result, error) {
+func CheckRMWWriteOrder(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref) (res *Result, err error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+	sp, ctx := beginSolve(ctx, "rmw-write-order", addr)
+	defer func() { endSolve(ctx, sp, res, err) }()
 	inst := project(exec, addr)
 	if !inst.allRMW() {
 		return nil, fmt.Errorf("coherence: address %d has non-RMW operations; use SolveWithWriteOrder", addr)
@@ -303,7 +307,7 @@ func CheckRMWWriteOrder(ctx context.Context, exec *memory.Execution, addr memory
 	if inst.final != nil && bound && cur != *inst.final {
 		return incoherent, nil
 	}
-	res := &Result{
+	res = &Result{
 		Coherent:  true,
 		Decided:   true,
 		Schedule:  inst.translate(order),

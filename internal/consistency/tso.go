@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 )
 
@@ -74,6 +75,32 @@ type tsoSearcher struct {
 	stats  solver.Stats
 	abort  *solver.ErrBudgetExceeded
 	keyBuf []byte
+
+	// Observability handles (see vscSearcher).
+	tr      *obs.Tracer
+	sp      obs.Span
+	met     *obs.Metrics
+	obsOn   bool
+	flushed obsFlush
+}
+
+// pollObs flushes counter deltas into the shared metrics and emits the
+// budget-poll trace event.
+func (s *tsoSearcher) pollObs() {
+	if s.met != nil {
+		s.met.Flush(
+			int64(s.stats.States-s.flushed.states),
+			int64(s.stats.MemoHits-s.flushed.memoHits),
+			int64(s.stats.MemoMisses-s.flushed.memoMisses),
+			0,
+			int64(s.stats.Branches-s.flushed.branches),
+			len(s.events))
+		s.flushed = obsFlush{states: s.stats.States, memoHits: s.stats.MemoHits,
+			memoMisses: s.stats.MemoMisses, branches: s.stats.Branches}
+	}
+	if s.tr != nil {
+		s.tr.BudgetPoll(s.sp, int64(s.stats.States), len(s.events))
+	}
 }
 
 // VerifyTSO checks whether exec is explainable by a Total Store Order
@@ -120,10 +147,22 @@ func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Option
 	start := time.Now()
 	s.budget = solver.Start(ctx, opts)
 	defer s.budget.Stop()
+	s.tr = obs.TracerFrom(ctx)
+	s.met = obs.MetricsFrom(ctx)
+	s.obsOn = s.tr != nil || s.met != nil
+	s.met.SolveBegin()
+	defer s.met.SolveEnd()
+	if s.tr != nil {
+		s.sp, _ = s.tr.Begin(ctx, algorithm)
+	}
 	found := s.dfs()
 	s.stats.Duration = time.Since(start)
+	if s.obsOn {
+		s.pollObs()
+	}
 	if s.abort != nil {
 		s.abort.Stats = s.stats
+		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
 	res := &Result{
@@ -134,6 +173,9 @@ func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Option
 	}
 	if found {
 		res.Events = append([]Event(nil), s.events...)
+		s.sp.End("consistent", int64(s.stats.States))
+	} else {
+		s.sp.End("inconsistent", int64(s.stats.States))
 	}
 	return res, nil
 }
@@ -335,14 +377,27 @@ func (s *tsoSearcher) dfs() bool {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
 			s.stats.MemoHits++
+			if s.tr != nil {
+				s.tr.MemoHit(s.sp, len(s.events))
+			}
 			return false
 		}
 		s.stats.MemoMisses++
+		if s.tr != nil {
+			s.tr.MemoMiss(s.sp, len(s.events))
+		}
 	}
 	s.stats.States++
+	s.stats.RecordDepth(len(s.events))
+	if s.tr != nil {
+		s.tr.StateEnter(s.sp, len(s.events), int64(s.stats.States))
+	}
 	if e := s.budget.Charge(s.stats.States); e != nil {
 		s.abort = e
 		return false
+	}
+	if s.obsOn && s.stats.States&(obsFlushInterval-1) == 0 {
+		s.pollObs()
 	}
 
 	for p := range s.exec.Histories {
@@ -369,6 +424,9 @@ func (s *tsoSearcher) dfs() bool {
 		}
 	}
 
+	if s.tr != nil {
+		s.tr.Backtrack(s.sp, len(s.events))
+	}
 	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}

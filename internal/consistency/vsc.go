@@ -6,8 +6,19 @@ import (
 	"time"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 	"memverify/internal/solver"
 )
+
+// obsFlush remembers counter values at the last metrics flush so each
+// flush adds only the delta; shared by the VSC and TSO searchers.
+type obsFlush struct {
+	states, memoHits, memoMisses, eagerReads, branches int
+}
+
+// obsFlushInterval matches the budget's context-poll amortization
+// window: live metrics are pushed at most once per 64 states.
+const obsFlushInterval = 64
 
 // vscSearcher decides VSC by depth-first search over partial schedules.
 // The state of a partial schedule is (position vector, per-address memory
@@ -38,6 +49,34 @@ type vscSearcher struct {
 	stats  solver.Stats
 	abort  *solver.ErrBudgetExceeded
 	keyBuf []byte
+
+	// Observability handles, resolved once per solve from the context;
+	// nil (and obsOn false) when no observer is attached, so the hot
+	// path pays only nil comparisons.
+	tr      *obs.Tracer
+	sp      obs.Span
+	met     *obs.Metrics
+	obsOn   bool
+	flushed obsFlush
+}
+
+// pollObs flushes counter deltas into the shared metrics and emits the
+// budget-poll trace event.
+func (s *vscSearcher) pollObs() {
+	if s.met != nil {
+		s.met.Flush(
+			int64(s.stats.States-s.flushed.states),
+			int64(s.stats.MemoHits-s.flushed.memoHits),
+			int64(s.stats.MemoMisses-s.flushed.memoMisses),
+			int64(s.stats.EagerReads-s.flushed.eagerReads),
+			int64(s.stats.Branches-s.flushed.branches),
+			len(s.schedule))
+		s.flushed = obsFlush{s.stats.States, s.stats.MemoHits,
+			s.stats.MemoMisses, s.stats.EagerReads, s.stats.Branches}
+	}
+	if s.tr != nil {
+		s.tr.BudgetPoll(s.sp, int64(s.stats.States), len(s.schedule))
+	}
 }
 
 // run drives the search and packages the result or the budget error.
@@ -45,10 +84,22 @@ func (s *vscSearcher) run(ctx context.Context, algorithm string) (*Result, error
 	start := time.Now()
 	s.budget = solver.Start(ctx, s.opts)
 	defer s.budget.Stop()
+	s.tr = obs.TracerFrom(ctx)
+	s.met = obs.MetricsFrom(ctx)
+	s.obsOn = s.tr != nil || s.met != nil
+	s.met.SolveBegin()
+	defer s.met.SolveEnd()
+	if s.tr != nil {
+		s.sp, _ = s.tr.Begin(ctx, algorithm)
+	}
 	found := s.dfs()
 	s.stats.Duration = time.Since(start)
+	if s.obsOn {
+		s.pollObs()
+	}
 	if s.abort != nil {
 		s.abort.Stats = s.stats
+		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
 	res := &Result{
@@ -59,6 +110,9 @@ func (s *vscSearcher) run(ctx context.Context, algorithm string) (*Result, error
 	}
 	if found {
 		res.Schedule = append(memory.Schedule(nil), s.schedule...)
+		s.sp.End("consistent", int64(s.stats.States))
+	} else {
+		s.sp.End("inconsistent", int64(s.stats.States))
 	}
 	return res, nil
 }
@@ -300,6 +354,9 @@ func (s *vscSearcher) candidates() []int {
 
 func (s *vscSearcher) dfs() bool {
 	eager := s.scheduleEager()
+	if s.tr != nil && eager > 0 {
+		s.tr.EagerReads(s.sp, len(s.schedule), eager)
+	}
 	if d := len(s.schedule); d > s.stats.PeakDepth {
 		s.stats.PeakDepth = d
 	}
@@ -316,17 +373,30 @@ func (s *vscSearcher) dfs() bool {
 		key = s.key()
 		if _, seen := s.memo[key]; seen {
 			s.stats.MemoHits++
+			if s.tr != nil {
+				s.tr.MemoHit(s.sp, len(s.schedule))
+			}
 			s.undoEager(eager)
 			return false
 		}
 		s.stats.MemoMisses++
+		if s.tr != nil {
+			s.tr.MemoMiss(s.sp, len(s.schedule))
+		}
 	}
 
 	s.stats.States++
+	s.stats.RecordDepth(len(s.schedule))
+	if s.tr != nil {
+		s.tr.StateEnter(s.sp, len(s.schedule), int64(s.stats.States))
+	}
 	if e := s.budget.Charge(s.stats.States); e != nil {
 		s.abort = e
 		s.undoEager(eager)
 		return false
+	}
+	if s.obsOn && s.stats.States&(obsFlushInterval-1) == 0 {
+		s.pollObs()
 	}
 
 	cands := s.candidates()
@@ -343,6 +413,9 @@ func (s *vscSearcher) dfs() bool {
 		}
 	}
 
+	if s.tr != nil {
+		s.tr.Backtrack(s.sp, len(s.schedule))
+	}
 	if s.opts.Memoize() {
 		s.memo[key] = struct{}{}
 	}

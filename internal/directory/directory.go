@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 )
 
 // dirState is the directory's view of a line.
@@ -52,6 +53,9 @@ type Config struct {
 	Nodes int
 	// Faults enables protocol error injection.
 	Faults *Faults
+	// Tracer, when non-nil, receives a directory event for every
+	// protocol transaction (fetch, inval, wb).
+	Tracer *obs.Tracer
 }
 
 // Stats counts protocol activity.
@@ -62,6 +66,19 @@ type Stats struct {
 	Invalidations uint64
 	Writebacks    uint64
 	FaultsFired   int
+}
+
+// Counters implements obs.CounterSet, so cmd/simtrace prints MESI and
+// directory stats through one code path.
+func (st Stats) Counters() []obs.Counter {
+	return []obs.Counter{
+		{Name: "hits", Value: st.Hits},
+		{Name: "misses", Value: st.Misses},
+		{Name: "fetch", Value: st.Fetches},
+		{Name: "inval", Value: st.Invalidations},
+		{Name: "wb", Value: st.Writebacks},
+		{Name: "faults", Value: uint64(st.FaultsFired)},
+	}
 }
 
 // System is the simulated directory-protocol multiprocessor.
@@ -75,6 +92,7 @@ type System struct {
 	arrival []memory.Ref
 	stats   Stats
 	faults  *Faults
+	tr      *obs.Tracer
 }
 
 // New builds a system; memory reads as zero on first touch.
@@ -89,6 +107,7 @@ func New(cfg Config) *System {
 		init:   make(map[memory.Addr]memory.Value),
 		hist:   make([]memory.History, cfg.Nodes),
 		faults: cfg.Faults,
+		tr:     cfg.Tracer,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		s.caches = append(s.caches, make(map[memory.Addr]*cacheLine))
@@ -138,6 +157,7 @@ func (s *System) lineOf(node int, a memory.Addr) *cacheLine {
 func (s *System) fetchCurrent(a memory.Addr, e *entry) memory.Value {
 	if e.state == dirOwned {
 		s.stats.Fetches++
+		s.tr.Directory("fetch", e.owner, int64(a), 0)
 		if s.faults.fire(FaultWrongSource) {
 			s.stats.FaultsFired++
 			// The request is mis-routed and served from stale memory;
@@ -148,6 +168,7 @@ func (s *System) fetchCurrent(a memory.Addr, e *entry) memory.Value {
 		}
 		owner := s.lineOf(e.owner, a)
 		s.stats.Writebacks++
+		s.tr.Directory("wb", e.owner, int64(a), int64(owner.value))
 		s.mem[a] = owner.value
 		owner.dirty = false
 		return owner.value
@@ -162,6 +183,7 @@ func (s *System) invalidateSharers(a memory.Addr, e *entry, skip int) {
 			continue
 		}
 		s.stats.Invalidations++
+		s.tr.Directory("inval", node, int64(a), 0)
 		if s.faults.fire(FaultForgetSharer) {
 			s.stats.FaultsFired++
 			// The directory's sharer list was corrupted: this sharer
@@ -175,9 +197,11 @@ func (s *System) invalidateSharers(a memory.Addr, e *entry, skip int) {
 	}
 	if e.state == dirOwned && e.owner != skip {
 		s.stats.Invalidations++
+		s.tr.Directory("inval", e.owner, int64(a), 0)
 		owner := s.lineOf(e.owner, a)
 		if owner.dirty {
 			s.stats.Writebacks++
+			s.tr.Directory("wb", e.owner, int64(a), int64(owner.value))
 			s.mem[a] = owner.value
 		}
 		if s.faults.fire(FaultForgetSharer) {
@@ -280,6 +304,7 @@ func (s *System) Evict(node int, a memory.Addr) {
 	e := s.entryOf(a)
 	if l.dirty {
 		s.stats.Writebacks++
+		s.tr.Directory("wb", node, int64(a), int64(l.value))
 		if s.faults.fire(FaultLoseWriteback) {
 			s.stats.FaultsFired++
 		} else {

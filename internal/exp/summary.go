@@ -142,9 +142,10 @@ func E4SummaryTable(ctx context.Context, cfg Config) ([]*Table, error) {
 	// memoized search, from the solver's per-solve Stats.
 	inst := &Table{
 		Title:  "search instrumentation",
-		Header: []string{"row", "states", "memo hit", "branch", "peak depth", "eager reads"},
+		Header: []string{"row", "states", "memo hit", "branch", "peak depth", "eager reads", "states/s", "depth histogram"},
 		Caption: "aggregated solver.Stats over every general-search solve of the row above;\n" +
-			"memo hit = hits / (hits + misses), branch = mean branching factor.",
+			"memo hit = hits / (hits + misses), branch = mean branching factor,\n" +
+			"depth histogram = visited states per power-of-two depth bucket.",
 	}
 	for _, row := range []struct {
 		name  string
@@ -154,16 +155,17 @@ func E4SummaryTable(ctx context.Context, cfg Config) ([]*Table, error) {
 		{"3+ ops/process (Fig 5.1)", restrictedStats},
 		{"constant processes (k=3)", constStats},
 	} {
-		lookups := row.stats.MemoHits + row.stats.MemoMisses
-		hitRate := 0.0
-		if lookups > 0 {
-			hitRate = float64(row.stats.MemoHits) / float64(lookups)
+		rate := "n/a"
+		if row.stats.Duration > 0 {
+			rate = fmt.Sprintf("%.0f", row.stats.StatesPerSec())
 		}
 		inst.Add(row.name, fmt.Sprint(row.stats.States),
-			fmt.Sprintf("%.1f%%", 100*hitRate),
+			fmt.Sprintf("%.1f%%", 100*row.stats.MemoHitRate()),
 			fmt.Sprintf("%.2f", row.stats.BranchFactor()),
 			fmt.Sprint(row.stats.PeakDepth),
-			fmt.Sprint(row.stats.EagerReads))
+			fmt.Sprint(row.stats.EagerReads),
+			rate,
+			row.stats.DepthHistogram())
 	}
 
 	return []*Table{t, inst}, nil

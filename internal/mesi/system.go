@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memverify/internal/memory"
+	"memverify/internal/obs"
 )
 
 // Config parameterizes a simulated system.
@@ -18,6 +19,9 @@ type Config struct {
 	// Faults enables protocol error injection; nil means a correct
 	// protocol.
 	Faults *Faults
+	// Tracer, when non-nil, receives a bus event for every coherence
+	// transaction (bus-rd, bus-rdx, upgr, inval, wb).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +49,21 @@ type Stats struct {
 	FaultsFired   int    // injected faults that actually triggered
 }
 
+// Counters implements obs.CounterSet, so cmd/simtrace prints MESI and
+// directory stats through one code path.
+func (st Stats) Counters() []obs.Counter {
+	return []obs.Counter{
+		{Name: "hits", Value: st.Hits},
+		{Name: "misses", Value: st.Misses},
+		{Name: "bus-rd", Value: st.BusReads},
+		{Name: "bus-rdx", Value: st.BusReadXs},
+		{Name: "upgr", Value: st.Upgrades},
+		{Name: "inval", Value: st.Invalidations},
+		{Name: "wb", Value: st.Writebacks},
+		{Name: "faults", Value: uint64(st.FaultsFired)},
+	}
+}
+
 // System is a simulated multiprocessor: CPUs with private MESI caches on
 // an atomic snooping bus over a shared memory. Executing operations
 // records a trace (per-CPU histories with observed values) retrievable
@@ -59,6 +78,7 @@ type System struct {
 	arrival []memory.Ref
 	stats   Stats
 	faults  *Faults
+	tr      *obs.Tracer
 }
 
 // New builds a system with all memory initialized to zero on first
@@ -72,6 +92,7 @@ func New(cfg Config) *System {
 		hist:   make([]memory.History, cfg.Processors),
 		orders: make(map[memory.Addr][]memory.Ref),
 		faults: cfg.Faults,
+		tr:     cfg.Tracer,
 	}
 	for i := 0; i < cfg.Processors; i++ {
 		s.caches = append(s.caches, newCache(cfg.CacheSets, cfg.CacheWays))
@@ -112,6 +133,7 @@ func (s *System) SetInitial(a memory.Addr, v memory.Value) {
 func (s *System) evict(cpu int, l *line) {
 	if l.state == Modified {
 		s.stats.Writebacks++
+		s.tr.Bus("wb", cpu, int64(l.addr), int64(l.value))
 		if s.faults.fire(FaultLoseWriteback) {
 			s.stats.FaultsFired++
 			// The dirty data is dropped on the floor; memory keeps its
@@ -139,6 +161,7 @@ func (s *System) snoop(cpu int, a memory.Addr, wantExclusive bool) memory.Value 
 		}
 		if l.state == Modified {
 			s.stats.Writebacks++
+			s.tr.Bus("wb", other, int64(a), int64(l.value))
 			if s.faults.fire(FaultStaleMemory) {
 				s.stats.FaultsFired++
 				// The snoop response is lost: the requester proceeds
@@ -152,6 +175,7 @@ func (s *System) snoop(cpu int, a memory.Addr, wantExclusive bool) memory.Value 
 		}
 		if wantExclusive {
 			s.stats.Invalidations++
+			s.tr.Bus("inval", other, int64(a), 0)
 			if s.faults.fire(FaultDropInvalidate) {
 				s.stats.FaultsFired++
 				// The invalidation message is lost: the copy stays
@@ -205,6 +229,7 @@ func (s *System) Read(cpu int, a memory.Addr) memory.Value {
 	c.misses++
 	s.stats.Misses++
 	s.stats.BusReads++
+	s.tr.Bus("bus-rd", cpu, int64(a), 0)
 	v := s.snoop(cpu, a, false)
 	st := Exclusive
 	if s.othersHold(cpu, a) {
@@ -253,11 +278,13 @@ func (s *System) writeLine(cpu int, a memory.Addr, v memory.Value) {
 		c.hits++
 		s.stats.Hits++
 		s.stats.Upgrades++
+		s.tr.Bus("upgr", cpu, int64(a), 0)
 		s.snoop(cpu, a, true)
 	default:
 		c.misses++
 		s.stats.Misses++
 		s.stats.BusReadXs++
+		s.tr.Bus("bus-rdx", cpu, int64(a), 0)
 		cur := s.snoop(cpu, a, true)
 		l = s.fill(cpu, a, cur, Exclusive)
 	}
@@ -288,12 +315,14 @@ func (s *System) RMW(cpu int, a memory.Addr, new memory.Value) memory.Value {
 		c.hits++
 		s.stats.Hits++
 		s.stats.Upgrades++
+		s.tr.Bus("upgr", cpu, int64(a), 0)
 		s.snoop(cpu, a, true)
 		old = l.value
 	default:
 		c.misses++
 		s.stats.Misses++
 		s.stats.BusReadXs++
+		s.tr.Bus("bus-rdx", cpu, int64(a), 0)
 		old = s.snoop(cpu, a, true)
 		l = s.fill(cpu, a, old, Exclusive)
 		old = l.value // a corrupted fill is what the CPU observes

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Collector is an in-memory Sink that aggregates events into per-span
+// summaries — the data behind the vmcheck -explain report. It keeps no
+// per-event storage: each event folds into counters, so collecting on a
+// large search stays cheap.
+type Collector struct {
+	mu    sync.Mutex
+	spans map[uint64]*SpanSummary
+	order []uint64
+}
+
+// SpanSummary aggregates one span's activity.
+type SpanSummary struct {
+	ID      uint64
+	Parent  uint64
+	Name    string
+	Addr    int64
+	HasAddr bool
+	Verdict string // span end detail
+	Ended   bool
+	DurNS   int64
+
+	States     int64
+	Backtracks int64
+	MemoHits   int64
+	MemoMisses int64
+	EagerReads int64
+	PeakDepth  int
+	// BacktrackDepths counts backtracks by power-of-two depth bucket
+	// (bucket i covers depths with bit-length i).
+	BacktrackDepths [16]int64
+
+	beganNS int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{spans: make(map[uint64]*SpanSummary)}
+}
+
+// Emit folds one event into the owning span's summary.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.spans[e.Span]
+	if s == nil {
+		s = &SpanSummary{ID: e.Span}
+		c.spans[e.Span] = s
+		c.order = append(c.order, e.Span)
+	}
+	switch e.Kind {
+	case KindSpanBegin:
+		s.Parent, s.Name, s.Addr, s.HasAddr, s.beganNS = e.Parent, e.Name, e.Addr, e.HasAddr, e.TS
+	case KindSpanEnd:
+		s.Verdict, s.Ended = e.Detail, true
+		s.DurNS = e.TS - s.beganNS
+		if e.States > s.States {
+			s.States = e.States
+		}
+	case KindStateEnter:
+		s.States++
+		if e.Depth > s.PeakDepth {
+			s.PeakDepth = e.Depth
+		}
+	case KindBacktrack:
+		s.Backtracks++
+		s.BacktrackDepths[DepthBucket(e.Depth)]++
+	case KindMemoHit:
+		s.MemoHits++
+	case KindMemoMiss:
+		s.MemoMisses++
+	case KindEagerReads:
+		s.EagerReads += e.N
+	}
+}
+
+// DepthBucket maps a search depth to its power-of-two histogram bucket
+// index (bit length of the depth, capped to the last bucket). Shared
+// with solver.Stats.DepthHist so every depth histogram in the system
+// buckets identically.
+func DepthBucket(d int) int {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len(uint(d))
+	if b >= 16 {
+		b = 15
+	}
+	return b
+}
+
+// BucketLabel names bucket i as a depth range ("0", "1", "2-3",
+// "4-7", ...).
+func BucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	lo, hi := 1<<(i-1), 1<<i-1
+	if lo == hi {
+		return fmt.Sprint(lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// Spans returns all collected summaries in first-seen order.
+func (c *Collector) Spans() []*SpanSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SpanSummary, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.spans[id])
+	}
+	return out
+}
+
+// ForAddr returns the summaries of spans tagged with addr, outermost
+// first (by id, which increases with begin order).
+func (c *Collector) ForAddr(addr int64) []*SpanSummary {
+	var out []*SpanSummary
+	for _, s := range c.Spans() {
+		if s.HasAddr && s.Addr == addr {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Describe renders a one-line human summary of the span's search
+// activity.
+func (s *SpanSummary) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d states, %d backtracks", s.Name, s.States, s.Backtracks)
+	if lookups := s.MemoHits + s.MemoMisses; lookups > 0 {
+		fmt.Fprintf(&b, ", memo hit-rate %.1f%%", 100*float64(s.MemoHits)/float64(lookups))
+	}
+	if s.EagerReads > 0 {
+		fmt.Fprintf(&b, ", %d eager reads", s.EagerReads)
+	}
+	fmt.Fprintf(&b, ", peak depth %d", s.PeakDepth)
+	if s.Verdict != "" {
+		fmt.Fprintf(&b, " -> %s", s.Verdict)
+	}
+	return b.String()
+}
+
+// BacktrackHistogram renders the non-empty backtrack depth buckets, the
+// shape of where the search gave up ("depth 2-3: 57, depth 4-7: 9").
+func (s *SpanSummary) BacktrackHistogram() string {
+	var parts []string
+	for i, n := range s.BacktrackDepths {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("depth %s: %d", BucketLabel(i), n))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

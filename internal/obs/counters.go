@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter is one named simulator counter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// CounterSet is the shared shape of simulator statistics (mesi.Stats,
+// directory.Stats): an ordered list of named counters. It lets
+// cmd/simtrace — and any other consumer — print every simulator's
+// counters through one code path instead of per-protocol formatting.
+type CounterSet interface {
+	Counters() []Counter
+}
+
+// FormatCounters renders a counter set as one "name=value ..." line,
+// in the set's own order.
+func FormatCounters(cs CounterSet) string {
+	counters := cs.Counters()
+	parts := make([]string, len(counters))
+	for i, c := range counters {
+		parts[i] = fmt.Sprintf("%s=%d", c.Name, c.Value)
+	}
+	return strings.Join(parts, " ")
+}

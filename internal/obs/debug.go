@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the handler behind the -debug-addr flag: expvar
+// at /debug/vars (including the published Metrics) and the standard
+// pprof profiles at /debug/pprof/. Split from ServeDebug so tests can
+// exercise it without opening a socket.
+func DebugHandler(m *Metrics) http.Handler {
+	Publish(m)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "memverify debug endpoint: /debug/vars, /debug/pprof/")
+	})
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "localhost:6060")
+// in a background goroutine and returns the server for shutdown. The
+// returned server's Addr field holds the bound address, so addr may use
+// port 0.
+func ServeDebug(addr string, m *Metrics) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: DebugHandler(m)}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a set of live, lock-free counters shared by every solver in
+// a run. Searchers accumulate into their private solver.Stats as before
+// and flush deltas here at their every-64-states budget poll, so the
+// per-state hot path never touches an atomic. Consumers (the progress
+// reporter, the expvar endpoint) sample whenever they like.
+//
+// A nil *Metrics is a valid no-op receiver for every method.
+type Metrics struct {
+	states     atomic.Int64
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+	eagerReads atomic.Int64
+	branches   atomic.Int64
+	depth      atomic.Int64 // depth at the most recent flush
+	peakDepth  atomic.Int64
+	solves     atomic.Int64 // solves started
+	solvesDone atomic.Int64 // solves finished
+	solveBase  atomic.Int64 // states at the most recent SolveBegin
+}
+
+// NewMetrics returns a zeroed counter set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Flush adds a batch of counter deltas and records the current search
+// depth. Nil-safe.
+func (m *Metrics) Flush(states, memoHits, memoMisses, eagerReads, branches int64, depth int) {
+	if m == nil {
+		return
+	}
+	m.states.Add(states)
+	m.memoHits.Add(memoHits)
+	m.memoMisses.Add(memoMisses)
+	m.eagerReads.Add(eagerReads)
+	m.branches.Add(branches)
+	m.depth.Store(int64(depth))
+	for {
+		peak := m.peakDepth.Load()
+		if int64(depth) <= peak || m.peakDepth.CompareAndSwap(peak, int64(depth)) {
+			return
+		}
+	}
+}
+
+// SolveBegin marks the start of one per-address (or whole-execution)
+// solve. Nil-safe.
+func (m *Metrics) SolveBegin() {
+	if m == nil {
+		return
+	}
+	m.solves.Add(1)
+	m.solveBase.Store(m.states.Load())
+}
+
+// SolveEnd marks the end of one solve. Nil-safe.
+func (m *Metrics) SolveEnd() {
+	if m == nil {
+		return
+	}
+	m.solvesDone.Add(1)
+}
+
+// Snapshot is a consistent-enough point-in-time copy of the counters
+// (each field is read atomically; the set as a whole is not a
+// transaction, which is fine for reporting).
+type Snapshot struct {
+	States      int64 `json:"states"`
+	MemoHits    int64 `json:"memo_hits"`
+	MemoMisses  int64 `json:"memo_misses"`
+	EagerReads  int64 `json:"eager_reads"`
+	Branches    int64 `json:"branches"`
+	Depth       int64 `json:"depth"`
+	PeakDepth   int64 `json:"peak_depth"`
+	Solves      int64 `json:"solves"`
+	SolvesDone  int64 `json:"solves_done"`
+	SolveStates int64 `json:"solve_states"` // states charged to the current solve
+}
+
+// Snapshot samples the counters. Nil-safe (returns zeros).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		States:     m.states.Load(),
+		MemoHits:   m.memoHits.Load(),
+		MemoMisses: m.memoMisses.Load(),
+		EagerReads: m.eagerReads.Load(),
+		Branches:   m.branches.Load(),
+		Depth:      m.depth.Load(),
+		PeakDepth:  m.peakDepth.Load(),
+		Solves:     m.solves.Load(),
+		SolvesDone: m.solvesDone.Load(),
+	}
+	s.SolveStates = s.States - m.solveBase.Load()
+	return s
+}
+
+// MemoHitRate returns hits/(hits+misses), 0 with no lookups.
+func (s Snapshot) MemoHitRate() float64 {
+	lookups := s.MemoHits + s.MemoMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(lookups)
+}
+
+var publishOnce sync.Once
+
+// Publish registers m under the expvar name "memverify" so it shows up
+// at /debug/vars. expvar names are process-global, so only the first
+// published Metrics wins; later calls are no-ops (the debug endpoint
+// passes the same instance it serves).
+func Publish(m *Metrics) {
+	publishOnce.Do(func() {
+		expvar.Publish("memverify", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}

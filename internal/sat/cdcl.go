@@ -1,6 +1,11 @@
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"memverify/internal/obs"
+)
 
 // Solver is a conflict-driven clause-learning SAT solver: two-literal
 // watches for unit propagation, first-UIP conflict analysis with clause
@@ -28,6 +33,12 @@ type Solver struct {
 	topConflict bool
 
 	stats Stats
+
+	// tr/trCtx carry an optional observability tracer (see Observe);
+	// both stay nil/zero unless the caller attaches one, so the solve
+	// loop pays only nil comparisons.
+	tr    *obs.Tracer
+	trCtx context.Context
 }
 
 type clause struct {
@@ -298,9 +309,31 @@ func luby(i int) int {
 	}
 }
 
+// Observe attaches the obs.Tracer carried by ctx (if any) to the
+// solver: Solve then brackets the CDCL loop in a "cdcl" span and emits
+// a sat event at each restart. A context without a tracer is a no-op.
+func (s *Solver) Observe(ctx context.Context) {
+	s.tr = obs.TracerFrom(ctx)
+	s.trCtx = ctx
+}
+
 // Solve runs the CDCL loop to completion. CDCL is complete: the result
 // is always decided.
 func (s *Solver) Solve() *Result {
+	var sp obs.Span
+	if s.tr != nil {
+		sp, _ = s.tr.Begin(s.trCtx, "cdcl")
+	}
+	res := s.solve(sp)
+	if res.Satisfiable {
+		sp.End("sat", int64(s.stats.Decisions))
+	} else {
+		sp.End("unsat", int64(s.stats.Decisions))
+	}
+	return res
+}
+
+func (s *Solver) solve(sp obs.Span) *Result {
 	if s.topConflict {
 		return &Result{Satisfiable: false, Stats: s.stats}
 	}
@@ -345,6 +378,9 @@ func (s *Solver) Solve() *Result {
 		if conflictsHere >= conflictBudget {
 			// Restart.
 			s.stats.Restarts++
+			if s.tr != nil {
+				s.tr.SAT(sp, "restart", int64(s.stats.Conflicts))
+			}
 			restartNum++
 			conflictBudget = lubyUnit * luby(restartNum)
 			conflictsHere = 0
@@ -368,10 +404,18 @@ func (s *Solver) Solve() *Result {
 
 // SolveCDCL is the package-level convenience entry point.
 func SolveCDCL(f *Formula) (*Result, error) {
+	return SolveCDCLContext(context.Background(), f)
+}
+
+// SolveCDCLContext is SolveCDCL under an observability context: a
+// tracer carried by ctx records the solve as a "cdcl" span with restart
+// events. Budgets are not consulted — CDCL runs to completion.
+func SolveCDCLContext(ctx context.Context, f *Formula) (*Result, error) {
 	s, err := NewSolver(f)
 	if err != nil {
 		return nil, err
 	}
+	s.Observe(ctx)
 	res := s.Solve()
 	if res.Satisfiable && !res.Assignment.Satisfies(f) {
 		return nil, fmt.Errorf("sat: internal error: CDCL produced a non-satisfying assignment")

@@ -3,8 +3,12 @@ package solver
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"memverify/internal/obs"
 )
 
 // Pool is a bounded worker pool shared by the portfolio racers: however
@@ -36,15 +40,26 @@ func Shared() *Pool {
 	return sharedPool
 }
 
+// workerSeq numbers pool worker spans process-wide, so traces from
+// concurrent races stay distinguishable.
+var workerSeq atomic.Int64
+
 // Go runs `run` on a pool worker once a slot frees. If ctx is cancelled
 // before a slot frees, run is never started and `skipped` (if non-nil)
 // is called instead — exactly one of the two callbacks fires, so a
-// caller counting completions never blocks.
+// caller counting completions never blocks. When ctx carries an
+// obs.Tracer, the worker's lifetime is bracketed by worker start/finish
+// events.
 func (p *Pool) Go(ctx context.Context, run, skipped func()) {
 	go func() {
 		select {
 		case p.slots <- struct{}{}:
 			defer func() { <-p.slots }()
+			if tr := obs.TracerFrom(ctx); tr != nil {
+				id := int(workerSeq.Add(1))
+				sp, _ := tr.BeginWorker(ctx, "pool-worker", id)
+				defer sp.EndWorker(id, "done")
+			}
 			run()
 		case <-ctx.Done():
 			if skipped != nil {
@@ -74,6 +89,8 @@ func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context
 	if p == nil {
 		p = Shared()
 	}
+	tr := obs.TracerFrom(ctx)
+	raceSpan, ctx := tr.Begin(ctx, "race")
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -103,8 +120,11 @@ func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context
 	for range candidates {
 		o := <-ch
 		if o.err == nil {
+			tr.RaceWin(raceSpan, o.idx, "")
+			raceSpan.End("won", 0)
 			return o.val, nil
 		}
+		tr.RaceLoss(raceSpan, o.idx, o.err.Error())
 		if be, ok := AsBudgetError(o.err); ok {
 			if budget == nil {
 				cp := *be
@@ -117,7 +137,9 @@ func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context
 		}
 	}
 	if budget != nil {
+		raceSpan.End(fmt.Sprintf("all-budget: %s", budget.Reason), 0)
 		return zero, budget
 	}
+	raceSpan.End("all-failed", 0)
 	return zero, bestErr
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -174,6 +175,62 @@ func TestStatsMergeAndFormat(t *testing.T) {
 	}
 	if s := a.String(); s == "" {
 		t.Error("String() empty")
+	}
+}
+
+func TestStatsDepthHistogram(t *testing.T) {
+	var s Stats
+	for _, d := range []int{0, 1, 2, 3, 3, 5} {
+		s.RecordDepth(d)
+	}
+	want := [DepthBuckets]int{0: 1, 1: 1, 2: 3, 3: 1}
+	if s.DepthHist != want {
+		t.Errorf("DepthHist = %v, want %v", s.DepthHist, want)
+	}
+	if got := s.DepthHistogram(); got != "0:1 1:1 2-3:3 4-7:1" {
+		t.Errorf("DepthHistogram() = %q", got)
+	}
+	if got := (Stats{}).DepthHistogram(); got != "" {
+		t.Errorf("empty DepthHistogram() = %q, want empty", got)
+	}
+
+	// Merge adds the histograms bucket by bucket.
+	var other Stats
+	other.RecordDepth(3)
+	other.RecordDepth(100)
+	s.Merge(other)
+	if s.DepthHist[2] != 4 {
+		t.Errorf("merged bucket 2-3 = %d, want 4", s.DepthHist[2])
+	}
+	if s.DepthHist[7] != 1 {
+		t.Errorf("merged bucket for depth 100 = %d, want 1", s.DepthHist[7])
+	}
+}
+
+func TestStatsDerivedRates(t *testing.T) {
+	s := Stats{States: 1000, MemoHits: 1, MemoMisses: 3, Duration: 2 * time.Second}
+	if got := s.StatesPerSec(); got != 500 {
+		t.Errorf("StatesPerSec() = %v, want 500", got)
+	}
+	if got := (Stats{}).StatesPerSec(); got != 0 {
+		t.Errorf("zero-duration StatesPerSec() = %v, want 0", got)
+	}
+	if got := s.MemoHitRate(); got != 0.25 {
+		t.Errorf("MemoHitRate() = %v, want 0.25", got)
+	}
+	if got := (Stats{}).MemoHitRate(); got != 0 {
+		t.Errorf("no-lookup MemoHitRate() = %v, want 0", got)
+	}
+
+	// The -stats line must surface the derived hit-rate and throughput.
+	line := s.String()
+	for _, want := range []string{"states=1000", "memo=1/4 (25.0%)", "rate=500/s", "t=2s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+	if line := (Stats{States: 3}).String(); !strings.Contains(line, "rate=n/a") {
+		t.Errorf("duration-less String() = %q, want rate=n/a", line)
 	}
 }
 
