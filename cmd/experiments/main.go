@@ -12,6 +12,11 @@
 // error. -debug-addr serves live expvar solver counters and
 // net/http/pprof profiles for the duration of the run — useful for
 // profiling the long experiments.
+//
+// A panic inside one experiment does not take down the run's partial
+// output: exp.Run recovers it into a typed error naming the experiment
+// and the panic value (the harness exits 1), so the tables already
+// rendered to stdout survive.
 package main
 
 import (

@@ -5,12 +5,15 @@
 //	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-portfolio]
 //	        [-max-states N] [-timeout D] [-stats] [-cert] [-diagnose]
 //	        [-explain] [-trace FILE] [-progress] [-progress-interval D]
-//	        [-debug-addr HOST:PORT] [-online] [trace-file]
+//	        [-debug-addr HOST:PORT] [-online] [-resilient]
+//	        [-checkpoint FILE] [-resume FILE] [trace-file]
 //
 // The trace is read from the file argument or standard input, in the
 // format of internal/trace. The exit status is 0 when the trace adheres
 // to the model, 1 when it does not (or the solver's budget ran out
-// before a verdict), and 2 on usage or input errors.
+// before a verdict), and 2 on usage or input errors. With -checkpoint,
+// an interrupt (SIGINT/SIGTERM) also exits 0 after writing a resumable
+// checkpoint — the interrupted run is not a failure, it is a pause.
 //
 // With -use-order, per-address "order" lines in the trace are used to
 // run the polynomial write-order algorithms of §5.2 for coherence.
@@ -18,6 +21,17 @@
 // shared worker pool and the first verdict wins. -max-states and
 // -timeout bound the search; a blown budget reports UNDECIDED. -stats
 // prints the solver's per-solve search statistics.
+//
+// Robustness (see the README "Robustness" section): -checkpoint FILE
+// makes the coherence check write a versioned, checksummed checkpoint
+// when the budget trips or a SIGINT/SIGTERM arrives mid-search;
+// -resume FILE seeds a later run from it, replaying completed
+// per-address verdicts and pruning the interrupted search with its
+// saved failed-state table. -resilient verifies with the
+// graceful-degradation ladder: instead of reporting UNDECIDED when the
+// exact search exhausts its budget, it steps down to the paper's §5
+// restricted algorithms and finally to sound necessary conditions,
+// reporting UNKNOWN (with the ladder rung) only when nothing decides.
 //
 // Observability (see internal/obs and the README "Observability"
 // section): -trace writes a JSONL event trace of the search (spans,
@@ -35,7 +49,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"memverify/internal/coherence"
 	"memverify/internal/consistency"
@@ -67,8 +83,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "report live solver progress (states/sec, depth, memo hit-rate) to stderr")
 	progressEvery := fs.Duration("progress-interval", 0, "sampling interval for -progress (default 2s)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address, e.g. localhost:6060")
+	resilient := fs.Bool("resilient", false, "degrade gracefully on budget exhaustion: try the §5 restricted algorithms, then sound necessary conditions, reporting UNKNOWN instead of UNDECIDED (coherence model only)")
+	ckPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the budget trips or on SIGINT/SIGTERM (coherence model only)")
+	resumePath := fs.String("resume", "", "resume from a checkpoint written by -checkpoint (coherence model only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ckPath != "" || *resumePath != "" || *resilient {
+		if *model != "coherence" || *online {
+			fmt.Fprintln(stderr, "vmcheck: -checkpoint, -resume and -resilient require -model coherence (and not -online)")
+			return 2
+		}
+		if *useOrder && !*resilient {
+			fmt.Fprintln(stderr, "vmcheck: -checkpoint/-resume do not apply to the -use-order polynomial algorithms")
+			return 2
+		}
+		if *useOrder && *resilient {
+			fmt.Fprintln(stderr, "vmcheck: -resilient uses the trace's write orders as ladder hints automatically; drop -use-order")
+			return 2
+		}
+		if *portfolio && (*ckPath != "" || *resumePath != "") {
+			fmt.Fprintln(stderr, "vmcheck: -checkpoint/-resume need the sequential search, not -portfolio")
+			return 2
+		}
 	}
 
 	in := stdin
@@ -96,6 +133,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *ckPath != "" {
+		// With a checkpoint destination, SIGINT/SIGTERM become a request
+		// to pause: the context cancels, the in-flight search aborts with
+		// its partial state, and the checkpoint is written before exit.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
 	}
 	opts := solver.New(solver.WithMaxStates(*maxStates))
 
@@ -157,14 +202,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	switch *model {
 	case "coherence":
 		c := &coherenceCheck{
-			useOrder:  *useOrder,
-			portfolio: *portfolio,
-			stats:     *showStats,
-			cert:      *cert,
-			diagnose:  *diagnose,
-			explain:   *explain,
-			collector: collector,
-			opts:      opts,
+			useOrder:   *useOrder,
+			portfolio:  *portfolio,
+			stats:      *showStats,
+			cert:       *cert,
+			diagnose:   *diagnose,
+			explain:    *explain,
+			resilient:  *resilient,
+			ckPath:     *ckPath,
+			resumePath: *resumePath,
+			collector:  collector,
+			opts:       opts,
 		}
 		return c.run(ctx, tr, stdout, stderr)
 	case "sc", "tso", "pso", "lrc":
@@ -234,14 +282,17 @@ func reportUndecided(w io.Writer, subject string, be *solver.ErrBudgetExceeded, 
 
 // coherenceCheck bundles the per-address coherence verification flags.
 type coherenceCheck struct {
-	useOrder  bool
-	portfolio bool
-	stats     bool
-	cert      bool
-	diagnose  bool
-	explain   bool
-	collector *obs.Collector
-	opts      *coherence.Options
+	useOrder   bool
+	portfolio  bool
+	stats      bool
+	cert       bool
+	diagnose   bool
+	explain    bool
+	resilient  bool
+	ckPath     string
+	resumePath string
+	collector  *obs.Collector
+	opts       *coherence.Options
 }
 
 func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stderr io.Writer) int {
@@ -251,8 +302,70 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 	if c.portfolio {
 		solve = coherence.SolvePortfolio
 	}
+
+	var ckrun *coherence.CheckpointRun
+	if c.ckPath != "" || c.resumePath != "" {
+		if c.resumePath != "" {
+			ck, err := coherence.LoadCheckpoint(c.resumePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+				return 2
+			}
+			ckrun, err = coherence.ResumeCheckpointRun(tr.Exec, ck)
+			if err != nil {
+				fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+				return 2
+			}
+		} else {
+			ckrun = coherence.NewCheckpointRun(tr.Exec)
+		}
+	}
+	// writeCk persists the run's resumable state; it reports whether a
+	// checkpoint was actually written (a -resume-only run has no
+	// destination, and losing the race to write one is a hard error —
+	// the user asked for crash safety).
+	writeCk := func() (bool, bool) {
+		if ckrun == nil || c.ckPath == "" {
+			return false, true
+		}
+		if err := ckrun.Checkpoint().WriteFile(c.ckPath); err != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+			return false, false
+		}
+		return true, true
+	}
+
 	bad := 0
 	for _, a := range addrs {
+		if ckrun != nil {
+			if res, ok := ckrun.Lookup(a); ok {
+				report(stdout, tr.Name(a), res, tr.Exec, c.stats, c.cert)
+				if !res.Coherent {
+					bad++
+				}
+				continue
+			}
+		}
+		opts := c.opts
+		if ckrun != nil {
+			opts = ckrun.Configure(a, c.opts)
+		}
+
+		if c.resilient {
+			rr, err := coherence.SolveResilient(ctx, tr.Exec, a, tr.WriteOrders[a], opts)
+			if err != nil {
+				if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
+					return code
+				}
+				continue
+			}
+			reportResilient(stdout, tr.Name(a), rr, tr.Exec, c.stats, c.cert)
+			if rr.Verdict != coherence.VerdictCoherent {
+				bad++
+			}
+			continue
+		}
+
 		var res *coherence.Result
 		var err error
 		if c.useOrder {
@@ -263,16 +376,16 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 			}
 			res, err = coherence.SolveWithWriteOrder(ctx, tr.Exec, a, order, c.opts)
 		} else {
-			res, err = solve(ctx, tr.Exec, a, c.opts)
+			res, err = solve(ctx, tr.Exec, a, opts)
 		}
 		if err != nil {
-			if be, ok := solver.AsBudgetError(err); ok {
-				reportUndecided(stdout, tr.Name(a), be, c.stats)
-				bad++
-				continue
+			if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
+				return code
 			}
-			fmt.Fprintf(stderr, "vmcheck: %s: %v\n", tr.Name(a), err)
-			return 2
+			continue
+		}
+		if ckrun != nil {
+			ckrun.Record(a, res)
 		}
 		report(stdout, tr.Name(a), res, tr.Exec, c.stats, c.cert)
 		if !res.Coherent {
@@ -291,6 +404,66 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 	}
 	fmt.Fprintf(stdout, "OK: execution coherent at all %d addresses\n", len(addrs))
 	return 0
+}
+
+// handleSolveErr deals with a per-address solve error. Budget trips
+// write the checkpoint (when configured) and count the address as
+// undecided; a cancellation — which with -checkpoint means SIGINT or
+// SIGTERM — ends the run, exiting 0 when a resumable checkpoint was
+// written (the pause succeeded) and 1 otherwise. The bool result says
+// whether run() must return with the int result.
+func (c *coherenceCheck) handleSolveErr(tr *trace.Trace, a memory.Addr, err error, writeCk func() (bool, bool), stdout, stderr io.Writer, bad *int) (int, bool) {
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		fmt.Fprintf(stderr, "vmcheck: %s: %v\n", tr.Name(a), err)
+		return 2, true
+	}
+	wrote, ckOK := writeCk()
+	if !ckOK {
+		return 2, true
+	}
+	reportUndecided(stdout, tr.Name(a), be, c.stats)
+	if wrote {
+		fmt.Fprintf(stdout, "checkpoint: wrote %s (resume with -resume)\n", c.ckPath)
+	}
+	if be.Reason == solver.Canceled {
+		fmt.Fprintf(stdout, "INTERRUPTED: stopped at %s after %d states\n", tr.Name(a), be.Stats.States)
+		if wrote {
+			return 0, true
+		}
+		return 1, true
+	}
+	*bad++
+	return 0, false
+}
+
+// reportResilient renders a degradation-ladder verdict in the shared
+// report shape, naming the rung that decided, and — for an Unknown
+// verdict — the necessary-condition evidence.
+func reportResilient(w io.Writer, subject string, rr *coherence.ResilientResult, exec *memory.Execution, stats, cert bool) {
+	verdict := map[coherence.ResilientVerdict]string{
+		coherence.VerdictCoherent:   "OK",
+		coherence.VerdictIncoherent: "VIOLATION",
+		coherence.VerdictUnknown:    "UNKNOWN",
+	}[rr.Verdict]
+	alg := "ladder-exhausted"
+	if rr.Result != nil {
+		alg = rr.Result.Algorithm
+	}
+	fmt.Fprintf(w, "%s: %s (%s, rung=%s)\n", subject, verdict, alg, rr.Rung)
+	if stats {
+		fmt.Fprintf(w, "  stats: %s\n", rr.Stats)
+	}
+	if rr.Verdict == coherence.VerdictUnknown {
+		for _, ch := range rr.Checks {
+			fmt.Fprintf(w, "  check: %s\n", ch)
+		}
+	}
+	if cert && rr.Result != nil && rr.Result.Coherent {
+		if s := rr.Result.Schedule; len(s) > 0 {
+			fmt.Fprintln(w, "  ", s.Format(exec))
+		}
+	}
 }
 
 func (c *coherenceCheck) printDiagnosis(ctx context.Context, tr *trace.Trace, a memory.Addr, stdout, stderr io.Writer) {

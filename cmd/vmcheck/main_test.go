@@ -3,11 +3,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"memverify/internal/coherence"
 )
 
 func runCheck(t *testing.T, args []string, input string) (int, string, string) {
@@ -361,6 +369,221 @@ func TestDebugAddrFlag(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "debug endpoints on http://") {
 		t.Errorf("no endpoint banner on stderr: %q", errOut)
+	}
+}
+
+// TestCheckpointResumeCLI is the CLI acceptance test for
+// checkpoint/resume: a budgeted run writes a checkpoint, and the
+// resumed run reaches the fresh verdict while re-exploring strictly
+// fewer states than the fresh search's 32 (the figure TestStatsGolden
+// pins), with memo hits from the seeded failed-state table.
+func TestCheckpointResumeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	code, out, errOut := runCheck(t, []string{"-max-states", "20", "-checkpoint", path}, backtrackTrace)
+	if code != 1 || !strings.Contains(out, "UNDECIDED") {
+		t.Fatalf("interrupted run: code=%d out=%q stderr=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "checkpoint: wrote "+path) {
+		t.Fatalf("no checkpoint banner:\n%s", out)
+	}
+	if _, err := coherence.LoadCheckpoint(path); err != nil {
+		t.Fatalf("written checkpoint does not load: %v", err)
+	}
+
+	code, out, errOut = runCheck(t, []string{"-resume", path, "-stats"}, backtrackTrace)
+	if code != 1 || !strings.Contains(out, "VIOLATION (general-search)") {
+		t.Fatalf("resumed run: code=%d out=%q stderr=%q", code, out, errOut)
+	}
+	m := regexp.MustCompile(`states=(\d+) memo=(\d+)/`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no stats line in %q", out)
+	}
+	states, _ := strconv.Atoi(m[1])
+	hits, _ := strconv.Atoi(m[2])
+	if states >= 32 {
+		t.Errorf("resumed search explored %d states, want < 32", states)
+	}
+	if hits == 0 {
+		t.Error("resumed search had no memo hits; the seed was unused")
+	}
+}
+
+// TestCheckpointReplayCLI: a checkpoint taken after one address
+// completed replays that verdict (visibly annotated) instead of
+// re-solving it.
+func TestCheckpointReplayCLI(t *testing.T) {
+	two := `init x 0
+init y 0
+P0: W x 1
+P0: W y 1
+P0: R y 2
+P1: R x 1
+P1: W y 2
+P1: R y 1
+P2: W y 3
+P3: W y 3
+`
+	path := filepath.Join(t.TempDir(), "ck.json")
+	code, out, _ := runCheck(t, []string{"-max-states", "20", "-checkpoint", path}, two)
+	if code != 1 || !strings.Contains(out, "x: OK") || !strings.Contains(out, "y: UNDECIDED") {
+		t.Fatalf("interrupted run: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCheck(t, []string{"-resume", path}, two)
+	if code != 1 {
+		t.Fatalf("resumed run: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "x: OK (checkpoint:read-map)") {
+		t.Errorf("completed address not replayed from the checkpoint:\n%s", out)
+	}
+	if !strings.Contains(out, "y: VIOLATION (general-search)") {
+		t.Errorf("pending address not finished on resume:\n%s", out)
+	}
+}
+
+// TestCheckpointWrongTraceCLI: resuming against a different trace is an
+// input error — the fingerprint check refuses, before any solving.
+func TestCheckpointWrongTraceCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	code, _, _ := runCheck(t, []string{"-max-states", "20", "-checkpoint", path}, backtrackTrace)
+	if code != 1 {
+		t.Fatalf("interrupted run: code=%d", code)
+	}
+	code, _, errOut := runCheck(t, []string{"-resume", path}, coherentTrace)
+	if code != 2 || !strings.Contains(errOut, "fingerprint") {
+		t.Errorf("wrong-trace resume: code=%d stderr=%q, want fingerprint rejection", code, errOut)
+	}
+}
+
+// manyWriteTrace has nine writes — past the ladder's enumeration bound
+// — with repeated values (no Figure 5.3 specialist) and consistent
+// reads, so under a tiny budget no rung can decide it.
+const manyWriteTrace = `init x 0
+P0: W x 1
+P0: R x 2
+P0: W x 1
+P0: R x 2
+P1: W x 2
+P1: R x 1
+P1: W x 2
+P1: R x 1
+P2: W x 3
+P2: W x 3
+P2: W x 1
+P3: W x 2
+P3: W x 1
+`
+
+// TestResilientCLI drives the degradation ladder end to end: rung
+// annotations for the exact and enumeration rungs, and the UNKNOWN
+// verdict with necessary-condition evidence when the ladder exhausts.
+func TestResilientCLI(t *testing.T) {
+	// Unbudgeted: the exact rung decides as usual.
+	code, out, _ := runCheck(t, []string{"-resilient"}, coherentTrace)
+	if code != 0 || !strings.Contains(out, "x: OK (read-map, rung=exact)") {
+		t.Errorf("exact rung: code=%d out=%q", code, out)
+	}
+	// Budget too small for the exact search but only six writes: the
+	// write-order enumeration rung still refutes.
+	code, out, _ = runCheck(t, []string{"-resilient", "-max-states", "3"}, backtrackTrace)
+	if code != 1 || !strings.Contains(out, "x: VIOLATION (write-order-enum, rung=specialist)") {
+		t.Errorf("specialist rung: code=%d out=%q", code, out)
+	}
+	// Nine writes: no rung decides — UNKNOWN with evidence, exit 1.
+	code, out, _ = runCheck(t, []string{"-resilient", "-max-states", "5"}, manyWriteTrace)
+	if code != 1 || !strings.Contains(out, "x: UNKNOWN (ladder-exhausted, rung=necessary)") {
+		t.Errorf("ladder exhausted: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "check: unwritten-read-values: pass") {
+		t.Errorf("no necessary-condition evidence:\n%s", out)
+	}
+}
+
+// TestRobustnessFlagValidation: the checkpoint and ladder flags only
+// make sense for the offline coherence search; everything else is a
+// usage error.
+func TestRobustnessFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-checkpoint", "x", "-model", "sc"},
+		{"-resume", "x", "-model", "tso"},
+		{"-resilient", "-model", "sc"},
+		{"-checkpoint", "x", "-online"},
+		{"-checkpoint", "x", "-use-order"},
+		{"-resilient", "-use-order"},
+		{"-checkpoint", "x", "-portfolio"},
+		{"-resume", "/nonexistent/ck.json"},
+	} {
+		if code, _, _ := runCheck(t, args, coherentTrace); code != 2 {
+			t.Errorf("%v: code=%d, want 2", args, code)
+		}
+	}
+}
+
+// slowIncoherentTrace is refuted only by exhausting an enormous search:
+// 70 writes of repeated values followed by a read no write satisfies.
+// Uninterrupted it runs for seconds, leaving a wide window to interrupt.
+func slowIncoherentTrace() string {
+	rng := rand.New(rand.NewSource(13))
+	var b strings.Builder
+	b.WriteString("init x 0\n")
+	for p := 0; p < 5; p++ {
+		for i := 0; i < 14; i++ {
+			fmt.Fprintf(&b, "P%d: W x %d\n", p, 1+rng.Intn(3))
+		}
+	}
+	b.WriteString("P0: R x 9999\n")
+	return b.String()
+}
+
+// TestSIGINTWritesCheckpoint is the interrupt acceptance test: SIGINT
+// mid-search with -checkpoint must exit 0 after writing a resumable
+// checkpoint and reporting the partial progress — a pause, not a crash.
+func TestSIGINTWritesCheckpoint(t *testing.T) {
+	// Backstop handler: if the signal fired before run() installed its
+	// own, the runtime's default action would kill the test binary.
+	backstop := make(chan os.Signal, 1)
+	signal.Notify(backstop, os.Interrupt)
+	defer signal.Stop(backstop)
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	input := slowIncoherentTrace()
+	type result struct {
+		code int
+		out  string
+	}
+	done := make(chan result, 1)
+	go func() {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-checkpoint", path}, strings.NewReader(input), &out, &errBuf)
+		done <- result{code, out.String()}
+	}()
+	// Give run() time to get into the search, then interrupt ourselves.
+	time.Sleep(500 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	var r result
+	select {
+	case r = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGINT")
+	}
+	if r.code != 0 {
+		t.Fatalf("interrupted run exited %d, want 0 (pause, not failure):\n%s", r.code, r.out)
+	}
+	if !strings.Contains(r.out, "INTERRUPTED") || !strings.Contains(r.out, "checkpoint: wrote "+path) {
+		t.Fatalf("interrupt report incomplete:\n%s", r.out)
+	}
+	if !strings.Contains(r.out, "UNDECIDED") {
+		t.Errorf("no partial-progress report before exit:\n%s", r.out)
+	}
+	if _, err := coherence.LoadCheckpoint(path); err != nil {
+		t.Fatalf("checkpoint written on SIGINT does not load: %v", err)
+	}
+	// The checkpoint resumes: same trace, small budget — the run picks
+	// the search back up (and trips the budget again, which is fine).
+	code, out, errOut := runCheck(t, []string{"-resume", path, "-max-states", "100"}, input)
+	if code != 1 || !strings.Contains(out, "UNDECIDED") {
+		t.Errorf("resume from SIGINT checkpoint: code=%d out=%q stderr=%q", code, out, errOut)
 	}
 }
 

@@ -23,6 +23,11 @@ const portfolioMinOps = 24
 // on undersubscribed machines — time-slicing overhead.
 const portfolioProbeFactor = 32
 
+// testHookRaceCandidate, when non-nil, runs at the start of each race
+// candidate with its index. Tests use it to inject a panic into one
+// racer and assert the portfolio survives on the others.
+var testHookRaceCandidate func(idx int)
+
 // SolvePortfolio decides VMC for one address with a staged portfolio
 // strategy. The polynomial specialists (read-map, single-op, RMW-Euler)
 // are tried inline where their preconditions hold — racing a
@@ -123,7 +128,11 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 	// The projection is shared read-only across racers; every searcher
 	// keeps its own position vector and memo table.
 	search := func(o *Options) func(context.Context) (*Result, error) {
+		idx := len(cands)
 		return func(rctx context.Context) (*Result, error) {
+			if testHookRaceCandidate != nil {
+				testHookRaceCandidate(idx)
+			}
 			r, e := searchInstance(rctx, inst, o)
 			if e != nil {
 				return nil, e

@@ -320,10 +320,13 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 }
 
 // mustWriteValue returns the written value of an op known to write.
+// The panic is a true invariant, not input validation: every caller
+// filters its refs through Writes() before collecting them, so a
+// non-writing op here means the specialist's write indices are corrupt.
 func mustWriteValue(o memory.Op) memory.Value {
 	d, ok := o.Writes()
 	if !ok {
-		panic("coherence: op does not write")
+		panic(fmt.Sprintf("coherence: invariant violated: mustWriteValue on non-writing op %v (read-map specialist collected a non-write ref)", o))
 	}
 	return d
 }

@@ -1,0 +1,468 @@
+package coherence
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"memverify/internal/memory"
+	"memverify/internal/obs"
+	"memverify/internal/solver"
+)
+
+// Rung indexes the graceful-degradation ladder of SolveResilient. The
+// ladder mirrors Figure 5.3 of the paper: when the general (NP-hard)
+// problem is out of reach, step down to the restricted variants the
+// paper proves tractable, and finally to sound necessary conditions
+// that can still refute.
+type Rung int
+
+const (
+	// RungExact is the normal case: the exact search (SolveAuto)
+	// decided within budget.
+	RungExact Rung = iota
+	// RungWriteOrder is the §5.2 write-order-augmented check, used when
+	// the caller supplied an observed write order. It is trusted only
+	// in the positive direction here: a coherent schedule extending the
+	// supplied order proves coherence of the instance, but failure to
+	// extend a hint does not refute it.
+	RungWriteOrder
+	// RungSpecialist covers the polynomial Figure 5.3 rows applied
+	// outside SolveAuto's dispatch: exhaustive write-order enumeration
+	// when the instance has few writes (complete: every coherent
+	// schedule induces a write order, so if no order extends, none
+	// exists).
+	RungSpecialist
+	// RungNecessary is the last rung: sound necessary conditions that
+	// can refute (Incoherent) but never confirm; when they all pass the
+	// verdict is Unknown.
+	RungNecessary
+)
+
+// String names the rung for reports and obs events.
+func (r Rung) String() string {
+	switch r {
+	case RungExact:
+		return "exact"
+	case RungWriteOrder:
+		return "write-order"
+	case RungSpecialist:
+		return "specialist"
+	case RungNecessary:
+		return "necessary"
+	}
+	return fmt.Sprintf("Rung(%d)", int(r))
+}
+
+// ResilientVerdict is the three-valued outcome of SolveResilient.
+type ResilientVerdict int
+
+const (
+	// VerdictCoherent: a coherent schedule exists (certificate in Result).
+	VerdictCoherent ResilientVerdict = iota
+	// VerdictIncoherent: no coherent schedule exists.
+	VerdictIncoherent
+	// VerdictUnknown: the budget ran out and no lower rung could decide;
+	// the instance may or may not be coherent.
+	VerdictUnknown
+)
+
+// String renders the verdict.
+func (v ResilientVerdict) String() string {
+	switch v {
+	case VerdictCoherent:
+		return "coherent"
+	case VerdictIncoherent:
+		return "incoherent"
+	case VerdictUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("ResilientVerdict(%d)", int(v))
+}
+
+// ResilientResult is the outcome of a degradation-ladder solve.
+type ResilientResult struct {
+	// Verdict is the three-valued answer.
+	Verdict ResilientVerdict
+	// Rung is the ladder rung that produced the verdict (RungNecessary
+	// with VerdictUnknown when nothing could decide).
+	Rung Rung
+	// Result is the deciding solver's result (certificate, algorithm);
+	// nil when the verdict is Unknown.
+	Result *Result
+	// Stats aggregates the work of every rung tried, including the
+	// partial stats of the exhausted exact search; Stats.Rung records
+	// the final rung.
+	Stats Stats
+	// Checks lists the necessary-condition outcomes when the ladder
+	// reached RungNecessary — the evidence behind an Unknown verdict, or
+	// the violated condition behind an Incoherent one.
+	Checks []string
+}
+
+// maxEnumWrites bounds the write count for exhaustive write-order
+// enumeration at RungSpecialist. The number of orders is the number of
+// interleavings of the per-process write sequences, at most w! (40320
+// for w = 8), each checked by the polynomial §5.2 placement.
+const maxEnumWrites = 8
+
+// SolveResilient decides VMC for one address with graceful degradation:
+// it runs the exact search first and, if the budget is exhausted
+// (states or deadline — cancellation always propagates as an error,
+// because the caller asked to stop), steps down the ladder:
+//
+//	RungWriteOrder: if writeOrder (an observed §5.2 write order, may be
+//	    nil) is supplied and a coherent schedule extends it → Coherent.
+//	RungSpecialist: if the instance has ≤ maxEnumWrites writes,
+//	    enumerate all write orders; this is complete → Coherent or
+//	    Incoherent.
+//	RungNecessary: sound necessary conditions; a violation → Incoherent,
+//	    otherwise → Unknown (never an error: Unknown is an answer).
+//
+// The final rung and aggregated stats are recorded in the returned
+// ResilientResult (and in Stats.Rung for report plumbing).
+func SolveResilient(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*ResilientResult, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := obs.TracerFrom(ctx)
+	sp, ctx := beginSolve(ctx, "solve-resilient", addr)
+	start := time.Now()
+
+	wrap := func(rr *ResilientResult) *ResilientResult {
+		rr.Stats.Duration = time.Since(start)
+		rr.Stats.Rung = int(rr.Rung)
+		if rr.Result != nil {
+			rr.Result.Stats.Rung = int(rr.Rung)
+		}
+		obs.MetricsFrom(ctx).SolveEnd()
+		sp.End(fmt.Sprintf("%s (rung=%s)", rr.Verdict, rr.Rung), int64(rr.Stats.States))
+		return rr
+	}
+	fail := func(err error) error {
+		obs.MetricsFrom(ctx).SolveEnd()
+		sp.End("error: "+err.Error(), 0)
+		return err
+	}
+
+	// Rung 0: the exact search.
+	r, err := SolveAuto(ctx, exec, addr, opts)
+	if err == nil {
+		rr := &ResilientResult{Rung: RungExact, Result: r, Stats: r.Stats}
+		if !r.Coherent {
+			rr.Verdict = VerdictIncoherent
+		}
+		return wrap(rr), nil
+	}
+	be, ok := solver.AsBudgetError(err)
+	if !ok {
+		return nil, fail(err) // malformed input etc.: not a degradation case
+	}
+	if be.Reason == solver.Canceled {
+		return nil, fail(err) // the caller wants out; do not keep working
+	}
+	agg := be.Stats // partial work of the exhausted search
+
+	inst := project(exec, addr)
+
+	// Rung 1: caller-supplied write order (positive direction only — the
+	// order is a hint; failing to extend it does not refute).
+	if len(writeOrder) > 0 {
+		tr.Degrade(sp, RungWriteOrder.String(),
+			fmt.Sprintf("exact search exhausted (%s); trying supplied write order", be.Reason))
+		if order, oerr := inst.toProjectionRefs(writeOrder, addr); oerr == nil {
+			if wr, werr := writeOrderInstance(inst, order); werr == nil {
+				agg.Merge(wr.Stats)
+				if wr.Coherent {
+					wr.Stats = agg
+					return wrap(&ResilientResult{Verdict: VerdictCoherent, Rung: RungWriteOrder, Result: wr, Stats: agg}), nil
+				}
+			}
+		}
+	}
+
+	// Rung 2: exhaustive §5.2 enumeration when the write count is small.
+	if n := countWriters(inst); n > 0 && n <= maxEnumWrites {
+		tr.Degrade(sp, RungSpecialist.String(),
+			fmt.Sprintf("enumerating write orders (%d writes)", n))
+		wr, e := enumerateWriteOrders(ctx, inst, &agg)
+		if e != nil {
+			return nil, fail(withAddr(e, addr))
+		}
+		wr.Stats = agg
+		rr := &ResilientResult{Rung: RungSpecialist, Result: wr, Stats: agg}
+		if !wr.Coherent {
+			rr.Verdict = VerdictIncoherent
+		}
+		return wrap(rr), nil
+	}
+
+	// Rung 3: sound necessary conditions. Unknown is an answer, not an
+	// error — the budget failure is folded into the verdict.
+	tr.Degrade(sp, RungNecessary.String(), "checking necessary conditions")
+	checks, violated := necessaryConditions(inst)
+	agg.States += inst.nops
+	rr := &ResilientResult{Rung: RungNecessary, Stats: agg, Checks: checks}
+	if violated != "" {
+		rr.Verdict = VerdictIncoherent
+		rr.Result = &Result{
+			Coherent:  false,
+			Decided:   true,
+			Algorithm: "necessary-conditions",
+			Stats:     agg,
+		}
+	} else {
+		rr.Verdict = VerdictUnknown
+	}
+	return wrap(rr), nil
+}
+
+// VerifyExecutionResilient runs SolveResilient for every address of
+// exec. writeOrders optionally supplies per-address observed write
+// orders (nil is fine). Unlike VerifyExecution, a budget exhaustion
+// never aborts the loop — the affected address degrades and the loop
+// continues — so the returned map always covers every address unless
+// the context is cancelled.
+func VerifyExecutionResilient(ctx context.Context, exec *memory.Execution, writeOrders map[memory.Addr][]memory.Ref, opts *Options) (map[memory.Addr]*ResilientResult, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[memory.Addr]*ResilientResult)
+	for _, a := range exec.Addresses() {
+		rr, err := SolveResilient(ctx, exec, a, writeOrders[a], opts)
+		if err != nil {
+			return out, err
+		}
+		out[a] = rr
+	}
+	return out, nil
+}
+
+// countWriters counts writing operations in the instance.
+func countWriters(inst *instance) int {
+	n := 0
+	for _, h := range inst.hist {
+		for _, o := range h {
+			if _, ok := o.Writes(); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// enumerateWriteOrders decides the instance by trying every
+// program-order-respecting interleaving of the per-process write
+// sequences through the §5.2 placement algorithm. Complete: a coherent
+// schedule induces exactly one write order, so if no order extends to a
+// coherent schedule none exists. The context is polled between orders.
+func enumerateWriteOrders(ctx context.Context, inst *instance, agg *Stats) (*Result, *solver.ErrBudgetExceeded) {
+	// Per-process queues of writing-op refs, in program order.
+	queues := make([][]memory.Ref, len(inst.hist))
+	total := 0
+	for h, hist := range inst.hist {
+		for i, o := range hist {
+			if _, ok := o.Writes(); ok {
+				queues[h] = append(queues[h], memory.Ref{Proc: h, Index: i})
+				total++
+			}
+		}
+	}
+	heads := make([]int, len(queues))
+	order := make([]memory.Ref, 0, total)
+	tried := 0
+
+	var found *Result
+	var rec func() (*solver.ErrBudgetExceeded, bool)
+	rec = func() (*solver.ErrBudgetExceeded, bool) {
+		if len(order) == total {
+			tried++
+			if tried&63 == 0 {
+				if e := solver.Interrupted(ctx); e != nil {
+					return e, false
+				}
+			}
+			r, err := writeOrderInstance(inst, order)
+			if err != nil {
+				// The enumeration only emits valid orders; an error here is
+				// an invariant break, surfaced as incoherent-for-this-order.
+				return nil, false
+			}
+			agg.Merge(r.Stats)
+			if r.Coherent {
+				found = r
+				return nil, true
+			}
+			return nil, false
+		}
+		for h := range queues {
+			if heads[h] >= len(queues[h]) {
+				continue
+			}
+			order = append(order, queues[h][heads[h]])
+			heads[h]++
+			e, done := rec()
+			heads[h]--
+			order = order[:len(order)-1]
+			if e != nil || done {
+				return e, done
+			}
+		}
+		return nil, false
+	}
+	if e, _ := rec(); e != nil {
+		return nil, e
+	}
+	if found != nil {
+		found.Algorithm = "write-order-enum"
+		return found, nil
+	}
+	return &Result{Coherent: false, Decided: true, Algorithm: "write-order-enum"}, nil
+}
+
+// necessaryConditions evaluates sound refutation checks over the
+// instance and returns the per-check evidence lines plus the name of
+// the first violated condition ("" when all pass). Each condition is
+// necessary for coherence, so a violation proves incoherence; passing
+// proves nothing (the verdict stays Unknown).
+//
+// Note that the obvious-looking pairwise reduction — check every
+// 2-process sub-history with the constant-process algorithm — is NOT
+// sound and is deliberately absent: coherence is not monotone under
+// history deletion (removing a writer history changes which write is
+// "most recent", and can make a previously-served read unservable), so
+// a projection verdict says nothing about the full instance.
+func necessaryConditions(inst *instance) (checks []string, violated string) {
+	written := make(map[memory.Value]int)
+	for _, h := range inst.hist {
+		for _, o := range h {
+			if d, ok := o.Writes(); ok {
+				written[d]++
+			}
+		}
+	}
+
+	record := func(name string, bad bool, detail string) {
+		status := "pass"
+		if bad {
+			status = "FAIL"
+			if violated == "" {
+				violated = name
+			}
+		}
+		checks = append(checks, fmt.Sprintf("%s: %s (%s)", name, status, detail))
+	}
+
+	// unwritten-read-values: a read's value must be written or be the
+	// (single) initial value. With a declared initial value any other
+	// unwritten value is unreadable; without one, at most one distinct
+	// unwritten value can ever be read (whatever the initial happened to
+	// be).
+	unwritten := make(map[memory.Value]bool)
+	for _, h := range inst.hist {
+		for _, o := range h {
+			if d, ok := o.Reads(); ok && written[d] == 0 {
+				unwritten[d] = true
+			}
+		}
+	}
+	switch {
+	case inst.init != nil:
+		bad := ""
+		for v := range unwritten {
+			if v != *inst.init {
+				bad = fmt.Sprintf("read of value %d: never written, initial is %d", v, *inst.init)
+				break
+			}
+		}
+		record("unwritten-read-values", bad != "", orDetail(bad, fmt.Sprintf("%d unwritten read values, all initial", len(unwritten))))
+	case len(unwritten) > 1:
+		record("unwritten-read-values", true, fmt.Sprintf("%d distinct values read but never written; only one initial value exists", len(unwritten)))
+	default:
+		record("unwritten-read-values", false, fmt.Sprintf("%d unwritten read values", len(unwritten)))
+	}
+
+	// read-after-write-unwritten: after the first write in a history (in
+	// program order, hence in any schedule), memory always holds some
+	// written value — a later read of a never-written value is impossible.
+	bad := ""
+scan:
+	for h, hist := range inst.hist {
+		seenWrite := false
+		for i, o := range hist {
+			if _, ok := o.Writes(); ok {
+				seenWrite = true
+				continue
+			}
+			if d, ok := o.Reads(); ok && seenWrite && written[d] == 0 {
+				bad = fmt.Sprintf("P%d op %d reads %d, never written, after a write in the same history", h, i, d)
+				break scan
+			}
+		}
+	}
+	record("read-after-write-unwritten", bad != "", orDetail(bad, "no unwritten-value reads after writes"))
+
+	// final-value: the declared final value must be producible — the last
+	// write of a schedule stores it (so it must be written somewhere), or
+	// with no writes at all it must equal the declared initial value.
+	bad = ""
+	if inst.final != nil {
+		nw := countWriters(inst)
+		switch {
+		case nw > 0 && written[*inst.final] == 0:
+			bad = fmt.Sprintf("declared final value %d is never written", *inst.final)
+		case nw == 0 && inst.init != nil && *inst.init != *inst.final:
+			bad = fmt.Sprintf("no writes but initial %d != final %d", *inst.init, *inst.final)
+		}
+	}
+	record("final-value", bad != "", orDetail(bad, "final value producible"))
+
+	// unique-write-contiguity: a value written exactly once (and distinct
+	// from the declared initial value) holds in memory over a single
+	// contiguous interval of any coherent schedule. Within one history,
+	// every operation between the first and last read of such a value
+	// must itself carry that value — any other value in between forces
+	// the schedule to leave the interval and return, which needs a second
+	// write. (This is the per-history structure behind the read-map row
+	// of Figure 5.3.)
+	bad = ""
+	if inst.init != nil {
+	contig:
+		for h, hist := range inst.hist {
+			first := make(map[memory.Value]int)
+			last := make(map[memory.Value]int)
+			for i, o := range hist {
+				if d, ok := o.Reads(); ok && written[d] == 1 && d != *inst.init {
+					if _, seen := first[d]; !seen {
+						first[d] = i
+					}
+					last[d] = i
+				}
+			}
+			for v, f := range first {
+				for i := f + 1; i < last[v]; i++ {
+					o := hist[i]
+					if d, ok := o.Reads(); ok && d != v {
+						bad = fmt.Sprintf("P%d reads %d between reads of once-written %d", h, d, v)
+						break contig
+					}
+					if d, ok := o.Writes(); ok && d != v {
+						bad = fmt.Sprintf("P%d writes %d between reads of once-written %d", h, d, v)
+						break contig
+					}
+				}
+			}
+		}
+	}
+	record("unique-write-contiguity", bad != "", orDetail(bad, "once-written read intervals contiguous"))
+
+	return checks, violated
+}
+
+// orDetail picks the failure detail when present, else the pass detail.
+func orDetail(bad, ok string) string {
+	if bad != "" {
+		return bad
+	}
+	return ok
+}

@@ -1,0 +1,271 @@
+package coherence
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memverify/internal/memory"
+	"memverify/internal/obs"
+	"memverify/internal/solver"
+)
+
+func TestResilientExactRung(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(0, 1)},
+		memory.History{memory.R(0, 1)},
+	).SetInitial(0, 0)
+	rr, err := SolveResilient(context.Background(), exec, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictCoherent || rr.Rung != RungExact {
+		t.Errorf("easy instance: verdict=%s rung=%s, want coherent at exact", rr.Verdict, rr.Rung)
+	}
+	if rr.Stats.Rung != 0 {
+		t.Errorf("Stats.Rung = %d, want 0 for the exact rung", rr.Stats.Rung)
+	}
+}
+
+// TestResilientSpecialistDecides: the exact search trips its budget, but
+// the instance has few writes, so exhaustive write-order enumeration
+// (the §5.2 algorithm over every order) still decides — both ways.
+func TestResilientSpecialistDecides(t *testing.T) {
+	opts := solver.New(solver.WithMaxStates(3))
+
+	rr, err := SolveResilient(context.Background(), hardExecution(), 0, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictIncoherent || rr.Rung != RungSpecialist {
+		t.Fatalf("verdict=%s rung=%s, want incoherent at specialist", rr.Verdict, rr.Rung)
+	}
+	if rr.Stats.Rung != int(RungSpecialist) {
+		t.Errorf("Stats.Rung = %d, want %d", rr.Stats.Rung, int(RungSpecialist))
+	}
+
+	// Coherent case, certificate checked: Figure 4.2 has 5 writes.
+	exec := figure42Instance()
+	rr, err = SolveResilient(context.Background(), exec, 0, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictCoherent || rr.Rung != RungSpecialist {
+		t.Fatalf("figure 4.2: verdict=%s rung=%s, want coherent at specialist", rr.Verdict, rr.Rung)
+	}
+	if err := memory.CheckCoherent(exec, 0, rr.Result.Schedule); err != nil {
+		t.Errorf("specialist certificate invalid: %v", err)
+	}
+}
+
+// manyWriteExecution has more writes than the enumeration rung accepts
+// (and repeated values, so no Figure 5.3 row applies). It is coherent by
+// construction — the emission order is a witness — which the ladder
+// cannot prove, making it the canonical Unknown case.
+func manyWriteExecution() *memory.Execution {
+	rng := rand.New(rand.NewSource(7))
+	const nproc = 4
+	exec := &memory.Execution{Histories: make([]memory.History, nproc)}
+	exec.SetInitial(0, 0)
+	cur := memory.Value(0)
+	for i := 0; i < 48; i++ {
+		p := rng.Intn(nproc)
+		if rng.Intn(2) == 0 {
+			cur = memory.Value(1 + rng.Intn(3))
+			exec.Histories[p] = append(exec.Histories[p], memory.W(0, cur))
+		} else {
+			exec.Histories[p] = append(exec.Histories[p], memory.R(0, cur))
+		}
+	}
+	return exec
+}
+
+// TestResilientUnknown is the degradation acceptance test: budget
+// exhausted, no rung decides, and the caller gets Verdict Unknown with
+// the rung recorded in Stats — not an error.
+func TestResilientUnknown(t *testing.T) {
+	exec := manyWriteExecution()
+	rr, err := SolveResilient(context.Background(), exec, 0, nil, solver.New(solver.WithMaxStates(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictUnknown || rr.Rung != RungNecessary {
+		t.Fatalf("verdict=%s rung=%s, want unknown at necessary", rr.Verdict, rr.Rung)
+	}
+	if rr.Stats.Rung != int(RungNecessary) {
+		t.Errorf("Stats.Rung = %d, want %d", rr.Stats.Rung, int(RungNecessary))
+	}
+	if len(rr.Checks) == 0 {
+		t.Error("Unknown verdict carries no necessary-condition evidence")
+	}
+	if rr.Result != nil {
+		t.Errorf("Unknown verdict should carry no Result, got %+v", rr.Result)
+	}
+	if rr.Stats.States == 0 {
+		t.Error("partial exact-search stats lost in aggregation")
+	}
+}
+
+// TestResilientNecessaryRefutes: even past the enumeration rung, sound
+// necessary conditions can still refute.
+func TestResilientNecessaryRefutes(t *testing.T) {
+	exec := manyWriteExecution()
+	// Append a read of a value nothing ever writes (init is declared 0,
+	// so the unwritten-read-values condition fires).
+	exec.Histories[0] = append(exec.Histories[0], memory.R(0, 9999))
+	rr, err := SolveResilient(context.Background(), exec, 0, nil, solver.New(solver.WithMaxStates(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictIncoherent || rr.Rung != RungNecessary {
+		t.Fatalf("verdict=%s rung=%s, want incoherent at necessary", rr.Verdict, rr.Rung)
+	}
+	found := false
+	for _, ch := range rr.Checks {
+		if strings.Contains(ch, "unwritten-read-values") && strings.Contains(ch, "FAIL") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failing unwritten-read-values check in %v", rr.Checks)
+	}
+}
+
+// TestResilientWriteOrderHint: with a caller-supplied write order, the
+// ladder's first rung proves coherence polynomially after the exact
+// search exhausts.
+func TestResilientWriteOrderHint(t *testing.T) {
+	exec := figure42Instance()
+	// Derive a valid write order from an unbudgeted solve's certificate.
+	fresh, err := SolveAuto(context.Background(), exec, 0, nil)
+	if err != nil || !fresh.Coherent {
+		t.Fatalf("baseline solve: %v, %+v", err, fresh)
+	}
+	var order []memory.Ref
+	for _, r := range fresh.Schedule {
+		if _, ok := exec.Op(r).Writes(); ok {
+			order = append(order, r)
+		}
+	}
+	rr, err := SolveResilient(context.Background(), exec, 0, order, solver.New(solver.WithMaxStates(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != VerdictCoherent || rr.Rung != RungWriteOrder {
+		t.Fatalf("verdict=%s rung=%s, want coherent at write-order", rr.Verdict, rr.Rung)
+	}
+	if err := memory.CheckCoherent(exec, 0, rr.Result.Schedule); err != nil {
+		t.Errorf("write-order certificate invalid: %v", err)
+	}
+}
+
+// TestResilientCancelPropagates: cancellation is a request to stop, not
+// to degrade — the ladder must not keep working.
+func TestResilientCancelPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveResilient(ctx, manyWriteExecution(), 0, nil, nil)
+	be, ok := solver.AsBudgetError(err)
+	if !ok || be.Reason != solver.Canceled {
+		t.Fatalf("err = %v, want Canceled budget error", err)
+	}
+}
+
+// TestVerifyExecutionResilient: budget exhaustion on one address must
+// not abort the loop — every address gets a verdict (possibly Unknown).
+func TestVerifyExecutionResilient(t *testing.T) {
+	hard := manyWriteExecution()
+	exec := &memory.Execution{Histories: make([]memory.History, len(hard.Histories))}
+	copy(exec.Histories, hard.Histories)
+	exec.SetInitial(0, 0)
+	// A second, trivial address.
+	exec.Histories[0] = append(memory.History{memory.W(1, 5)}, exec.Histories[0]...)
+	exec.Histories[1] = append(memory.History{memory.R(1, 5)}, exec.Histories[1]...)
+	exec.SetInitial(1, 0)
+
+	out, err := VerifyExecutionResilient(context.Background(), exec, nil, solver.New(solver.WithMaxStates(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results for %d addresses, want 2", len(out))
+	}
+	if out[1].Verdict != VerdictCoherent {
+		t.Errorf("trivial address verdict = %s", out[1].Verdict)
+	}
+	if out[0].Verdict != VerdictUnknown {
+		t.Errorf("hard address verdict = %s, want unknown", out[0].Verdict)
+	}
+}
+
+// obsEventSink records obs events for the panic-injection test.
+type obsEventSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *obsEventSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *obsEventSink) count(k obs.Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPortfolioSurvivesCandidatePanic is the panic-isolation acceptance
+// test: one race candidate is made to panic; SolvePortfolio must return
+// the correct verdict from the survivors, emit a worker_panic obs
+// event, and leak no goroutines.
+func TestPortfolioSurvivesCandidatePanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	exec := hardRacingInstance(rng) // reliably escalates to the race stage
+	want, err := SolveAuto(context.Background(), exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testHookRaceCandidate = func(idx int) {
+		if idx == 1 {
+			panic("injected candidate fault")
+		}
+	}
+	defer func() { testHookRaceCandidate = nil }()
+
+	sink := &obsEventSink{}
+	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
+	before := runtime.NumGoroutine()
+	got, err := SolvePortfolio(ctx, exec, 0, nil)
+	if err != nil {
+		t.Fatalf("portfolio died with a panicked candidate: %v", err)
+	}
+	if got.Coherent != want.Coherent {
+		t.Errorf("survivor verdict %v != auto verdict %v", got.Coherent, want.Coherent)
+	}
+	if !strings.HasPrefix(got.Algorithm, "portfolio:") {
+		t.Errorf("algorithm = %q, want a race winner", got.Algorithm)
+	}
+	if sink.count(obs.KindWorkerPanic) == 0 {
+		t.Error("no worker_panic event for the injected fault")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines: %d before, %d after — race workers leaked", before, n)
+	}
+}

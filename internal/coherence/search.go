@@ -33,6 +33,13 @@ type searcher struct {
 	stats solver.Stats
 	abort *solver.ErrBudgetExceeded
 
+	// Checkpoint hooks (see solver.Options.CheckpointSink): sink is nil
+	// when checkpointing is off, so the hot loop pays one nil/zero test
+	// at the existing every-64-states poll point and nothing else.
+	sink      func(solver.SearchSnapshot)
+	snapEvery int
+	lastSnap  int
+
 	// Observability handles, resolved once per solve from the context.
 	// tr and met are nil when no observer is attached; obsOn gates the
 	// every-64-states flush so the disabled hot path pays only nil
@@ -84,15 +91,20 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 	budget := solver.Start(ctx, opts)
 	defer budget.Stop()
 	s := &searcher{
-		inst:   inst,
-		opts:   opts,
-		budget: budget,
-		pos:    make([]int, len(inst.hist)),
-		memo:   make(map[string]struct{}),
-		tr:     obs.TracerFrom(ctx),
-		met:    obs.MetricsFrom(ctx),
+		inst:      inst,
+		opts:      opts,
+		budget:    budget,
+		pos:       make([]int, len(inst.hist)),
+		memo:      make(map[string]struct{}),
+		tr:        obs.TracerFrom(ctx),
+		met:       obs.MetricsFrom(ctx),
+		sink:      opts.Sink(),
+		snapEvery: opts.SnapshotEvery(),
 	}
 	s.obsOn = s.tr != nil || s.met != nil
+	for _, k := range opts.ResumeMemoSeed() {
+		s.memo[k] = struct{}{}
+	}
 	if s.tr != nil {
 		s.sp, _ = s.tr.BeginAddr(ctx, "general-search", int64(inst.addr))
 	}
@@ -106,6 +118,12 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 	}
 	if s.abort != nil {
 		s.abort.Stats = s.stats
+		if s.sink != nil {
+			// Final snapshot at the abort point: this is what -checkpoint
+			// round-trips, so a budget-killed search resumes here instead
+			// of from scratch.
+			s.snapshot()
+		}
 		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
@@ -122,6 +140,26 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 		s.sp.End("incoherent", int64(s.stats.States))
 	}
 	return res, nil
+}
+
+// snapshot hands a copy of the resumable search state (memo table,
+// current frontier, partial stats) to the checkpoint sink. Frontier refs
+// are projection-local; they are informational — resume correctness
+// rests on the memo table alone.
+func (s *searcher) snapshot() {
+	snap := solver.SearchSnapshot{
+		Memo:     make([]string, 0, len(s.memo)),
+		Frontier: append([]memory.Ref(nil), s.schedule...),
+		Stats:    s.stats,
+	}
+	for k := range s.memo {
+		snap.Memo = append(snap.Memo, k)
+	}
+	s.lastSnap = s.stats.States
+	if s.tr != nil {
+		s.tr.Checkpoint(s.sp, int64(s.stats.States), len(snap.Memo))
+	}
+	s.sink(snap)
 }
 
 // key serializes the current state for memoization.
@@ -333,8 +371,13 @@ func (s *searcher) dfs() bool {
 		s.undoEagerReads(eager)
 		return false
 	}
-	if s.obsOn && s.stats.States&(obsFlushInterval-1) == 0 {
-		s.pollObs()
+	if s.stats.States&(obsFlushInterval-1) == 0 {
+		if s.obsOn {
+			s.pollObs()
+		}
+		if s.snapEvery > 0 && s.stats.States-s.lastSnap >= s.snapEvery {
+			s.snapshot()
+		}
 	}
 
 	cands := s.candidates()

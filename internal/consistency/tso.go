@@ -118,7 +118,15 @@ func VerifyPSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Res
 	return verifyStoreBuffer(ctx, exec, opts, true)
 }
 
-func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Options, pso bool) (*Result, error) {
+func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Options, pso bool) (res *Result, err error) {
+	// Operational-machine searches recover panics into typed errors like
+	// the VSC searcher does, so a bug in one model's machine cannot crash
+	// a portfolio that races several models.
+	label := "tso-machine"
+	if pso {
+		label = "pso-machine"
+	}
+	defer solver.RecoverToError(ctx, label, &err)
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,7 +173,7 @@ func verifyStoreBuffer(ctx context.Context, exec *memory.Execution, opts *Option
 		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
-	res := &Result{
+	res = &Result{
 		Consistent: found,
 		Decided:    true,
 		Algorithm:  algorithm,

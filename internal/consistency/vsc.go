@@ -79,8 +79,12 @@ func (s *vscSearcher) pollObs() {
 	}
 }
 
-// run drives the search and packages the result or the budget error.
-func (s *vscSearcher) run(ctx context.Context, algorithm string) (*Result, error) {
+// run drives the search and packages the result or the budget error. A
+// panic anywhere in the search surfaces as *solver.ErrWorkerPanic rather
+// than tearing down the caller (the searcher's per-solve state is
+// abandoned, so no cleanup is needed beyond the recover).
+func (s *vscSearcher) run(ctx context.Context, algorithm string) (res *Result, err error) {
+	defer solver.RecoverToError(ctx, algorithm, &err)
 	start := time.Now()
 	s.budget = solver.Start(ctx, s.opts)
 	defer s.budget.Stop()
@@ -102,7 +106,7 @@ func (s *vscSearcher) run(ctx context.Context, algorithm string) (*Result, error
 		s.sp.End("budget: "+s.abort.Reason.String(), int64(s.stats.States))
 		return nil, s.abort
 	}
-	res := &Result{
+	res = &Result{
 		Consistent: found,
 		Decided:    true,
 		Algorithm:  algorithm,

@@ -53,14 +53,28 @@ func FaultKinds() []FaultKind {
 }
 
 // Faults configures injection, mirroring the mesi package: one-shot
-// Nth-opportunity triggers compose with probabilistic firing.
+// Nth-opportunity triggers compose with probabilistic firing. The
+// probabilistic mode needs either an explicit Rng or a nonzero Seed —
+// it never falls back to a global generator, so every fault schedule
+// is reproducible from the configuration.
 type Faults struct {
 	NthOpportunity map[FaultKind]int
 	Probability    map[FaultKind]float64
 	Rng            *rand.Rand
+	// Seed seeds a private generator when Rng is nil: the same seed
+	// over the same workload injects the identical fault schedule.
+	Seed int64
 
 	seen  map[FaultKind]int
 	fired map[FaultKind]bool
+	log   []FaultEvent
+}
+
+// FaultEvent records one fired fault: its kind and which of that
+// kind's opportunities (1-based) it fired at.
+type FaultEvent struct {
+	Kind        FaultKind
+	Opportunity int
 }
 
 // Once fires kind k exactly once, at its n-th opportunity (1-based).
@@ -71,6 +85,22 @@ func Once(k FaultKind, n int) *Faults {
 // WithProbability fires kind k with probability p at every opportunity.
 func WithProbability(k FaultKind, p float64, rng *rand.Rand) *Faults {
 	return &Faults{Probability: map[FaultKind]float64{k: p}, Rng: rng}
+}
+
+// Seeded fires kind k with probability p from a private generator
+// seeded with seed — the reproducible form of WithProbability.
+func Seeded(k FaultKind, p float64, seed int64) *Faults {
+	return &Faults{Probability: map[FaultKind]float64{k: p}, Seed: seed}
+}
+
+// Schedule returns the faults fired so far, in firing order. Replaying
+// the same workload with the same configuration (same seed) yields the
+// same schedule.
+func (f *Faults) Schedule() []FaultEvent {
+	if f == nil {
+		return nil
+	}
+	return append([]FaultEvent(nil), f.log...)
 }
 
 // fire reports whether kind k triggers now; a nil receiver never fires.
@@ -85,10 +115,17 @@ func (f *Faults) fire(k FaultKind) bool {
 	f.seen[k]++
 	if n, ok := f.NthOpportunity[k]; ok && !f.fired[k] && f.seen[k] == n {
 		f.fired[k] = true
+		f.log = append(f.log, FaultEvent{Kind: k, Opportunity: f.seen[k]})
 		return true
 	}
-	if p, ok := f.Probability[k]; ok && p > 0 && f.Rng != nil && f.Rng.Float64() < p {
-		return true
+	if p, ok := f.Probability[k]; ok && p > 0 {
+		if f.Rng == nil && f.Seed != 0 {
+			f.Rng = rand.New(rand.NewSource(f.Seed))
+		}
+		if f.Rng != nil && f.Rng.Float64() < p {
+			f.log = append(f.log, FaultEvent{Kind: k, Opportunity: f.seen[k]})
+			return true
+		}
 	}
 	return false
 }

@@ -1,0 +1,40 @@
+package directory
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memverify/internal/mesi"
+)
+
+// dirFaultSchedule runs a fixed random workload under seeded injection
+// and returns the fired-fault schedule.
+func dirFaultSchedule(t *testing.T, seed int64) ([]FaultEvent, int) {
+	t.Helper()
+	faults := Seeded(FaultDropStore, 0.3, seed)
+	s := New(Config{Nodes: 2, Faults: faults})
+	wl := rand.New(rand.NewSource(99))
+	prog := mesi.RandomProgram(wl, 2, 16, 2, 0.6, 0.1)
+	run(s, prog, wl)
+	return faults.Schedule(), s.Stats().FaultsFired
+}
+
+// TestSeededFaultDeterminism mirrors the mesi package's test: same
+// seed, same workload, identical injection schedule.
+func TestSeededFaultDeterminism(t *testing.T) {
+	a, firedA := dirFaultSchedule(t, 42)
+	b, _ := dirFaultSchedule(t, 42)
+	if len(a) == 0 {
+		t.Fatal("no faults fired; weak workload or probability")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != firedA {
+		t.Errorf("schedule has %d events, stats counted %d fired", len(a), firedA)
+	}
+	if c, _ := dirFaultSchedule(t, 43); reflect.DeepEqual(a, c) {
+		t.Errorf("seeds 42 and 43 injected the identical schedule %v", a)
+	}
+}

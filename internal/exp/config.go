@@ -4,6 +4,8 @@ import (
 	"context"
 	"io"
 	"math/rand"
+
+	"memverify/internal/solver"
 )
 
 // Config parameterizes an experiment run.
@@ -57,7 +59,10 @@ func All() []Experiment {
 
 // Run executes the experiments whose IDs are listed (all when ids is
 // empty), rendering each table to w. Cancelling ctx aborts the running
-// experiment at its next solver budget poll.
+// experiment at its next solver budget poll. A panic inside one
+// experiment (the Measure closures have no error path, so invariant
+// failures there panic) is recovered into an error naming the
+// experiment rather than crashing the whole harness run.
 func Run(ctx context.Context, w io.Writer, cfg Config, ids ...string) error {
 	want := map[string]bool{}
 	for _, id := range ids {
@@ -67,7 +72,7 @@ func Run(ctx context.Context, w io.Writer, cfg Config, ids ...string) error {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		tables, err := e.Run(ctx, cfg)
+		tables, err := runExperiment(ctx, cfg, e)
 		if err != nil {
 			return err
 		}
@@ -83,4 +88,12 @@ func Run(ctx context.Context, w io.Writer, cfg Config, ids ...string) error {
 		}
 	}
 	return nil
+}
+
+// runExperiment invokes one experiment with panic isolation: the
+// recovered value comes back as a typed *solver.ErrWorkerPanic whose
+// label names the experiment, stack attached.
+func runExperiment(ctx context.Context, cfg Config, e Experiment) (tables []*Table, err error) {
+	defer solver.RecoverToError(ctx, "experiment "+e.ID, &err)
+	return e.Run(ctx, cfg)
 }

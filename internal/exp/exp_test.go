@@ -6,7 +6,25 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"memverify/internal/solver"
 )
+
+// TestRunExperimentPanicIsolated: a panic inside an experiment comes
+// back as a typed error naming the experiment, not a harness crash.
+func TestRunExperimentPanicIsolated(t *testing.T) {
+	boom := Experiment{ID: "EX", Title: "panics", Run: func(context.Context, Config) ([]*Table, error) {
+		panic("measurement invariant broken")
+	}}
+	_, err := runExperiment(context.Background(), Config{}, boom)
+	wp, ok := solver.AsWorkerPanic(err)
+	if !ok {
+		t.Fatalf("err = %v, want *solver.ErrWorkerPanic", err)
+	}
+	if !strings.Contains(wp.Label, "EX") {
+		t.Errorf("panic label %q does not name the experiment", wp.Label)
+	}
+}
 
 func TestFitExponent(t *testing.T) {
 	// Perfect quadratic data.

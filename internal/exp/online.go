@@ -28,7 +28,10 @@ func E9OnlineMonitor(_ context.Context, cfg Config) ([]*Table, error) {
 		Caption: "healthy MESI streams; the monitor does O(1) amortized work per operation.",
 	}
 	for _, n := range pick(cfg, []int{2000, 8000}, []int{10000, 40000, 160000}) {
-		ops, dur := monitorHealthyRun(rng, n)
+		ops, dur, err := monitorHealthyRun(rng, n)
+		if err != nil {
+			return nil, err
+		}
 		perf.Add(fmt.Sprint(ops), fmt.Sprintf("%.3gs", dur.Seconds()),
 			fmt.Sprintf("%.0fns", dur.Seconds()/float64(ops)*1e9))
 	}
@@ -69,8 +72,11 @@ func E9OnlineMonitor(_ context.Context, cfg Config) ([]*Table, error) {
 }
 
 // monitorHealthyRun streams n random ops from a healthy MESI system
-// through the monitor, returning op count and monitoring time only.
-func monitorHealthyRun(rng *rand.Rand, n int) (int, time.Duration) {
+// through the monitor, returning op count and monitoring time. A
+// monitor violation on a fault-free run is reported as an error (it
+// would mean the protocol or monitor is broken, and the throughput
+// figures would be meaningless), not a crash.
+func monitorHealthyRun(rng *rand.Rand, n int) (int, time.Duration, error) {
 	s := mesi.New(mesi.Config{Processors: 4, CacheSets: 2, CacheWays: 2})
 	mon := monitor.New(map[memory.Addr]memory.Value{0: 0, 1: 0, 2: 0})
 	var total time.Duration
@@ -78,33 +84,31 @@ func monitorHealthyRun(rng *rand.Rand, n int) (int, time.Duration) {
 	for i := 0; i < n; i++ {
 		cpu := rng.Intn(4)
 		a := memory.Addr(rng.Intn(3))
+		var err error
 		switch rng.Intn(3) {
 		case 0:
 			v := s.Read(cpu, a)
 			start := time.Now()
-			if err := mon.ObserveRead(cpu, a, v); err != nil {
-				panic(err)
-			}
+			err = mon.ObserveRead(cpu, a, v)
 			total += time.Since(start)
 		case 1:
 			nextVal++
 			s.Write(cpu, a, nextVal)
 			start := time.Now()
-			if err := mon.ObserveWrite(cpu, a, nextVal); err != nil {
-				panic(err)
-			}
+			err = mon.ObserveWrite(cpu, a, nextVal)
 			total += time.Since(start)
 		default:
 			nextVal++
 			old := s.RMW(cpu, a, nextVal)
 			start := time.Now()
-			if err := mon.ObserveRMW(cpu, a, old, nextVal); err != nil {
-				panic(err)
-			}
+			err = mon.ObserveRMW(cpu, a, old, nextVal)
 			total += time.Since(start)
 		}
+		if err != nil {
+			return i, total, fmt.Errorf("exp: monitor flagged a fault-free MESI run at op %d: %w", i, err)
+		}
 	}
-	return n, total
+	return n, total, nil
 }
 
 // monitorFaultRun streams a faulty run; it returns the detection latency
@@ -138,8 +142,10 @@ func monitorFaultRun(rng *rand.Rand, kind mesi.FaultKind) (latency int, fired, d
 		}
 		if err != nil {
 			if faultAt == -1 {
-				// Should not happen: a violation without a fault.
-				panic(err)
+				// A true invariant: the injector is the only source of
+				// incoherence here, so a violation before any fault fired
+				// means the protocol model or the monitor is broken.
+				panic(fmt.Sprintf("exp: invariant violated: monitor flagged a violation before any injected fault fired: %v", err))
 			}
 			return i - faultAt, true, true
 		}

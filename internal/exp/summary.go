@@ -88,7 +88,7 @@ func E4SummaryTable(ctx context.Context, cfg Config) ([]*Table, error) {
 					gaveUp++
 					return
 				}
-				panic(err)
+				panic(fmt.Sprintf("exp: invariant violated: non-budget solver error on a generated workload: %v", err))
 			}
 			constStats.Merge(res.Stats)
 		}

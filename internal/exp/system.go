@@ -343,7 +343,7 @@ func AblationSAT(ctx context.Context, cfg Config) ([]*Table, error) {
 			f := sat.RandomKSAT(rng, nv, nc, 3)
 			return func() {
 				if _, err := sat.SolveCDCL(f); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("exp: invariant violated: CDCL failed on a well-formed random formula: %v", err))
 				}
 			}
 		})
@@ -351,7 +351,7 @@ func AblationSAT(ctx context.Context, cfg Config) ([]*Table, error) {
 			f := sat.RandomKSAT(rng, nv, nc, 3)
 			return func() {
 				if _, err := sat.SolveDPLL(f); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("exp: invariant violated: DPLL failed on a well-formed random formula: %v", err))
 				}
 			}
 		})
@@ -359,7 +359,7 @@ func AblationSAT(ctx context.Context, cfg Config) ([]*Table, error) {
 			f := sat.RandomKSAT(rng, nv, nc, 3)
 			return func() {
 				if _, err := sat.SolveBrute(f); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("exp: invariant violated: brute-force SAT failed on a well-formed random formula: %v", err))
 				}
 			}
 		})
@@ -395,7 +395,7 @@ func AblationWriteOrder(ctx context.Context, cfg Config) ([]*Table, error) {
 						gaveUp = true
 						return
 					}
-					panic(err)
+					panic(fmt.Sprintf("exp: invariant violated: non-budget solver error on a generated workload: %v", err))
 				}
 			}
 		})

@@ -60,11 +60,26 @@ type Faults struct {
 	// Probability[k] fires fault kind k at each opportunity with the
 	// given probability, using Rng.
 	Probability map[FaultKind]float64
-	// Rng drives the probabilistic mode; required if Probability is set.
+	// Rng drives the probabilistic mode; if nil, it is seeded from Seed
+	// on first use. Probability never fires with a nil Rng and zero
+	// Seed — there is no silent fallback to a global generator, so a
+	// fault schedule is always reproducible from the configuration.
 	Rng *rand.Rand
+	// Seed seeds a private generator for the probabilistic mode when
+	// Rng is nil: the same seed over the same workload injects the
+	// identical fault schedule.
+	Seed int64
 
 	seen  map[FaultKind]int
 	fired map[FaultKind]bool
+	log   []FaultEvent
+}
+
+// FaultEvent records one fired fault: its kind and which of that
+// kind's opportunities (1-based) it fired at.
+type FaultEvent struct {
+	Kind        FaultKind
+	Opportunity int
 }
 
 // Once builds a fault set that fires kind k exactly once, at its n-th
@@ -77,6 +92,25 @@ func Once(k FaultKind, n int) *Faults {
 // every opportunity.
 func WithProbability(k FaultKind, p float64, rng *rand.Rand) *Faults {
 	return &Faults{Probability: map[FaultKind]float64{k: p}, Rng: rng}
+}
+
+// Seeded builds a fault set firing kind k with probability p at every
+// opportunity, driven by a private generator seeded with seed — the
+// reproducible form of WithProbability for experiments that must be
+// replayable from a single number.
+func Seeded(k FaultKind, p float64, seed int64) *Faults {
+	return &Faults{Probability: map[FaultKind]float64{k: p}, Seed: seed}
+}
+
+// Schedule returns the faults fired so far, in firing order: the
+// injection schedule actually applied to the run. Replaying the same
+// workload with the same configuration (same seed) yields the same
+// schedule.
+func (f *Faults) Schedule() []FaultEvent {
+	if f == nil {
+		return nil
+	}
+	return append([]FaultEvent(nil), f.log...)
 }
 
 // fire reports whether fault kind k triggers at this opportunity. A nil
@@ -92,10 +126,17 @@ func (f *Faults) fire(k FaultKind) bool {
 	f.seen[k]++
 	if n, ok := f.NthOpportunity[k]; ok && !f.fired[k] && f.seen[k] == n {
 		f.fired[k] = true
+		f.log = append(f.log, FaultEvent{Kind: k, Opportunity: f.seen[k]})
 		return true
 	}
-	if p, ok := f.Probability[k]; ok && p > 0 && f.Rng != nil && f.Rng.Float64() < p {
-		return true
+	if p, ok := f.Probability[k]; ok && p > 0 {
+		if f.Rng == nil && f.Seed != 0 {
+			f.Rng = rand.New(rand.NewSource(f.Seed))
+		}
+		if f.Rng != nil && f.Rng.Float64() < p {
+			f.log = append(f.log, FaultEvent{Kind: k, Opportunity: f.seen[k]})
+			return true
+		}
 	}
 	return false
 }

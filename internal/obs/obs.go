@@ -68,6 +68,18 @@ const (
 	// KindSAT is a SAT-solver milestone (Name: "restart"; States holds
 	// the conflict count).
 	KindSAT
+	// KindWorkerPanic is a panic recovered inside a pool worker or race
+	// candidate (Name labels the worker, Detail the panic value). The
+	// surrounding portfolio keeps running; the event is the audit trail.
+	KindWorkerPanic
+	// KindCheckpoint is a search-state snapshot taken for crash-safe
+	// resume (States holds the state count at the snapshot, N the number
+	// of memoized entries captured).
+	KindCheckpoint
+	// KindDegrade is a resilience-ladder step-down: the exact search
+	// exhausted its budget and a weaker (but cheaper) rung takes over
+	// (Name holds the rung stepped down to, Detail the trigger).
+	KindDegrade
 )
 
 var kindNames = [...]string{
@@ -84,9 +96,12 @@ var kindNames = [...]string{
 	KindRaceLoss:   "race_loss",
 	KindWorkerStart: "worker_start",
 	KindWorkerEnd:   "worker_end",
-	KindBus:       "bus",
-	KindDirectory: "dir",
-	KindSAT:       "sat",
+	KindBus:         "bus",
+	KindDirectory:   "dir",
+	KindSAT:         "sat",
+	KindWorkerPanic: "worker_panic",
+	KindCheckpoint:  "checkpoint",
+	KindDegrade:     "degrade",
 }
 
 // String names the kind as it appears in the JSONL "ev" field.

@@ -193,3 +193,30 @@ func (t *Tracer) SAT(sp Span, name string, conflicts int64) {
 	}
 	t.emit(Event{Kind: KindSAT, Span: sp.id, Name: name, States: conflicts})
 }
+
+// WorkerPanic records a panic recovered inside a pool worker or race
+// candidate; name labels the worker, detail carries the panic value.
+func (t *Tracer) WorkerPanic(sp Span, name, detail string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindWorkerPanic, Span: sp.id, Name: name, Detail: detail})
+}
+
+// Checkpoint records a search-state snapshot: the state count at the
+// snapshot and the number of memo entries captured.
+func (t *Tracer) Checkpoint(sp Span, states int64, memoEntries int) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindCheckpoint, Span: sp.id, States: states, N: int64(memoEntries)})
+}
+
+// Degrade records a resilience-ladder step-down to the named rung;
+// detail carries what exhausted the stronger rung.
+func (t *Tracer) Degrade(sp Span, rung, detail string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Kind: KindDegrade, Span: sp.id, Name: rung, Detail: detail})
+}

@@ -1,0 +1,81 @@
+package solver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CheckpointVersion is the on-disk checkpoint format version. Bump it on
+// any incompatible payload change; readers reject mismatched versions
+// rather than misinterpret bytes.
+const CheckpointVersion = 1
+
+// CheckpointFile is the versioned, checksummed envelope every checkpoint
+// is written in. The payload is algorithm-specific JSON (the coherence
+// package defines one); the envelope guards against truncated writes
+// (checksum), format drift (version), and feeding a checkpoint to the
+// wrong consumer (kind).
+type CheckpointFile struct {
+	Version  int             `json:"version"`
+	Kind     string          `json:"kind"`
+	Checksum string          `json:"checksum"` // sha256 hex of Payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// WriteCheckpointFile marshals payload into a checksummed envelope and
+// writes it to path atomically (temp file + rename), so a crash mid-write
+// never leaves a torn checkpoint where a valid one stood.
+func WriteCheckpointFile(path, kind string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("solver: checkpoint payload: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	env, err := json.Marshal(CheckpointFile{
+		Version:  CheckpointVersion,
+		Kind:     kind,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  raw,
+	})
+	if err != nil {
+		return fmt.Errorf("solver: checkpoint envelope: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(env, '\n'), 0o644); err != nil {
+		return fmt.Errorf("solver: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("solver: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads path, verifies the envelope (version, kind,
+// checksum) and returns the raw payload for the caller to unmarshal.
+func ReadCheckpointFile(path, kind string) (json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("solver: checkpoint read: %w", err)
+	}
+	var env CheckpointFile
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("solver: checkpoint %s is not a valid envelope: %w", path, err)
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("solver: checkpoint %s has version %d, this build reads version %d",
+			path, env.Version, CheckpointVersion)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("solver: checkpoint %s holds %q state, want %q", path, env.Kind, kind)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.Checksum {
+		return nil, fmt.Errorf("solver: checkpoint %s is corrupt: checksum %s, recorded %s",
+			path, got, env.Checksum)
+	}
+	return env.Payload, nil
+}

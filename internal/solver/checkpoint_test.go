@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type ckPayload struct {
+	N int `json:"n"`
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteCheckpointFile(path, "test-kind", ckPayload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadCheckpointFile(path, "test-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p ckPayload
+	if err := json.Unmarshal(raw, &p); err != nil || p.N != 7 {
+		t.Fatalf("payload = %+v, %v", p, err)
+	}
+	// No .tmp file left behind by the atomic write.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestCheckpointFileWrongKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteCheckpointFile(path, "kind-a", ckPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path, "kind-b"); err == nil ||
+		!strings.Contains(err.Error(), "kind-a") {
+		t.Errorf("wrong-kind read: err = %v, want kind mismatch", err)
+	}
+}
+
+func TestCheckpointFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteCheckpointFile(path, "test-kind", ckPayload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the payload value without touching the recorded checksum.
+	tampered := bytes.Replace(data, []byte(`{"n":7}`), []byte(`{"n":8}`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in envelope")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path, "test-kind"); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("tampered read: err = %v, want checksum failure", err)
+	}
+
+	// Garbage is an envelope error, not a panic.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path, "test-kind"); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestCheckpointFileVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	env := CheckpointFile{Version: CheckpointVersion + 1, Kind: "test-kind", Payload: []byte("{}")}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path, "test-kind"); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version read: err = %v, want version rejection", err)
+	}
+}

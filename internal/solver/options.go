@@ -17,7 +17,11 @@
 //     finisher, cancelling the rest.
 package solver
 
-import "time"
+import (
+	"time"
+
+	"memverify/internal/memory"
+)
 
 // Options control the search-based solvers. The zero value (or a nil
 // *Options) asks for a complete, memoized, eager-read search with no
@@ -48,6 +52,38 @@ type Options struct {
 	// affect completeness, only how fast a certificate or refutation is
 	// found).
 	DisableWriteGuidance bool
+	// CheckpointSink, when non-nil, receives search-state snapshots so an
+	// interrupted solve can later resume: periodically (every
+	// CheckpointEvery states, piggybacked on the existing every-64-states
+	// budget poll so the hot loop pays only a nil check), and once more
+	// when the solve aborts on a budget trip. The sink must not retain
+	// the snapshot's slices beyond the call unless it copies them —
+	// snapshots hand over freshly built copies, so retaining is safe; the
+	// caveat is documented for future zero-copy variants.
+	CheckpointSink func(SearchSnapshot)
+	// CheckpointEvery is the number of search states between periodic
+	// snapshots (default 4096 when CheckpointSink is set; ignored
+	// otherwise). Snapshot cost is O(memo table), so very small values
+	// can dominate the search.
+	CheckpointEvery int
+	// ResumeMemo seeds the search's failed-state cache from a prior
+	// checkpoint. Seeding is sound: a memoized state records that no
+	// coherent completion exists from it, a fact of the instance, not of
+	// the search configuration — so the resumed search prunes everything
+	// the interrupted one had already refuted. Keys are opaque,
+	// algorithm-specific serializations; resuming against a different
+	// instance is guarded by the checkpoint file's fingerprint, not here.
+	ResumeMemo []string
+}
+
+// SearchSnapshot is the resumable state of an in-flight search: the
+// memoized failed-state keys, the current DFS frontier (the partial
+// schedule as projection refs), and the partial stats. The slices are
+// copies owned by the receiver.
+type SearchSnapshot struct {
+	Memo     []string
+	Frontier []memory.Ref
+	Stats    Stats
 }
 
 // Option is a functional option for New.
@@ -103,6 +139,36 @@ func (o *Options) EagerReads() bool { return o == nil || !o.DisableEagerReads }
 
 // WriteGuidance reports whether write guidance is on. Nil-safe.
 func (o *Options) WriteGuidance() bool { return o == nil || !o.DisableWriteGuidance }
+
+// Sink returns the checkpoint sink (nil when checkpointing is off).
+// Nil-safe.
+func (o *Options) Sink() func(SearchSnapshot) {
+	if o == nil {
+		return nil
+	}
+	return o.CheckpointSink
+}
+
+// ResumeMemoSeed returns the memo keys to seed a resumed search with
+// (nil for a fresh search). Nil-safe.
+func (o *Options) ResumeMemoSeed() []string {
+	if o == nil {
+		return nil
+	}
+	return o.ResumeMemo
+}
+
+// SnapshotEvery returns the state interval between periodic checkpoint
+// snapshots (0 when checkpointing is off). Nil-safe.
+func (o *Options) SnapshotEvery() int {
+	if o == nil || o.CheckpointSink == nil {
+		return 0
+	}
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 4096
+}
 
 // Clone returns a copy of o (an empty Options when o is nil), so callers
 // can derive variant configurations without mutating shared values.

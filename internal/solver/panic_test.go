@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memverify/internal/obs"
+)
+
+// eventSink records every obs event, for asserting worker_panic emission.
+type eventSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *eventSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) count(k obs.Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestErrWorkerPanic(t *testing.T) {
+	var err error = &ErrWorkerPanic{Label: "w1", Value: "boom"}
+	if got := err.Error(); !strings.Contains(got, "w1") || !strings.Contains(got, "boom") {
+		t.Errorf("Error() = %q, want label and value", got)
+	}
+	wp, ok := AsWorkerPanic(fmt.Errorf("wrapped: %w", err))
+	if !ok || wp.Label != "w1" {
+		t.Errorf("AsWorkerPanic through wrapping = %v, %v", wp, ok)
+	}
+	if _, ok := AsWorkerPanic(errors.New("plain")); ok {
+		t.Error("AsWorkerPanic matched a non-panic error")
+	}
+}
+
+func TestRecoverToError(t *testing.T) {
+	sink := &eventSink{}
+	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
+	run := func() (err error) {
+		defer RecoverToError(ctx, "entry", &err)
+		panic("invariant broken")
+	}
+	err := run()
+	wp, ok := AsWorkerPanic(err)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrWorkerPanic", err)
+	}
+	if wp.Label != "entry" || fmt.Sprint(wp.Value) != "invariant broken" {
+		t.Errorf("panic payload = %+v", wp)
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if sink.count(obs.KindWorkerPanic) != 1 {
+		t.Errorf("worker_panic events = %d, want 1", sink.count(obs.KindWorkerPanic))
+	}
+	// No panic: the error return stays untouched.
+	clean := func() (err error) {
+		defer RecoverToError(ctx, "entry", &err)
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Errorf("clean run returned %v", err)
+	}
+}
+
+// TestPoolGoPanicIsolated: a panicking pool worker must not crash the
+// process, must release its slot, and must emit a worker_panic event.
+func TestPoolGoPanicIsolated(t *testing.T) {
+	sink := &eventSink{}
+	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
+	p := NewPool(1)
+	done := make(chan struct{})
+	p.Go(ctx, func() { defer close(done); panic("worker bug") }, nil)
+	<-done
+	// The slot must have been released: a second submission runs.
+	ran := make(chan struct{})
+	p.Go(ctx, func() { close(ran) }, nil)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot not released after worker panic")
+	}
+	if sink.count(obs.KindWorkerPanic) != 1 {
+		t.Errorf("worker_panic events = %d, want 1", sink.count(obs.KindWorkerPanic))
+	}
+}
+
+// TestRacePanickedCandidateLoses: one candidate panics, the other
+// decides — the race returns the survivor's value and no error.
+func TestRacePanickedCandidateLoses(t *testing.T) {
+	sink := &eventSink{}
+	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
+	before := runtime.NumGoroutine()
+	// The survivor waits for the panicker to start: if it won instantly,
+	// the race's cancel could skip candidate 0 before it ever ran, and
+	// there would be no panic to observe.
+	started := make(chan struct{})
+	got, err := Race(ctx, NewPool(2), []func(context.Context) (int, error){
+		func(context.Context) (int, error) { close(started); panic("candidate 0 bug") },
+		func(context.Context) (int, error) { <-started; return 42, nil },
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("Race = %d, %v; want 42 from the survivor", got, err)
+	}
+	// The race returns as soon as the survivor wins; the panicked loser's
+	// event may still be in flight on its own goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count(obs.KindWorkerPanic) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sink.count(obs.KindWorkerPanic) == 0 {
+		t.Error("no worker_panic event for the lost candidate")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRaceAllPanic: with every candidate panicking, the panic surfaces
+// as a typed error (deterministically the lowest-indexed one).
+func TestRaceAllPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := Race(context.Background(), NewPool(2), []func(context.Context) (int, error){
+		func(context.Context) (int, error) { panic("bug A") },
+		func(context.Context) (int, error) { panic("bug B") },
+	})
+	wp, ok := AsWorkerPanic(err)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrWorkerPanic", err)
+	}
+	if fmt.Sprint(wp.Value) != "bug A" {
+		t.Errorf("surfaced panic = %v, want the lowest-indexed candidate's", wp.Value)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRaceSingleCandidatePanic: the direct single-candidate path guards
+// too.
+func TestRaceSingleCandidatePanic(t *testing.T) {
+	_, err := Race(context.Background(), nil, []func(context.Context) (int, error){
+		func(context.Context) (int, error) { panic("solo bug") },
+	})
+	if _, ok := AsWorkerPanic(err); !ok {
+		t.Fatalf("err = %v, want *ErrWorkerPanic", err)
+	}
+}
+
+// waitGoroutines waits for the goroutine count to drop back to (near)
+// its pre-test level, failing the test if panicked workers leaked.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after — workers leaked", before, runtime.NumGoroutine())
+}

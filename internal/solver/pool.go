@@ -50,17 +50,32 @@ var workerSeq atomic.Int64
 // caller counting completions never blocks. When ctx carries an
 // obs.Tracer, the worker's lifetime is bracketed by worker start/finish
 // events.
+//
+// A panic inside run is recovered: the pool slot is released, the
+// worker span ends with the panic detail, and a worker_panic event is
+// emitted — one buggy worker never kills the process. Callers that need
+// the panic as a value (the Race candidates do) must install their own
+// recovery inside run; this recovery is the last-resort barrier.
 func (p *Pool) Go(ctx context.Context, run, skipped func()) {
 	go func() {
 		select {
 		case p.slots <- struct{}{}:
 			defer func() { <-p.slots }()
-			if tr := obs.TracerFrom(ctx); tr != nil {
-				id := int(workerSeq.Add(1))
-				sp, _ := tr.BeginWorker(ctx, "pool-worker", id)
-				defer sp.EndWorker(id, "done")
+			tr := obs.TracerFrom(ctx)
+			var sp obs.Span
+			id := -1
+			if tr != nil {
+				id = int(workerSeq.Add(1))
+				sp, _ = tr.BeginWorker(ctx, "pool-worker", id)
 			}
-			run()
+			detail := "done"
+			guard("pool-worker", run, func(wp *ErrWorkerPanic) {
+				detail = "panic: " + fmt.Sprint(wp.Value)
+				tr.WorkerPanic(sp, wp.Label, fmt.Sprint(wp.Value))
+			})
+			if tr != nil {
+				sp.EndWorker(id, detail)
+			}
 		case <-ctx.Done():
 			if skipped != nil {
 				skipped()
@@ -78,13 +93,28 @@ func (p *Pool) Go(ctx context.Context, run, skipped func()) {
 // candidates (the racers genuinely ran out of resources); otherwise it
 // returns the error of the lowest-indexed candidate, which keeps the
 // failure deterministic.
+//
+// A candidate that panics is isolated: the panic is recovered into an
+// *ErrWorkerPanic, reported as a race loss (plus a worker_panic event),
+// and the surviving candidates keep running — one buggy specialist
+// cannot take down the portfolio. Only if every candidate fails does the
+// panic surface as Race's returned error.
 func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context) (T, error)) (T, error) {
 	var zero T
 	if len(candidates) == 0 {
 		return zero, errors.New("solver: no candidates to race")
 	}
 	if len(candidates) == 1 {
-		return candidates[0](ctx)
+		// The direct path needs the same isolation as the raced one: a
+		// sole candidate's panic must still come back as an error.
+		var val T
+		var err error
+		guard("race-candidate-0", func() { val, err = candidates[0](ctx) },
+			func(wp *ErrWorkerPanic) {
+				obs.TracerFrom(ctx).WorkerPanic(obs.Span{}, wp.Label, fmt.Sprint(wp.Value))
+				val, err = zero, wp
+			})
+		return val, err
 	}
 	if p == nil {
 		p = Shared()
@@ -104,10 +134,19 @@ func Race[T any](ctx context.Context, p *Pool, candidates []func(context.Context
 	ch := make(chan outcome, len(candidates))
 	for i, c := range candidates {
 		i, c := i, c
+		label := fmt.Sprintf("race-candidate-%d", i)
 		p.Go(rctx,
 			func() {
-				v, err := c(rctx)
-				ch <- outcome{idx: i, val: v, err: err}
+				// Recover here, not only in the pool barrier: the outcome
+				// send must happen even on a panic, or the race would
+				// wait forever for the dead candidate.
+				guard(label, func() {
+					v, err := c(rctx)
+					ch <- outcome{idx: i, val: v, err: err}
+				}, func(wp *ErrWorkerPanic) {
+					tr.WorkerPanic(raceSpan, wp.Label, fmt.Sprint(wp.Value))
+					ch <- outcome{idx: i, err: wp}
+				})
 			},
 			func() {
 				ch <- outcome{idx: i, err: fromContext(rctx.Err())}

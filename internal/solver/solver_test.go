@@ -40,7 +40,10 @@ func TestFunctionalOptions(t *testing.T) {
 	if o.Memoize() || o.EagerReads() || o.WriteGuidance() {
 		t.Error("Without* options did not disable the optimizations")
 	}
-	if c := o.Clone(); *c != *o {
+	if c := o.Clone(); c.MaxStates != o.MaxStates || c.Timeout != o.Timeout ||
+		c.DisableMemoization != o.DisableMemoization ||
+		c.DisableEagerReads != o.DisableEagerReads ||
+		c.DisableWriteGuidance != o.DisableWriteGuidance {
 		t.Errorf("Clone() = %+v, want %+v", c, o)
 	}
 }

@@ -42,6 +42,13 @@ type Stats struct {
 	DepthHist [DepthBuckets]int
 	// Duration is the wall-clock time the solve took.
 	Duration time.Duration
+	// Rung is the degradation-ladder rung that produced the answer: 0
+	// means the exact search decided (the normal case); positive values
+	// index the weaker rungs of coherence.SolveResilient (write-order,
+	// restriction specialists, necessary conditions). Merge keeps the
+	// maximum, so an aggregate reveals the weakest rung any per-address
+	// solve fell to.
+	Rung int
 }
 
 // RecordDepth folds one visited state's depth into the histogram.
@@ -106,6 +113,9 @@ func (s *Stats) Merge(other Stats) {
 		s.PeakDepth = other.PeakDepth
 	}
 	s.Duration += other.Duration
+	if other.Rung > s.Rung {
+		s.Rung = other.Rung
+	}
 }
 
 // String renders the stats as a single human-readable line, including
@@ -115,7 +125,11 @@ func (s Stats) String() string {
 	if s.Duration > 0 {
 		rate = fmt.Sprintf("%.0f/s", s.StatesPerSec())
 	}
-	return fmt.Sprintf("states=%d memo=%d/%d (%.1f%%) eager=%d depth=%d branch=%.2f rate=%s t=%s",
+	line := fmt.Sprintf("states=%d memo=%d/%d (%.1f%%) eager=%d depth=%d branch=%.2f rate=%s t=%s",
 		s.States, s.MemoHits, s.MemoHits+s.MemoMisses, 100*s.MemoHitRate(), s.EagerReads,
 		s.PeakDepth, s.BranchFactor(), rate, s.Duration.Round(time.Microsecond))
+	if s.Rung > 0 {
+		line += fmt.Sprintf(" rung=%d", s.Rung)
+	}
+	return line
 }

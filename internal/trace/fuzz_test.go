@@ -15,6 +15,20 @@ func FuzzRead(f *testing.F) {
 	f.Add("P0: RW y -3 4\norder y P0[0]\n")
 	f.Add("# only a comment\n")
 	f.Add("P1: ACQ\nP1: FENCE\nP1: REL\n")
+	// Malformed shapes the parser must reject without panicking:
+	// truncated lines, garbage bytes, huge numbers, dangling refs.
+	f.Add("init x\n")
+	f.Add("P0: W x\n")
+	f.Add("P0:\n")
+	f.Add("\x00\xff garbage\n")
+	f.Add("P999999999: W x 1\n")
+	f.Add("P-1: W x 1\n")
+	f.Add("init x 99999999999999999999999999\n")
+	f.Add("order x P0[0] P1[7]\nP0: W x 1\n")
+	f.Add("order x\n")
+	f.Add("P0: Q x 1\n")
+	f.Add("init x 0\ninit x 1\nfinal x 0\nfinal x 2\n")
+	f.Add("P0: W x 1\nP0: W x 1\nP0: R x 1\nP0: R x 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Read(strings.NewReader(input))
 		if err != nil {

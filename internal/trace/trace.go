@@ -58,7 +58,15 @@ func New(exec *memory.Execution) *Trace {
 	return &Trace{Exec: exec, Names: map[memory.Addr]string{}}
 }
 
-// Read parses the text format.
+// maxProcs caps the processor numbers a trace may name. Histories are
+// allocated densely up to the highest processor seen, so an unchecked
+// "P999999999:" line would make the parser allocate gigabytes for a
+// few bytes of input.
+const maxProcs = 1 << 16
+
+// Read parses the text format. Malformed input of any shape — garbage
+// bytes, truncated lines, out-of-range numbers — is reported as an
+// error carrying the offending line number; Read never panics.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
@@ -128,6 +136,9 @@ func Read(r io.Reader) (*Trace, error) {
 			if err != nil || p < 0 {
 				return nil, fmt.Errorf("trace: line %d: bad processor %q", lineNum, fields[0])
 			}
+			if p >= maxProcs {
+				return nil, fmt.Errorf("trace: line %d: processor %q exceeds the %d-processor limit", lineNum, fields[0], maxProcs)
+			}
 			ensureProc(p)
 			op, err := parseOp(fields[1:], intern, parseVal)
 			if err != nil {
@@ -143,7 +154,7 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	if err := t.Exec.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: %w", err)
 	}
 	// Validate write-order refs.
 	for a, refs := range t.WriteOrders {

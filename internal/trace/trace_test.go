@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -74,6 +75,47 @@ func TestReadErrors(t *testing.T) {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d (%q): error expected", i, in)
 		}
+	}
+}
+
+// TestReadErrorsNameTheLine: parse errors must carry the 1-based line
+// number of the offending line, so a user can fix a long trace file
+// without bisecting it.
+func TestReadErrorsNameTheLine(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"P0: W x 1\ngarbage line\n", "line 2"},
+		{"# comment\n\nP0: R x\n", "line 3"},
+		{"init x 0\nP0: W x 1\ninit y oops\n", "line 3"},
+		{"P0: W x 1\norder x P0[0] nope\n", "line 2"},
+		{"P99999999: W x 1\n", "line 1"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%q: error expected", c.input)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not name %q", c.input, err, c.want)
+		}
+	}
+}
+
+// TestReadCapsProcessorNumbers: a trace naming an absurd processor
+// number is rejected up front instead of allocating a history slice
+// with a billion entries.
+func TestReadCapsProcessorNumbers(t *testing.T) {
+	if _, err := Read(strings.NewReader("P999999999: W x 1\n")); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Errorf("huge processor number: err = %v, want limit rejection", err)
+	}
+	// The last in-range processor still parses.
+	in := fmt.Sprintf("P%d: W x 1\n", maxProcs-1)
+	if _, err := Read(strings.NewReader(in)); err != nil {
+		t.Errorf("P%d rejected: %v", maxProcs-1, err)
 	}
 }
 
