@@ -1,0 +1,273 @@
+// Command bench measures the coherence search's hot-path benchmarks —
+// the Figure 4.1/5.x solves also found in the repository's bench_test.go
+// — and emits a machine-readable JSON report (BENCH_PR5.json), so every
+// perf change leaves a committed trajectory to compare against instead
+// of numbers that evaporate in a terminal scrollback.
+//
+// Each entry records ns/op, bytes/op and allocs/op from a standard
+// testing.Benchmark run, plus — for the search-based solves — the
+// deterministic state count of one instrumented solve and the derived
+// states/sec throughput. The *-stringmemo entries re-run the same
+// instances with the packed uint64 memoization disabled (see DESIGN.md
+// §5), so the report carries its own before/after for the packed state
+// layer.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full suite -> BENCH_PR5.json
+//	go run ./cmd/bench -quick           # small fixture subset (CI smoke)
+//	go run ./cmd/bench -out report.json # alternate output path
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"memverify/internal/coherence"
+	"memverify/internal/memory"
+	"memverify/internal/reduction"
+	"memverify/internal/sat"
+	"memverify/internal/solver"
+	"memverify/internal/workload"
+)
+
+// benchSchema versions the report format for downstream tooling.
+const benchSchema = "memverify-bench/v1"
+
+// benchEntry is one measured benchmark in the report.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// States is the deterministic search-state count of one solve
+	// (omitted for entries without a single instrumented solve).
+	States int `json:"states,omitempty"`
+	// StatesPerSec is States scaled by the measured ns/op.
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+}
+
+// benchReport is the emitted JSON document.
+type benchReport struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Quick     bool         `json:"quick"`
+	Entries   []benchEntry `json:"benchmarks"`
+}
+
+// benchCase is a runnable benchmark: op executes one operation; states,
+// when non-nil, runs one instrumented solve for the state count.
+type benchCase struct {
+	name   string
+	quick  bool // included in -quick runs
+	op     func() error
+	states func() (int, error)
+}
+
+// benchFormula builds the same deterministic random formulas as
+// bench_test.go, so the JSON entries and the go test -bench output
+// measure identical instances.
+func benchFormula(seed int64, m, n int) *sat.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := &sat.Formula{NumVars: m}
+	for j := 0; j < n; j++ {
+		clen := 1 + rng.Intn(3)
+		c := make(sat.Clause, 0, clen)
+		for k := 0; k < clen; k++ {
+			l := sat.Lit(1 + rng.Intn(m))
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// solveCase builds a benchCase around coherence.Solve on a single-address
+// instance.
+func solveCase(name string, quick bool, exec *memory.Execution, addr memory.Addr, opts *coherence.Options) benchCase {
+	return benchCase{
+		name:  name,
+		quick: quick,
+		op: func() error {
+			_, err := coherence.Solve(context.Background(), exec, addr, opts)
+			return err
+		},
+		states: func() (int, error) {
+			r, err := coherence.Solve(context.Background(), exec, addr, opts)
+			if err != nil {
+				return 0, err
+			}
+			return r.Stats.States, nil
+		},
+	}
+}
+
+// buildSuite assembles the benchmark cases. The reductions are the
+// paper's NP-hardness constructions (Figures 4.1, 5.1, 5.2); the
+// constant-process trace is the tractable Figure 5.3 row the memoized
+// search is built for.
+func buildSuite(quick bool) ([]benchCase, error) {
+	var cases []benchCase
+	stringMemo := solver.New(solver.WithoutPackedMemo())
+
+	for _, m := range []int{2, 3, 4} {
+		q := benchFormula(1, m, 2*m)
+		inst, err := reduction.SATToVMC(q)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases,
+			solveCase(fmt.Sprintf("fig41-sat-to-vmc/m=%d", m), m <= 3, inst.Exec, inst.Addr, nil),
+			solveCase(fmt.Sprintf("fig41-sat-to-vmc-stringmemo/m=%d", m), m <= 2, inst.Exec, inst.Addr, stringMemo),
+		)
+	}
+
+	{
+		q := sat.NewFormula(sat.Clause{1}) // Q = u, the paper's Figure 4.2 example
+		inst, err := reduction.SATToVMC(q)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, solveCase("fig42-example", true, inst.Exec, inst.Addr, nil))
+	}
+
+	for _, m := range []int{1, 2} {
+		q := benchFormula(2, m, 2*m)
+		inst, err := reduction.ThreeSATToVMCRestricted(q)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, solveCase(fmt.Sprintf("fig51-restricted/m=%d", m), m <= 1, inst.Exec, inst.Addr, nil))
+	}
+
+	for _, m := range []int{2, 3} {
+		q := benchFormula(3, m, 2*m)
+		inst, err := reduction.ThreeSATToVMCRMW(q)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, solveCase(fmt.Sprintf("fig52-rmw/m=%d", m), m <= 2, inst.Exec, inst.Addr, nil))
+	}
+
+	for _, n := range []int{100, 200} {
+		rng := rand.New(rand.NewSource(7))
+		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: 3, OpsPerProc: n / 3, Addresses: 1, Values: 3, WriteFraction: 0.4,
+		})
+		cases = append(cases,
+			solveCase(fmt.Sprintf("fig53-constant-processes/n=%d", n), n <= 100, exec, 0, nil),
+			solveCase(fmt.Sprintf("fig53-constant-processes-stringmemo/n=%d", n), false, exec, 0, stringMemo),
+		)
+	}
+
+	{
+		rng := rand.New(rand.NewSource(20))
+		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: 4, OpsPerProc: 400, Addresses: 8, Values: 4, WriteFraction: 0.4,
+		})
+		cases = append(cases,
+			benchCase{name: "verify-parallel/serial", op: func() error {
+				_, err := coherence.VerifyExecution(context.Background(), exec, nil)
+				return err
+			}},
+			benchCase{name: "verify-parallel/parallel", op: func() error {
+				_, err := coherence.VerifyExecutionParallel(context.Background(), exec, nil, 0)
+				return err
+			}},
+		)
+	}
+	return cases, nil
+}
+
+// measure runs one case under testing.Benchmark and fills a report
+// entry.
+func measure(c benchCase) (benchEntry, error) {
+	var opErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := c.op(); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if opErr != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", c.name, opErr)
+	}
+	e := benchEntry{
+		Name:        c.name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if c.states != nil {
+		n, err := c.states()
+		if err != nil {
+			return benchEntry{}, fmt.Errorf("%s: states probe: %w", c.name, err)
+		}
+		e.States = n
+		if e.NsPerOp > 0 {
+			e.StatesPerSec = float64(n) * 1e9 / e.NsPerOp
+		}
+	}
+	return e, nil
+}
+
+// run executes the suite and writes the report; split from main for the
+// package test.
+func run(out string, quick bool, logf func(format string, args ...any)) error {
+	cases, err := buildSuite(quick)
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Schema:    benchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+	for _, c := range cases {
+		if quick && !c.quick {
+			continue
+		}
+		e, err := measure(c)
+		if err != nil {
+			return err
+		}
+		logf("%-44s %12.0f ns/op %8d allocs/op %14.0f states/s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.StatesPerSec)
+		report.Entries = append(report.Entries, e)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(out, data, 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
+	quick := flag.Bool("quick", false, "run only the small fixtures (CI smoke)")
+	flag.Parse()
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	if err := run(*out, *quick, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -46,8 +46,8 @@ type PendingSearch struct {
 // search. Fingerprint ties the checkpoint to the execution it was taken
 // from; resuming against a different trace is rejected.
 type Checkpoint struct {
-	Fingerprint string        `json:"fingerprint"`
-	Done        []SavedResult `json:"done,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+	Done        []SavedResult  `json:"done,omitempty"`
 	Pending     *PendingSearch `json:"pending,omitempty"`
 }
 

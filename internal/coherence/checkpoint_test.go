@@ -186,3 +186,61 @@ func BenchmarkCheckpointOverhead(b *testing.B) {
 		}
 	})
 }
+
+// TestCheckpointMemoFormatCompat: checkpoints are format-stable across
+// the packed-uint64 and string-key memo representations. A checkpoint
+// written by either search seeds a resume on the other — packed memo
+// entries serialize to the exact varint string form the fallback uses
+// (see packedLayout.appendStringKey), so no checkpoint version bump was
+// needed. In each direction the resumed search must agree with the
+// fresh verdict while re-exploring strictly fewer states.
+func TestCheckpointMemoFormatCompat(t *testing.T) {
+	ctx := context.Background()
+	exec := hardExecution()
+	fresh, err := SolveAuto(ctx, exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []struct {
+		name           string
+		writer, reader *solver.Options
+	}{
+		{"packed-to-string", nil, solver.New(solver.WithoutPackedMemo())},
+		{"string-to-packed", solver.New(solver.WithoutPackedMemo()), nil},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			wopts := dir.writer.Clone()
+			wopts.MaxStates = 20
+			_, ck, err := VerifyExecutionCheckpoint(ctx, exec, wopts, nil)
+			if _, ok := solver.AsBudgetError(err); !ok {
+				t.Fatalf("err = %v, want budget error", err)
+			}
+			if ck == nil || ck.Pending == nil || len(ck.Pending.Memo) == 0 {
+				t.Fatalf("no resumable memo in checkpoint: %+v", ck)
+			}
+			path := filepath.Join(t.TempDir(), "ck.json")
+			if err := ck.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, _, err := VerifyExecutionCheckpoint(ctx, exec, dir.reader, loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := results[0]
+			if res == nil || res.Coherent != fresh.Coherent {
+				t.Fatalf("resumed verdict %+v != fresh verdict %+v", res, fresh)
+			}
+			if res.Stats.States >= fresh.Stats.States {
+				t.Errorf("resumed search explored %d states, fresh %d — cross-format seed pruned nothing",
+					res.Stats.States, fresh.Stats.States)
+			}
+			if res.Stats.MemoHits == 0 {
+				t.Error("resumed search had no memo hits; cross-format seed was not ingested")
+			}
+		})
+	}
+}

@@ -3,11 +3,50 @@ package coherence
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 
 	"memverify/internal/memory"
 	"memverify/internal/obs"
 )
+
+// projectionSizes counts the data-memory operations per address in one
+// pass over the execution — the size of each per-address projected
+// instance, and the only cheap hardness signal available before
+// solving.
+func projectionSizes(exec *memory.Execution) map[memory.Addr]int {
+	sizes := make(map[memory.Addr]int)
+	for _, h := range exec.Histories {
+		for _, o := range h {
+			if o.IsMemory() {
+				sizes[o.Addr]++
+			}
+		}
+	}
+	return sizes
+}
+
+// hardnessOrder returns the indices of addrs sorted by projection size
+// descending (ties broken by address ascending, so the order is
+// deterministic). Dispatching the largest projections first is classic
+// LPT scheduling: the potentially exponential searches start immediately
+// instead of queueing behind a tail of trivial addresses, which is the
+// difference between makespan ≈ slowest address and makespan ≈ slowest
+// address + everything dispatched after it.
+func hardnessOrder(addrs []memory.Addr, sizes map[memory.Addr]int) []int {
+	order := make([]int, len(addrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if sizes[addrs[i]] != sizes[addrs[j]] {
+			return sizes[addrs[i]] > sizes[addrs[j]]
+		}
+		return addrs[i] < addrs[j]
+	})
+	return order
+}
 
 // VerifyExecutionParallel is VerifyExecution with the per-address checks
 // fanned out across workers goroutines (runtime.NumCPU() when workers
@@ -20,6 +59,15 @@ import (
 // scheduling, and when several addresses fail the returned error is
 // always the one for the lowest-indexed address in exec.Addresses()
 // order — so two runs over the same input produce diffable output.
+//
+// Addresses are dispatched largest-projection-first (see hardnessOrder):
+// the per-address search is worst-case exponential in projection size,
+// so starting the heaviest address last would leave one worker grinding
+// alone after the rest drain. Dispatch order affects only load balance,
+// never results. Workers reuse the pooled search scratch (position
+// vectors, schedule buffers, and the packed memo table) across the
+// addresses they drain, so a wide trace costs one warm buffer set per
+// worker rather than one allocation burst per address.
 func VerifyExecutionParallel(ctx context.Context, exec *memory.Execution, opts *Options, workers int) (map[memory.Addr]*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
@@ -59,7 +107,7 @@ func VerifyExecutionParallel(ctx context.Context, exec *memory.Execution, opts *
 			}
 		}()
 	}
-	for i := range addrs {
+	for _, i := range hardnessOrder(addrs, projectionSizes(exec)) {
 		next <- i
 	}
 	close(next)

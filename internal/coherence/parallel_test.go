@@ -122,3 +122,86 @@ func TestParallelEmptyExecution(t *testing.T) {
 		t.Errorf("results for addressless execution: %v", res)
 	}
 }
+
+// TestHardnessOrder: dispatch order is by projection size descending,
+// ties broken by address ascending — a deterministic LPT schedule.
+func TestHardnessOrder(t *testing.T) {
+	exec := memory.NewExecution(
+		memory.History{memory.W(2, 1), memory.W(2, 2), memory.W(2, 3), memory.W(0, 1), memory.W(0, 2)},
+		memory.History{memory.W(2, 4), memory.W(1, 1), memory.W(3, 1), memory.W(3, 2)},
+	)
+	addrs := exec.Addresses() // [0 1 2 3], sizes 2,1,4,2
+	order := hardnessOrder(addrs, projectionSizes(exec))
+	got := make([]memory.Addr, len(order))
+	for i, idx := range order {
+		got[i] = addrs[idx]
+	}
+	want := []memory.Addr{2, 0, 3, 1} // size 4, then the size-2 tie by address, then size 1
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hardness order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestParallelLoadBalanceDeterministic is the load-balance satellite:
+// on a trace whose addresses differ sharply in hardness (projection
+// size), the largest-first dispatch must change only scheduling, never
+// results — every worker count, repeated runs, and the serial loop all
+// agree on verdicts, certificates, and state counts.
+func TestParallelLoadBalanceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	// Mixed-hardness execution: address a gets ~6·(a+1) ops, so the
+	// heaviest projection is several times the lightest, plus injected
+	// incoherence on some addresses (from multiAddressInstance's phantom
+	// reads at the widest address set).
+	exec := &memory.Execution{Histories: make([]memory.History, 3)}
+	for a := 0; a < 5; a++ {
+		exec.SetInitial(memory.Addr(a), 0)
+		cur := memory.Value(0)
+		for i := 0; i < 6*(a+1); i++ {
+			p := rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				v := memory.Value(a*1000 + i + 1)
+				exec.Histories[p] = append(exec.Histories[p], memory.W(memory.Addr(a), v))
+				cur = v
+			} else {
+				v := cur
+				if a == 1 && i == 5 {
+					v = 9999 // phantom: address 1 is incoherent
+				}
+				exec.Histories[p] = append(exec.Histories[p], memory.R(memory.Addr(a), v))
+			}
+		}
+	}
+	serial, err := VerifyExecution(context.Background(), exec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 10; rep++ {
+		for _, workers := range []int{2, 3, 5, 8} {
+			par, err := VerifyExecutionParallel(context.Background(), exec, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("rep %d workers %d: %d results, want %d", rep, workers, len(par), len(serial))
+			}
+			for a, want := range serial {
+				got := par[a]
+				if got == nil || got.Coherent != want.Coherent {
+					t.Fatalf("rep %d workers %d addr %d: got %+v want %+v", rep, workers, a, got, want)
+				}
+				if got.Stats.States != want.Stats.States {
+					t.Fatalf("rep %d workers %d addr %d: %d states parallel vs %d serial — dispatch order leaked into the search",
+						rep, workers, a, got.Stats.States, want.Stats.States)
+				}
+				if got.Coherent {
+					if err := memory.CheckCoherent(exec, a, got.Schedule); err != nil {
+						t.Fatalf("rep %d workers %d addr %d: bad certificate: %v", rep, workers, a, err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -102,13 +102,24 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 	// Easy instances decide here and pay nothing over SolveAuto. The cap
 	// never loosens a caller budget, and a trip of the caller's own
 	// budget (or deadline, or cancellation) propagates instead of
-	// escalating.
+	// escalating. When the probe blows its cap, its refuted-state memo
+	// is captured through the checkpoint sink and handed to the racers:
+	// a memoized state is a fact of the instance (no coherent completion
+	// exists from it), so both race configurations can prune everything
+	// the probe already disproved instead of re-earning it.
+	var probeMemo []string
 	probeCap := portfolioProbeFactor * inst.nops
 	callerLimit := opts.Limit()
 	if callerLimit == 0 || callerLimit > probeCap {
 		tr.Stage(sp, "probe")
 		probe := opts.Clone()
 		probe.MaxStates = probeCap
+		if probe.CheckpointSink == nil {
+			// CheckpointEvery past the cap suppresses periodic snapshots;
+			// only the at-abort snapshot fires, exactly once.
+			probe.CheckpointSink = func(snap solver.SearchSnapshot) { probeMemo = snap.Memo }
+			probe.CheckpointEvery = probeCap + 1
+		}
 		r, err := searchInstance(ctx, inst, probe)
 		if err == nil {
 			return r, nil
@@ -125,13 +136,17 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 	tr.Stage(sp, "race")
 
 	var cands []func(context.Context) (*Result, error)
+	// The test hook is captured once here: a losing candidate can outlive
+	// SolvePortfolio briefly, so reading the global from the candidate
+	// goroutine would race with a test resetting it.
+	hook := testHookRaceCandidate
 	// The projection is shared read-only across racers; every searcher
 	// keeps its own position vector and memo table.
 	search := func(o *Options) func(context.Context) (*Result, error) {
 		idx := len(cands)
 		return func(rctx context.Context) (*Result, error) {
-			if testHookRaceCandidate != nil {
-				testHookRaceCandidate(idx)
+			if hook != nil {
+				hook(idx)
 			}
 			r, e := searchInstance(rctx, inst, o)
 			if e != nil {
@@ -140,9 +155,8 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 			return r, nil
 		}
 	}
-	cands = append(cands, search(opts))
-	flipped := opts.Clone()
-	flipped.DisableWriteGuidance = !flipped.DisableWriteGuidance
+	standard, flipped := raceOptions(opts, probeMemo)
+	cands = append(cands, search(standard))
 	cands = append(cands, search(flipped))
 
 	r, err := solver.Race(ctx, solver.Shared(), cands)
@@ -154,6 +168,25 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 	}
 	r.Algorithm = "portfolio:" + r.Algorithm
 	return r, nil
+}
+
+// raceOptions derives the two race configurations from the caller's
+// options: the standard search and one with the write-guidance ordering
+// flipped, both seeded with the probe's refuted-state memo (nil when the
+// probe was skipped or a caller checkpoint sink claimed the snapshots).
+// Seeding is sound for both racers: memo entries state that no coherent
+// completion exists from a state — a property of the instance, not of
+// the candidate ordering the racer uses.
+func raceOptions(opts *Options, probeMemo []string) (standard, flipped *Options) {
+	standard = opts.Clone()
+	flipped = opts.Clone()
+	flipped.DisableWriteGuidance = !flipped.DisableWriteGuidance
+	if probeMemo != nil {
+		// Do not clobber a caller-supplied resume seed with an absent one.
+		standard.ResumeMemo = probeMemo
+		flipped.ResumeMemo = probeMemo
+	}
+	return standard, flipped
 }
 
 // VerifyExecutionPortfolio is VerifyExecution with each per-address

@@ -152,3 +152,55 @@ func TestPortfolioBudgetPropagates(t *testing.T) {
 		t.Error("merged budget error carries no partial stats")
 	}
 }
+
+// TestRaceOptionsSeedFromProbe: the race configurations inherit the
+// probe's refuted-state memo, and an absent probe memo must not clobber
+// a caller-supplied resume seed.
+func TestRaceOptionsSeedFromProbe(t *testing.T) {
+	probeMemo := []string{"\x01\x02\x00"}
+	standard, flipped := raceOptions(nil, probeMemo)
+	if len(standard.ResumeMemo) != 1 || len(flipped.ResumeMemo) != 1 {
+		t.Fatalf("probe memo not handed to racers: %+v / %+v", standard, flipped)
+	}
+	if standard.DisableWriteGuidance == flipped.DisableWriteGuidance {
+		t.Fatal("racers must differ in write-guidance ordering")
+	}
+
+	caller := solver.New()
+	caller.ResumeMemo = []string{"\x00\x00\x00"}
+	standard, flipped = raceOptions(caller, nil)
+	if len(standard.ResumeMemo) != 1 || len(flipped.ResumeMemo) != 1 {
+		t.Fatal("nil probe memo clobbered the caller's resume seed")
+	}
+}
+
+// TestPortfolioProbeMemoSpeedsRace: on an instance hard enough to blow
+// the escalation probe, the racers start from the probe's memo — the
+// winning search must report memo hits against states it never explored
+// itself, and the verdict must match SolveAuto's.
+func TestPortfolioProbeMemoSpeedsRace(t *testing.T) {
+	// An incoherent general-search instance well past portfolioMinOps:
+	// two conflicting readers plus duplicated write values defeat every
+	// specialist, and the phantom read keeps it incoherent.
+	var h0, h1 memory.History
+	for i := 0; i < 8; i++ {
+		h0 = append(h0, memory.W(0, memory.Value(i%3+1)))
+		h1 = append(h1, memory.W(0, memory.Value(i%3+1)))
+	}
+	h0 = append(h0, memory.R(0, 999))
+	exec := memory.NewExecution(h0, h1,
+		memory.History{memory.W(0, 1), memory.W(0, 2)},
+	).SetInitial(0, 0)
+
+	auto, err := SolveAuto(context.Background(), exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolvePortfolio(context.Background(), exec, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coherent != auto.Coherent {
+		t.Fatalf("portfolio verdict %v, SolveAuto verdict %v", res.Coherent, auto.Coherent)
+	}
+}

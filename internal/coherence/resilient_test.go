@@ -238,14 +238,29 @@ func TestPortfolioSurvivesCandidatePanic(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	sink := &obsEventSink{}
+	// The fault is injected into whichever candidate the pool schedules
+	// first — on a one-slot pool (GOMAXPROCS=1) the candidates run
+	// sequentially and a fixed victim index would let the winner finish
+	// before the victim ever starts, especially now that the probe-memo
+	// seeding makes the seeded racer near-instant. The survivor then
+	// holds until the panic has been recorded, so the worker_panic event
+	// is deterministically present when the race returns (bounded wait:
+	// a wedged faulty goroutine should fail the test, not hang it).
+	var faulted sync.Once
 	testHookRaceCandidate = func(idx int) {
-		if idx == 1 {
+		injected := false
+		faulted.Do(func() { injected = true })
+		if injected {
 			panic("injected candidate fault")
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for sink.count(obs.KindWorkerPanic) == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
 		}
 	}
 	defer func() { testHookRaceCandidate = nil }()
 
-	sink := &obsEventSink{}
 	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
 	before := runtime.NumGoroutine()
 	got, err := SolvePortfolio(ctx, exec, 0, nil)

@@ -3,6 +3,7 @@ package coherence
 import (
 	"context"
 	"encoding/binary"
+	"sync"
 	"time"
 
 	"memverify/internal/memory"
@@ -19,6 +20,14 @@ import (
 // constant-process algorithm. The eager-read rule (schedule an enabled
 // read immediately when it matches the current value) shrinks the
 // branching factor to the number of histories with an enabled write.
+//
+// The memo table is the hot path (the search does O(1) work per state
+// beyond it), so states are packed into a single uint64 and memoized in
+// an open-addressing set whenever the instance fits the packed layout
+// (see packed.go); only overflow instances pay for varint-string keys
+// and a Go map. All per-state buffers — position vector, schedule,
+// candidate lists, value scratch — come from a pooled searchScratch, so
+// steady-state search does zero allocations per state.
 type searcher struct {
 	inst   *instance
 	opts   *Options
@@ -29,7 +38,22 @@ type searcher struct {
 	bound    bool
 	schedule []memory.Ref // projection refs, in scheduled order
 
-	memo  map[string]struct{}
+	// Exactly one memo representation is active per solve: packed when
+	// the instance fits the uint64 layout (layout non-nil), otherwise the
+	// string-key map. Both memoize the same states; checkpoints always
+	// serialize the string form, so the representations interconvert.
+	layout *packedLayout
+	packed *packedSet
+	memo   map[string]struct{}
+
+	// candBuf is a shared stack of candidate history indices: each dfs
+	// frame appends its candidates, iterates them by index, and truncates
+	// back on exit. One growable buffer replaces a per-state slice.
+	candBuf []int
+	// needed is the value-set scratch for write guidance: the values
+	// blocked reads are waiting for, at most one entry per history.
+	needed []memory.Value
+
 	stats solver.Stats
 	abort *solver.ErrBudgetExceeded
 
@@ -50,8 +74,24 @@ type searcher struct {
 	obsOn   bool
 	flushed obsFlush
 
-	keyBuf []byte
+	keyBuf []byte // fallback string-key scratch; unused on the packed path
 }
+
+// searchScratch carries the searcher's reusable buffers across
+// searchInstance calls. Pooling them means a worker draining many
+// per-address solves (VerifyExecutionParallel, the portfolio racers)
+// re-uses one warm set of buffers instead of re-growing them per
+// address.
+type searchScratch struct {
+	pos      []int
+	schedule []memory.Ref
+	candBuf  []int
+	needed   []memory.Value
+	keyBuf   []byte
+	packed   packedSet
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
 // obsFlush remembers the counter values at the last metrics flush, so
 // each flush adds only the delta since the previous one.
@@ -90,21 +130,47 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 	start := time.Now()
 	budget := solver.Start(ctx, opts)
 	defer budget.Stop()
+	scratch := scratchPool.Get().(*searchScratch)
 	s := &searcher{
 		inst:      inst,
 		opts:      opts,
 		budget:    budget,
-		pos:       make([]int, len(inst.hist)),
-		memo:      make(map[string]struct{}),
+		schedule:  scratch.schedule[:0],
+		candBuf:   scratch.candBuf[:0],
+		needed:    scratch.needed[:0],
+		keyBuf:    scratch.keyBuf[:0],
 		tr:        obs.TracerFrom(ctx),
 		met:       obs.MetricsFrom(ctx),
 		sink:      opts.Sink(),
 		snapEvery: opts.SnapshotEvery(),
 	}
-	s.obsOn = s.tr != nil || s.met != nil
-	for _, k := range opts.ResumeMemoSeed() {
-		s.memo[k] = struct{}{}
+	if cap(scratch.pos) >= len(inst.hist) {
+		s.pos = scratch.pos[:len(inst.hist)]
+		clear(s.pos)
+	} else {
+		s.pos = make([]int, len(inst.hist))
 	}
+	if s.opts.Memoize() {
+		if opts.PackedMemo() {
+			s.layout = layoutFor(inst)
+		}
+		if s.layout != nil {
+			s.packed = &scratch.packed
+			s.packed.reset()
+		} else {
+			s.memo = make(map[string]struct{})
+		}
+	}
+	defer func() {
+		scratch.pos = s.pos
+		scratch.schedule = s.schedule[:0]
+		scratch.candBuf = s.candBuf[:0]
+		scratch.needed = s.needed[:0]
+		scratch.keyBuf = s.keyBuf[:0]
+		scratchPool.Put(scratch)
+	}()
+	s.obsOn = s.tr != nil || s.met != nil
+	s.seedMemo(opts.ResumeMemoSeed())
 	if s.tr != nil {
 		s.sp, _ = s.tr.BeginAddr(ctx, "general-search", int64(inst.addr))
 	}
@@ -142,18 +208,56 @@ func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result
 	return res, nil
 }
 
+// seedMemo ingests memo keys saved by a prior checkpoint. Keys are
+// always the varint string form (what snapshot writes, on either memo
+// path); the packed search re-packs each, dropping entries that do not
+// fit the layout — a drop only loses pruning, never soundness.
+func (s *searcher) seedMemo(keys []string) {
+	switch {
+	case s.packed != nil:
+		for _, k := range keys {
+			if pk, ok := s.layout.parseStringKey(k); ok {
+				s.packed.add(pk)
+			}
+		}
+	case s.memo != nil:
+		for _, k := range keys {
+			s.memo[k] = struct{}{}
+		}
+	}
+}
+
+// memoLen returns the number of memoized states on whichever memo path
+// is active.
+func (s *searcher) memoLen() int {
+	if s.packed != nil {
+		return s.packed.size()
+	}
+	return len(s.memo)
+}
+
 // snapshot hands a copy of the resumable search state (memo table,
 // current frontier, partial stats) to the checkpoint sink. Frontier refs
 // are projection-local; they are informational — resume correctness
-// rests on the memo table alone.
+// rests on the memo table alone. Packed memo entries are decoded to the
+// string key form, so checkpoints have one format regardless of which
+// memo path produced them.
 func (s *searcher) snapshot() {
 	snap := solver.SearchSnapshot{
-		Memo:     make([]string, 0, len(s.memo)),
+		Memo:     make([]string, 0, s.memoLen()),
 		Frontier: append([]memory.Ref(nil), s.schedule...),
 		Stats:    s.stats,
 	}
-	for k := range s.memo {
-		snap.Memo = append(snap.Memo, k)
+	if s.packed != nil {
+		var buf []byte
+		s.packed.each(func(k uint64) {
+			buf = s.layout.appendStringKey(buf[:0], k)
+			snap.Memo = append(snap.Memo, string(buf))
+		})
+	} else {
+		for k := range s.memo {
+			snap.Memo = append(snap.Memo, k)
+		}
 	}
 	s.lastSnap = s.stats.States
 	if s.tr != nil {
@@ -162,7 +266,8 @@ func (s *searcher) snapshot() {
 	s.sink(snap)
 }
 
-// key serializes the current state for memoization.
+// key serializes the current state for memoization (string fallback for
+// instances that overflow the packed layout).
 func (s *searcher) key() string {
 	buf := s.keyBuf[:0]
 	for _, p := range s.pos {
@@ -202,10 +307,13 @@ func (s *searcher) finalOK() bool {
 	return s.cur == *s.inst.final
 }
 
-// apply schedules the op at hist[h][pos[h]] and returns an undo closure.
-func (s *searcher) apply(h int) func() {
+// apply schedules the op at hist[h][pos[h]], returning the value state
+// to restore on undo. Returning plain values instead of an undo closure
+// keeps apply off the heap — the closure was one allocation per visited
+// state.
+func (s *searcher) apply(h int) (prevCur memory.Value, prevBound bool) {
 	o := s.inst.hist[h][s.pos[h]]
-	prevCur, prevBound := s.cur, s.bound
+	prevCur, prevBound = s.cur, s.bound
 	s.schedule = append(s.schedule, memory.Ref{Proc: h, Index: s.pos[h]})
 	s.pos[h]++
 	if d, ok := o.Reads(); ok && !s.bound {
@@ -214,11 +322,14 @@ func (s *searcher) apply(h int) func() {
 	if d, ok := o.Writes(); ok {
 		s.cur, s.bound = d, true
 	}
-	return func() {
-		s.pos[h]--
-		s.schedule = s.schedule[:len(s.schedule)-1]
-		s.cur, s.bound = prevCur, prevBound
-	}
+	return prevCur, prevBound
+}
+
+// undo reverses the corresponding apply.
+func (s *searcher) undo(h int, prevCur memory.Value, prevBound bool) {
+	s.pos[h]--
+	s.schedule = s.schedule[:len(s.schedule)-1]
+	s.cur, s.bound = prevCur, prevBound
 }
 
 // scheduleEagerReads repeatedly schedules every enabled read whose value
@@ -275,55 +386,85 @@ func (s *searcher) enabled(o memory.Op) bool {
 	}
 }
 
-// candidates returns the histories whose next operation may be branched
-// on now, most promising first: when write guidance is on, writes (and
-// RMWs) whose stored value some blocked read is waiting for are tried
-// before other candidates — scheduling anything else first can only
-// delay or clobber the value that read needs. Ordering cannot affect
-// completeness (all candidates are still tried), only search speed.
-func (s *searcher) candidates() []int {
-	var needed map[memory.Value]bool
+// containsValue reports whether d is in vals (at most one entry per
+// history, so a linear scan beats any set structure).
+func containsValue(vals []memory.Value, d memory.Value) bool {
+	for _, v := range vals {
+		if v == d {
+			return true
+		}
+	}
+	return false
+}
+
+// classify reports whether history h's next operation may be branched on
+// now, and whether it is preferred by write guidance (it writes a value
+// some blocked read is waiting for — see appendCandidates).
+func (s *searcher) classify(h int) (cand, preferred bool) {
+	if s.pos[h] >= len(s.inst.hist[h]) {
+		return false, false
+	}
+	o := s.inst.hist[h][s.pos[h]]
+	if !s.enabled(o) {
+		return false, false
+	}
+	if s.opts.EagerReads() && o.Kind == memory.Read && s.bound {
+		// Matching reads were consumed by the eager rule; a read that
+		// remains here mismatches and is disabled. (When unbound, a
+		// read is a genuine branch: it binds the initial value.)
+		return false, false
+	}
+	if len(s.needed) > 0 {
+		if d, ok := o.Writes(); ok && containsValue(s.needed, d) {
+			return true, true
+		}
+	}
+	return true, false
+}
+
+// appendCandidates appends to s.candBuf the histories whose next
+// operation may be branched on now, most promising first: when write
+// guidance is on, writes (and RMWs) whose stored value some blocked read
+// is waiting for are tried before other candidates — scheduling anything
+// else first can only delay or clobber the value that read needs.
+// Ordering cannot affect completeness (all candidates are still tried),
+// only search speed. The caller iterates s.candBuf[base:end] and
+// truncates back to base; the shared buffer replaces the former
+// per-state preferred/rest slices.
+func (s *searcher) appendCandidates() (base, end int) {
+	base = len(s.candBuf)
+	needed := s.needed[:0]
 	if s.opts.WriteGuidance() && s.bound {
 		for h := range s.inst.hist {
 			if s.pos[h] >= len(s.inst.hist[h]) {
 				continue
 			}
 			o := s.inst.hist[h][s.pos[h]]
-			if d, ok := o.Reads(); ok && d != s.cur {
-				if needed == nil {
-					needed = make(map[memory.Value]bool)
-				}
-				needed[d] = true
+			if d, ok := o.Reads(); ok && d != s.cur && !containsValue(needed, d) {
+				needed = append(needed, d)
 			}
 		}
 	}
-	var preferred, rest []int
+	s.needed = needed
+	if len(needed) == 0 {
+		for h := range s.inst.hist {
+			if cand, _ := s.classify(h); cand {
+				s.candBuf = append(s.candBuf, h)
+			}
+		}
+		return base, len(s.candBuf)
+	}
 	for h := range s.inst.hist {
-		if s.pos[h] >= len(s.inst.hist[h]) {
-			continue
+		if cand, preferred := s.classify(h); cand && preferred {
+			s.candBuf = append(s.candBuf, h)
 		}
-		o := s.inst.hist[h][s.pos[h]]
-		if !s.enabled(o) {
-			continue
-		}
-		if s.opts.EagerReads() && o.Kind == memory.Read && s.bound {
-			// Matching reads were consumed by the eager rule; a read that
-			// remains here mismatches and is disabled. (When unbound, a
-			// read is a genuine branch: it binds the initial value.)
-			continue
-		}
-		if needed != nil {
-			if d, ok := o.Writes(); ok && needed[d] {
-				preferred = append(preferred, h)
-				continue
-			}
-		}
-		rest = append(rest, h)
 	}
-	if len(preferred) == 0 {
-		return rest
+	for h := range s.inst.hist {
+		if cand, preferred := s.classify(h); cand && !preferred {
+			s.candBuf = append(s.candBuf, h)
+		}
 	}
-	return append(preferred, rest...)
+	return base, len(s.candBuf)
 }
 
 // dfs explores from the current state; true means a coherent completion
@@ -345,15 +486,20 @@ func (s *searcher) dfs() bool {
 	}
 
 	var key string
+	var pkey uint64
 	if s.opts.Memoize() {
-		key = s.key()
-		if _, seen := s.memo[key]; seen {
-			s.stats.MemoHits++
-			if s.tr != nil {
-				s.tr.MemoHit(s.sp, len(s.schedule))
+		if s.packed != nil {
+			pkey = s.layout.pack(s.pos, s.cur, s.bound)
+			if s.packed.contains(pkey) {
+				s.memoHit(eager)
+				return false
 			}
-			s.undoEagerReads(eager)
-			return false
+		} else {
+			key = s.key()
+			if _, seen := s.memo[key]; seen {
+				s.memoHit(eager)
+				return false
+			}
 		}
 		s.stats.MemoMisses++
 		if s.tr != nil {
@@ -380,26 +526,43 @@ func (s *searcher) dfs() bool {
 		}
 	}
 
-	cands := s.candidates()
-	s.stats.Branches += len(cands)
-	for _, h := range cands {
-		undo := s.apply(h)
+	base, end := s.appendCandidates()
+	s.stats.Branches += end - base
+	for i := base; i < end; i++ {
+		h := s.candBuf[i]
+		prevCur, prevBound := s.apply(h)
 		if s.dfs() {
 			return true
 		}
-		undo()
+		s.undo(h, prevCur, prevBound)
 		if s.abort != nil {
+			s.candBuf = s.candBuf[:base]
 			s.undoEagerReads(eager)
 			return false
 		}
 	}
+	s.candBuf = s.candBuf[:base]
 
 	if s.tr != nil {
 		s.tr.Backtrack(s.sp, len(s.schedule))
 	}
 	if s.opts.Memoize() {
-		s.memo[key] = struct{}{}
+		if s.packed != nil {
+			s.packed.add(pkey)
+		} else {
+			s.memo[key] = struct{}{}
+		}
 	}
 	s.undoEagerReads(eager)
 	return false
+}
+
+// memoHit records a memo-table prune and unwinds the frame's eager
+// reads.
+func (s *searcher) memoHit(eager int) {
+	s.stats.MemoHits++
+	if s.tr != nil {
+		s.tr.MemoHit(s.sp, len(s.schedule))
+	}
+	s.undoEagerReads(eager)
 }

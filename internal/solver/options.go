@@ -52,6 +52,13 @@ type Options struct {
 	// affect completeness, only how fast a certificate or refutation is
 	// found).
 	DisableWriteGuidance bool
+	// DisablePackedMemo forces the varint-string memo table even when the
+	// instance fits the packed uint64 state layout (ablation and
+	// cross-check knob: the two memo representations must explore
+	// identical state counts and return identical verdicts). The packed
+	// path is the fast default; this knob exists for oracle tests and
+	// for measuring what the packing buys.
+	DisablePackedMemo bool
 	// CheckpointSink, when non-nil, receives search-state snapshots so an
 	// interrupted solve can later resume: periodically (every
 	// CheckpointEvery states, piggybacked on the existing every-64-states
@@ -114,6 +121,9 @@ func WithoutEagerReads() Option { return func(o *Options) { o.DisableEagerReads 
 // WithoutWriteGuidance disables the write-guidance branching heuristic.
 func WithoutWriteGuidance() Option { return func(o *Options) { o.DisableWriteGuidance = true } }
 
+// WithoutPackedMemo forces the string-key memo table (cross-check knob).
+func WithoutPackedMemo() Option { return func(o *Options) { o.DisablePackedMemo = true } }
+
 // Limit returns the state bound (0 = unlimited). Nil-safe.
 func (o *Options) Limit() int {
 	if o == nil {
@@ -139,6 +149,10 @@ func (o *Options) EagerReads() bool { return o == nil || !o.DisableEagerReads }
 
 // WriteGuidance reports whether write guidance is on. Nil-safe.
 func (o *Options) WriteGuidance() bool { return o == nil || !o.DisableWriteGuidance }
+
+// PackedMemo reports whether the packed uint64 memo representation may
+// be used when the instance fits its layout. Nil-safe.
+func (o *Options) PackedMemo() bool { return o == nil || !o.DisablePackedMemo }
 
 // Sink returns the checkpoint sink (nil when checkpointing is off).
 // Nil-safe.
