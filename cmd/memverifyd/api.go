@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"memverify/internal/solver"
+)
+
+// maxBodyBytes bounds a request body; a trace bigger than this is
+// rejected before parsing rather than buffered.
+const maxBodyBytes = 32 << 20
+
+// VerifyRequest is the body of POST /v1/verify. Two encodings are
+// accepted: an application/json envelope of this shape, or a raw trace
+// text body (any other content type) with the remaining fields supplied
+// as URL query parameters of the same names.
+type VerifyRequest struct {
+	// Trace is the execution in the trace text format (see README).
+	Trace string `json:"trace"`
+	// Model picks the consistency model: sc, tso, pso, coherence
+	// (default), lrc or vscc.
+	Model string `json:"model,omitempty"`
+	// Strategy picks the decision-procedure family: auto (default),
+	// portfolio, resilient or exact.
+	Strategy string `json:"strategy,omitempty"`
+	// MaxStates bounds the states explored per solve (0 = server
+	// default; always clamped to the server's ceiling).
+	MaxStates int `json:"max_states,omitempty"`
+	// TimeoutMS bounds the wall-clock time per solve in milliseconds
+	// (0 = server default; clamped to the server's ceiling).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// UseOrder feeds the trace's order lines to the verifier: as a
+	// search constraint for model sc, as ladder hints for the resilient
+	// strategy.
+	UseOrder bool `json:"use_order,omitempty"`
+}
+
+// AddrResult is the per-address slice of a coherence verdict.
+type AddrResult struct {
+	Addr      string `json:"addr"`
+	Verdict   string `json:"verdict"` // coherent | incoherent | unknown
+	Algorithm string `json:"algorithm,omitempty"`
+	States    int    `json:"states"`
+}
+
+// StatsJSON summarizes solver work in the response.
+type StatsJSON struct {
+	States     int     `json:"states"`
+	MemoHits   int     `json:"memo_hits"`
+	Branches   int     `json:"branches"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// VerifyResponse is the body of a successful POST /v1/verify. Verdict
+// is "coherent"/"incoherent" for model coherence,
+// "consistent"/"inconsistent" for the whole-execution models, and
+// "undecided" when the budget ran out first (Reason says which bound
+// tripped; HTTP status is still 200 — exhaustion is an answer about the
+// budget, not a server failure).
+type VerifyResponse struct {
+	Verdict   string       `json:"verdict"`
+	Model     string       `json:"model"`
+	Strategy  string       `json:"strategy"`
+	Algorithm string       `json:"algorithm,omitempty"`
+	Violation string       `json:"violation,omitempty"`
+	Reason    string       `json:"reason,omitempty"`
+	Addrs     []AddrResult `json:"addrs,omitempty"`
+	Stats     StatsJSON    `json:"stats"`
+	Cached    bool         `json:"cached"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// statsJSON converts solver stats to the wire shape.
+func statsJSON(s solver.Stats) StatsJSON {
+	return StatsJSON{
+		States:     s.States,
+		MemoHits:   s.MemoHits,
+		Branches:   s.Branches,
+		DurationMS: float64(s.Duration) / float64(time.Millisecond),
+	}
+}
+
+// readVerifyRequest decodes the two request encodings.
+func readVerifyRequest(r *http.Request) (*VerifyRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var req VerifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("decoding request: %w", err)
+		}
+		return &req, nil
+	}
+	q := r.URL.Query()
+	req := &VerifyRequest{
+		Trace:    string(body),
+		Model:    q.Get("model"),
+		Strategy: q.Get("strategy"),
+	}
+	if v := q.Get("max_states"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad max_states %q", v)
+		}
+		req.MaxStates = n
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad timeout_ms %q", v)
+		}
+		req.TimeoutMS = n
+	}
+	if v := q.Get("use_order"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad use_order %q", v)
+		}
+		req.UseOrder = b
+	}
+	return req, nil
+}
+
+// cacheKey builds the result-cache key: the execution fingerprint plus
+// every request knob that can change the verdict. Worker count is
+// deliberately absent — parallelism never changes answers.
+func cacheKey(fp string, req *VerifyRequest, maxStates int, timeout time.Duration) string {
+	var b strings.Builder
+	b.WriteString(fp)
+	fmt.Fprintf(&b, "|m=%s|s=%s|n=%d|t=%d|o=%t",
+		strings.ToLower(req.Model), strings.ToLower(req.Strategy), maxStates, timeout, req.UseOrder)
+	return b.String()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

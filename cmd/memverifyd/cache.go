@@ -1,0 +1,70 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU of decided verification responses
+// keyed by cacheKey (execution fingerprint + verdict-relevant knobs).
+// Only decided verdicts are stored: an undecided answer depends on the
+// budget that produced it and is cheap to re-earn relative to the
+// confusion a stale one causes. Stored responses are treated as
+// immutable; get returns a copy so handlers can stamp per-request
+// fields (Cached, ElapsedMS) without racing other readers.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp VerifyResponse
+}
+
+// newResultCache builds a cache holding up to max entries; max <= 0
+// disables caching (every get misses, put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (VerifyResponse, bool) {
+	if c.max <= 0 {
+		return VerifyResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return VerifyResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *resultCache) put(key string, resp VerifyResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"memverify/internal/trace"
+	"memverify/internal/workload"
+)
+
+// loadgenConfig parameterizes the built-in load generator.
+type loadgenConfig struct {
+	requests int
+	conc     int
+	out      string
+	seed     int64
+}
+
+// loadgenPoolSize is the number of distinct traces the workload cycles
+// through. Requests sample the pool uniformly, so with requests >>
+// poolSize most arrivals repeat an earlier trace — exercising the
+// fingerprint cache the way a CI fleet re-verifying the same regression
+// traces would.
+const loadgenPoolSize = 24
+
+// benchReport is the BENCH_PR6.json schema.
+type benchReport struct {
+	Schema    string `json:"schema"` // "memverifyd-loadgen/v1"
+	Timestamp string `json:"timestamp"`
+	Config    struct {
+		Requests int   `json:"requests"`
+		Conc     int   `json:"concurrency"`
+		Workers  int   `json:"workers"`
+		Pool     int   `json:"trace_pool"`
+		Seed     int64 `json:"seed"`
+	} `json:"config"`
+	Requests   int     `json:"completed"`
+	Errors     int     `json:"errors"`
+	Rejected   int     `json:"rejected"`
+	DurationMS float64 `json:"duration_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	Latency    struct {
+		P50 float64 `json:"p50_ms"`
+		P90 float64 `json:"p90_ms"`
+		P99 float64 `json:"p99_ms"`
+		Max float64 `json:"max_ms"`
+	} `json:"latency"`
+	Cache struct {
+		Hits    int     `json:"hits"`
+		Misses  int     `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+	Verdicts map[string]int `json:"verdicts"`
+}
+
+// loadgenTrace is one pool entry: serialized trace text plus the model
+// it is sent against.
+type loadgenTrace struct {
+	text  string
+	model string
+}
+
+// buildPool generates the workload: mostly multi-address coherent
+// traces (verified per address, sharded), a third mutated with an
+// injected violation, and a sprinkle of whole-execution SC requests.
+func buildPool(seed int64) []loadgenTrace {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := workload.ViolationKinds()
+	pool := make([]loadgenTrace, 0, loadgenPoolSize)
+	for i := 0; i < loadgenPoolSize; i++ {
+		exec, _ := workload.GenerateCoherent(rng, workload.GenConfig{
+			Processors: 3 + rng.Intn(2),
+			OpsPerProc: 12 + rng.Intn(12),
+			Addresses:  3 + rng.Intn(3),
+			Values:     4,
+		})
+		if i%3 == 1 {
+			if mut, err := workload.Inject(rng, exec, kinds[rng.Intn(len(kinds))]); err == nil {
+				exec = mut
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, trace.New(exec)); err != nil {
+			continue
+		}
+		model := "coherence"
+		if i%6 == 5 {
+			model = "sc"
+		}
+		pool = append(pool, loadgenTrace{text: buf.String(), model: model})
+	}
+	return pool
+}
+
+// runLoadgen boots an in-process server on a loopback socket, drives
+// cfg.requests against it over real HTTP from cfg.conc clients, and
+// writes the benchReport to cfg.out.
+func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
+	srv := newServer(scfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	pool := buildPool(cfg.seed)
+	if len(pool) == 0 {
+		return fmt.Errorf("loadgen: empty trace pool")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	type sample struct {
+		latency time.Duration
+		verdict string
+		status  int
+		err     bool
+	}
+	samples := make([]sample, cfg.requests)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(cfg.requests) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.conc; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				tc := pool[rng.Intn(len(pool))]
+				t0 := time.Now()
+				resp, err := client.Post(
+					base+"/v1/verify?model="+tc.model,
+					"text/plain", strings.NewReader(tc.text))
+				if err != nil {
+					samples[i] = sample{err: true}
+					continue
+				}
+				var vr VerifyResponse
+				derr := json.NewDecoder(resp.Body).Decode(&vr)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				s := sample{latency: time.Since(t0), status: resp.StatusCode}
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+				case resp.StatusCode != http.StatusOK || derr != nil:
+					s.err = true
+				default:
+					s.verdict = vr.Verdict
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &benchReport{Schema: "memverifyd-loadgen/v1", Timestamp: start.UTC().Format(time.RFC3339)}
+	rep.Config.Requests = cfg.requests
+	rep.Config.Conc = cfg.conc
+	rep.Config.Workers = scfg.withDefaults().workers
+	rep.Config.Pool = len(pool)
+	rep.Config.Seed = cfg.seed
+	rep.Verdicts = map[string]int{}
+	var lats []float64
+	for _, s := range samples {
+		switch {
+		case s.err:
+			rep.Errors++
+		case s.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Requests++
+			rep.Verdicts[s.verdict]++
+			lats = append(lats, float64(s.latency)/float64(time.Millisecond))
+		}
+	}
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	rep.Latency.P50 = pct(0.50)
+	rep.Latency.P90 = pct(0.90)
+	rep.Latency.P99 = pct(0.99)
+	if len(lats) > 0 {
+		rep.Latency.Max = lats[len(lats)-1]
+	}
+	rep.DurationMS = float64(elapsed) / float64(time.Millisecond)
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	rep.Cache.Hits = int(srv.stats.CacheHits.Load())
+	rep.Cache.Misses = int(srv.stats.CacheMisses.Load())
+	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(cfg.out, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d ok, %d rejected, %d errors in %.1fms — %.0f req/s, p50 %.2fms p99 %.2fms, cache hit-rate %.2f\n",
+		rep.Requests, rep.Rejected, rep.Errors, rep.DurationMS, rep.Throughput,
+		rep.Latency.P50, rep.Latency.P99, rep.Cache.HitRate)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command memverifyd is the long-running verification service: POST a
+// trace, get a verdict. Per-address VMC work is sharded across a
+// bounded worker fleet (largest projection first), admission is bounded
+// with backpressure (429 + Retry-After), decided verdicts are cached by
+// execution fingerprint, and the standard obs debug endpoint (expvar +
+// pprof) is mounted under /debug/.
+//
+// Endpoints:
+//
+//	POST /v1/verify   verify a trace (JSON envelope or raw trace text)
+//	GET  /v1/healthz  liveness
+//	GET  /v1/stats    service counters
+//	GET  /debug/vars  expvar (solver metrics included)
+//	GET  /debug/pprof pprof profiles
+//
+// With -loadgen the binary instead boots an in-process server, drives a
+// randomized workload against it over real HTTP, and writes a
+// throughput/latency/cache report (BENCH_PR6.json schema
+// "memverifyd-loadgen/v1") to -loadgen-out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8372", "listen address")
+		workers     = flag.Int("workers", runtime.NumCPU(), "verification worker fleet size")
+		maxInflight = flag.Int("max-inflight", 64, "admitted requests before backpressure (429)")
+		queueDepth  = flag.Int("queue", 256, "shard queue capacity")
+		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 disables)")
+		maxStates   = flag.Int("max-states", 0, "default per-solve state budget (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "default per-solve timeout (0 = none)")
+		capStates   = flag.Int("cap-states", 0, "ceiling clamped onto request state budgets (0 = none)")
+		capTimeout  = flag.Duration("cap-timeout", 0, "ceiling clamped onto request timeouts (0 = none)")
+
+		loadgen     = flag.Bool("loadgen", false, "run the load generator against an in-process server and exit")
+		loadgenN    = flag.Int("loadgen-requests", 400, "loadgen: total requests")
+		loadgenConc = flag.Int("loadgen-conc", 8, "loadgen: concurrent clients")
+		loadgenOut  = flag.String("loadgen-out", "BENCH_PR6.json", "loadgen: report path")
+		loadgenSeed = flag.Int64("loadgen-seed", 1, "loadgen: workload seed")
+	)
+	flag.Parse()
+
+	cfg := serverConfig{
+		workers:          *workers,
+		maxInflight:      *maxInflight,
+		queueDepth:       *queueDepth,
+		cacheSize:        *cacheSize,
+		maxStatesDefault: *maxStates,
+		timeoutDefault:   *timeout,
+		maxStatesCap:     *capStates,
+		timeoutCap:       *capTimeout,
+	}
+
+	if *loadgen {
+		// Loadgen keeps admission wide open relative to its own
+		// concurrency: the report measures verification throughput, not
+		// self-inflicted backpressure.
+		if cfg.maxInflight < 2**loadgenConc {
+			cfg.maxInflight = 2 * *loadgenConc
+		}
+		if err := runLoadgen(cfg, loadgenConfig{
+			requests: *loadgenN,
+			conc:     *loadgenConc,
+			out:      *loadgenOut,
+			seed:     *loadgenSeed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "memverifyd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := newServer(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memverifyd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memverifyd listening on http://%s (workers=%d inflight=%d queue=%d cache=%d)\n",
+		ln.Addr(), cfg.withDefaults().workers, cfg.withDefaults().maxInflight, cfg.queueDepth, cfg.cacheSize)
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := httpSrv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "memverifyd:", err)
+		os.Exit(1)
+	}
+}

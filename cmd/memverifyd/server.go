@@ -1,0 +1,420 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memverify/internal/coherence"
+	"memverify/internal/consistency"
+	"memverify/internal/memory"
+	"memverify/internal/obs"
+	"memverify/internal/solver"
+	"memverify/internal/trace"
+)
+
+// serverConfig is the operator-facing tuning surface of memverifyd.
+type serverConfig struct {
+	// workers is the size of the verification worker fleet — the only
+	// goroutines that run solver searches.
+	workers int
+	// maxInflight bounds admitted requests; the admission semaphore is
+	// the ingest queue, and an arrival beyond the bound is answered 429
+	// + Retry-After instead of buffered.
+	maxInflight int
+	// queueDepth bounds the shard queue between handlers and the fleet.
+	queueDepth int
+	// cacheSize bounds the result cache (entries).
+	cacheSize int
+	// maxStatesCap / timeoutCap are server-side ceilings clamped onto
+	// every request's budget (0 = no ceiling); maxStatesDefault /
+	// timeoutDefault apply when a request names no budget.
+	maxStatesCap     int
+	timeoutCap       time.Duration
+	maxStatesDefault int
+	timeoutDefault   time.Duration
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.workers <= 0 {
+		c.workers = 4
+	}
+	if c.maxInflight <= 0 {
+		c.maxInflight = 64
+	}
+	if c.queueDepth <= 0 {
+		c.queueDepth = 256
+	}
+	if c.cacheSize == 0 {
+		c.cacheSize = 1024
+	}
+	return c
+}
+
+// serverStats are the live counters behind GET /v1/stats.
+type serverStats struct {
+	Requests    atomic.Int64
+	Rejected    atomic.Int64
+	ParseErrors atomic.Int64
+	Cancelled   atomic.Int64
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	Decided     atomic.Int64
+	Violations  atomic.Int64
+	Undecided   atomic.Int64
+}
+
+// Server is the memverifyd verification service: a bounded worker fleet
+// draining a shard queue, an admission semaphore providing backpressure,
+// a fingerprint-keyed result cache, and the obs debug endpoint as the
+// ops surface.
+type Server struct {
+	cfg      serverConfig
+	queue    chan func()
+	inflight chan struct{}
+	cache    *resultCache
+	stats    serverStats
+	metrics  *obs.Metrics
+	mux      *http.ServeMux
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newServer builds the service and starts its worker fleet.
+func newServer(cfg serverConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan func(), cfg.queueDepth),
+		inflight: make(chan struct{}, cfg.maxInflight),
+		cache:    newResultCache(cfg.cacheSize),
+		metrics:  obs.NewMetrics(),
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/debug/", obs.DebugHandler(s.metrics))
+	for i := 0; i < cfg.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case fn := <-s.queue:
+					fn()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops the worker fleet (idempotent is not needed; call once).
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// enqueue hands one shard to the fleet, giving up when the request is
+// gone. Handlers block here when the queue is full — which is safe and
+// bounded: only admitted requests reach this point and workers never
+// enqueue, so there is no cycle to deadlock.
+func (s *Server) enqueue(ctx context.Context, fn func()) error {
+	select {
+	case s.queue <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.stop:
+		return errors.New("server shutting down")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.cfg.workers})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":     s.stats.Requests.Load(),
+		"rejected":     s.stats.Rejected.Load(),
+		"parse_errors": s.stats.ParseErrors.Load(),
+		"cancelled":    s.stats.Cancelled.Load(),
+		"cache_hits":   s.stats.CacheHits.Load(),
+		"cache_misses": s.stats.CacheMisses.Load(),
+		"cache_len":    s.cache.len(),
+		"decided":      s.stats.Decided.Load(),
+		"violations":   s.stats.Violations.Load(),
+		"undecided":    s.stats.Undecided.Load(),
+		"queue_depth":  len(s.queue),
+		"inflight":     len(s.inflight),
+	})
+}
+
+// handleVerify is POST /v1/verify.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.stats.Requests.Add(1)
+	// Admission: the semaphore is the bounded ingest queue. A full
+	// server answers immediately with backpressure instead of buffering
+	// unbounded work.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.stats.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.maxInflight)
+		return
+	}
+	defer func() { <-s.inflight }()
+
+	req, err := readVerifyRequest(r)
+	if err != nil {
+		s.stats.ParseErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	resp, status, err := s.verify(r.Context(), req)
+	if r.Context().Err() != nil {
+		// Client went away; the searches were cancelled through the
+		// context (a cancelled search reports as an undecided budget
+		// trip, so check the context before interpreting the outcome).
+		// Nothing to write.
+		s.stats.Cancelled.Add(1)
+		return
+	}
+	if err != nil {
+		s.stats.ParseErrors.Add(1)
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	switch resp.Verdict {
+	case "undecided":
+		s.stats.Undecided.Add(1)
+	case "incoherent", "inconsistent":
+		s.stats.Decided.Add(1)
+		s.stats.Violations.Add(1)
+	default:
+		s.stats.Decided.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// budgetFor clamps the request budget to the server ceilings.
+func (s *Server) budgetFor(req *VerifyRequest) (int, time.Duration) {
+	maxStates := req.MaxStates
+	if maxStates == 0 {
+		maxStates = s.cfg.maxStatesDefault
+	}
+	if cap := s.cfg.maxStatesCap; cap > 0 && (maxStates == 0 || maxStates > cap) {
+		maxStates = cap
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout == 0 {
+		timeout = s.cfg.timeoutDefault
+	}
+	if cap := s.cfg.timeoutCap; cap > 0 && (timeout == 0 || timeout > cap) {
+		timeout = cap
+	}
+	return maxStates, timeout
+}
+
+// verify parses, consults the cache, runs the verification on the
+// fleet, and caches decided answers. The returned int is the HTTP
+// status for a non-nil error.
+func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, int, error) {
+	model, err := consistency.ParseModel(orDefault(req.Model, "coherence"))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	strategy, err := solver.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	tr, err := trace.Read(strings.NewReader(req.Trace))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if err := tr.Exec.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	maxStates, timeout := s.budgetFor(req)
+	key := cacheKey(coherence.ExecutionFingerprint(tr.Exec), req, maxStates, timeout)
+	if resp, ok := s.cache.get(key); ok {
+		s.stats.CacheHits.Add(1)
+		resp.Cached = true
+		return &resp, 0, nil
+	}
+	s.stats.CacheMisses.Add(1)
+
+	cfgOpts := []solver.ConfigOption{
+		solver.WithStrategy(strategy),
+		solver.WithBudget(solver.WithMaxStates(maxStates), solver.WithTimeout(timeout)),
+	}
+	if req.UseOrder {
+		cfgOpts = append(cfgOpts, solver.WithWriteOrders(tr.WriteOrders))
+	}
+	ctx = obs.With(ctx, &obs.Observer{Metrics: s.metrics})
+
+	var resp *VerifyResponse
+	if model == consistency.CoherenceOnly {
+		resp, err = s.verifyCoherenceSharded(ctx, tr, cfgOpts)
+	} else {
+		resp, err = s.verifyConsistency(ctx, model, tr, cfgOpts)
+	}
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	resp.Model = model.String()
+	resp.Strategy = strategy.String()
+	if resp.Verdict != "undecided" {
+		s.cache.put(key, *resp)
+	}
+	return resp, 0, nil
+}
+
+// verifyCoherenceSharded fans the per-address VMC checks of one request
+// out over the shared worker fleet, largest projection first (the LPT
+// order parallel verification uses), so one hot request cannot
+// monopolize the fleet against concurrent small ones.
+func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cfgOpts []solver.ConfigOption) (*VerifyResponse, error) {
+	v := coherence.NewVerifier(cfgOpts...)
+	addrs := coherence.AddressesByHardness(tr.Exec)
+	reports := make([]*coherence.AddrReport, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, a := range addrs {
+		i, a := i, a
+		wg.Add(1)
+		if err := s.enqueue(ctx, func() {
+			defer wg.Done()
+			reports[i], errs[i] = v.SolveAddr(ctx, tr.Exec, a)
+		}); err != nil {
+			wg.Done()
+			// The request is gone; shards already queued notice the
+			// cancelled context and return quickly.
+			errs[i] = err
+			break
+		}
+	}
+	wg.Wait()
+
+	resp := &VerifyResponse{Verdict: "coherent"}
+	var agg solver.Stats
+	var budget *solver.ErrBudgetExceeded
+	for _, a := range tr.Exec.Addresses() { // report in address order
+		i := indexOf(addrs, a)
+		if errs[i] != nil {
+			be, ok := solver.AsBudgetError(errs[i])
+			if !ok {
+				return nil, errs[i]
+			}
+			if budget == nil {
+				budget = be
+			}
+			agg.Merge(be.Stats)
+			resp.Addrs = append(resp.Addrs, AddrResult{Addr: tr.Name(a), Verdict: "unknown"})
+			continue
+		}
+		ar := reports[i]
+		if ar == nil {
+			continue
+		}
+		agg.Merge(ar.Stats)
+		out := AddrResult{Addr: tr.Name(a), Verdict: "unknown", States: ar.Stats.States}
+		if ar.Result != nil {
+			out.Algorithm = ar.Result.Algorithm
+		}
+		switch ar.Verdict {
+		case coherence.VerdictCoherent:
+			out.Verdict = "coherent"
+		case coherence.VerdictIncoherent:
+			out.Verdict = "incoherent"
+			if resp.Violation == "" {
+				resp.Violation = tr.Name(a)
+			}
+			resp.Verdict = "incoherent"
+		default:
+			if resp.Verdict == "coherent" {
+				resp.Verdict = "undecided"
+				resp.Reason = "resilient ladder exhausted"
+			}
+		}
+		resp.Addrs = append(resp.Addrs, out)
+	}
+	if budget != nil && resp.Verdict == "coherent" {
+		resp.Verdict = "undecided"
+		resp.Reason = budget.Reason.String()
+	}
+	resp.Stats = statsJSON(agg)
+	return resp, nil
+}
+
+// verifyConsistency runs a whole-execution model as a single fleet
+// task: the SC/VSCC searches and the operational machines are one
+// search over all addresses, so there is nothing to shard.
+func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model, tr *trace.Trace, cfgOpts []solver.ConfigOption) (*VerifyResponse, error) {
+	v := consistency.NewVerifier(model, cfgOpts...)
+	var (
+		res *consistency.Result
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	if qerr := s.enqueue(ctx, func() {
+		defer wg.Done()
+		res, err = v.Verify(ctx, tr.Exec)
+	}); qerr != nil {
+		wg.Done()
+		return nil, qerr
+	}
+	wg.Wait()
+	if err != nil {
+		if be, ok := solver.AsBudgetError(err); ok {
+			return &VerifyResponse{
+				Verdict: "undecided",
+				Reason:  be.Reason.String(),
+				Stats:   statsJSON(be.Stats),
+			}, nil
+		}
+		return nil, err
+	}
+	resp := &VerifyResponse{Verdict: "consistent", Algorithm: res.Algorithm, Stats: statsJSON(res.Stats)}
+	if !res.Consistent {
+		resp.Verdict = "inconsistent"
+	}
+	return resp, nil
+}
+
+func indexOf(addrs []memory.Addr, a memory.Addr) int {
+	for i, x := range addrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"memverify/internal/reduction"
+	"memverify/internal/sat"
+	"memverify/internal/trace"
+)
+
+const coherentTrace = `init x 0
+P0: W x 1
+P0: W x 2
+P1: R x 1
+P1: R x 2
+`
+
+const incoherentTrace = `init x 0
+P0: W x 1
+P1: R x 9
+`
+
+// newTestServer boots a service and its HTTP front end for one test.
+func newTestServer(t *testing.T, cfg serverConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// postTrace sends a raw-text verify request and decodes the response.
+func postTrace(t *testing.T, ts *httptest.Server, query, body string) (*http.Response, *VerifyResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/verify"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr VerifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, &vr
+}
+
+func TestVerifyCoherent(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	resp, vr := postTrace(t, ts, "", coherentTrace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if vr.Verdict != "coherent" || vr.Model != "Coherence" || vr.Cached {
+		t.Errorf("unexpected response: %+v", vr)
+	}
+	if len(vr.Addrs) != 1 || vr.Addrs[0].Addr != "x" || vr.Addrs[0].Verdict != "coherent" {
+		t.Errorf("per-address slice wrong: %+v", vr.Addrs)
+	}
+}
+
+func TestVerifyIncoherent(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	resp, vr := postTrace(t, ts, "", incoherentTrace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if vr.Verdict != "incoherent" || vr.Violation != "x" {
+		t.Errorf("unexpected response: %+v", vr)
+	}
+}
+
+func TestVerifyJSONEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	body, _ := json.Marshal(VerifyRequest{Trace: coherentTrace, Model: "sc", Strategy: "auto"})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || vr.Verdict != "consistent" || vr.Model != "SC" {
+		t.Errorf("status %d response %+v", resp.StatusCode, vr)
+	}
+}
+
+func TestVerifyBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	for name, tc := range map[string]struct{ query, body string }{
+		"garbage trace":    {"", "this is not a trace\n"},
+		"unknown model":    {"?model=weird", coherentTrace},
+		"unknown strategy": {"?strategy=weird", coherentTrace},
+		"bad max_states":   {"?max_states=banana", coherentTrace},
+	} {
+		resp, _ := postTrace(t, ts, tc.query, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", resp.StatusCode)
+	}
+}
+
+// TestBackpressure fills the admission semaphore and proves overload is
+// answered with 429 + Retry-After and nothing is buffered: queue depth
+// stays zero, so memory under overload is bounded by maxInflight.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1, maxInflight: 2, queueDepth: 4})
+	// Occupy every admission slot directly; requests arriving now are
+	// beyond capacity by construction.
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	resp, _ := postTrace(t, ts, "", coherentTrace)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After header")
+	}
+	if got := s.stats.Rejected.Load(); got != 1 {
+		t.Errorf("rejected counter %d, want 1", got)
+	}
+	if len(s.queue) != 0 {
+		t.Errorf("rejected request leaked %d entries into the shard queue", len(s.queue))
+	}
+	// Draining the semaphore restores service.
+	<-s.inflight
+	<-s.inflight
+	resp, vr := postTrace(t, ts, "", coherentTrace)
+	if resp.StatusCode != http.StatusOK || vr.Verdict != "coherent" {
+		t.Errorf("service did not recover: status %d %+v", resp.StatusCode, vr)
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 2})
+	_, first := postTrace(t, ts, "", coherentTrace)
+	resp, second := postTrace(t, ts, "", coherentTrace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags: first=%v second=%v", first.Cached, second.Cached)
+	}
+	if second.Verdict != first.Verdict || len(second.Addrs) != len(first.Addrs) {
+		t.Errorf("cached response diverges: %+v vs %+v", second, first)
+	}
+	if h, m := s.stats.CacheHits.Load(), s.stats.CacheMisses.Load(); h != 1 || m != 1 {
+		t.Errorf("cache counters hits=%d misses=%d", h, m)
+	}
+	// A different budget is a different key.
+	_, third := postTrace(t, ts, "?max_states=100000", coherentTrace)
+	if third.Cached {
+		t.Error("budget change hit the old cache entry")
+	}
+}
+
+// hardTrace reduces an unsatisfiable formula to a single-address VMC
+// instance whose complete search runs for seconds — long enough that
+// budgets and cancellation strike mid-search.
+func hardTrace(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const m = 8
+	f := &sat.Formula{NumVars: m}
+	for bits := 0; bits < 8; bits++ {
+		c := sat.Clause{}
+		for k := 0; k < 3; k++ {
+			l := sat.Lit(k + 1)
+			if bits&(1<<k) != 0 {
+				l = l.Neg()
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	for j := 0; j < 2*m; j++ {
+		c := sat.Clause{}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			l := sat.Lit(1 + rng.Intn(m))
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	inst, err := reduction.SATToVMC(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, trace.New(inst.Exec)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestUndecidedOnBudget(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 2})
+	resp, vr := postTrace(t, ts, "?max_states=200", hardTrace(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if vr.Verdict != "undecided" || vr.Reason == "" {
+		t.Errorf("want undecided with reason, got %+v", vr)
+	}
+	// Undecided answers are not cached.
+	_, again := postTrace(t, ts, "?max_states=200", hardTrace(t))
+	if again.Cached {
+		t.Error("undecided verdict was cached")
+	}
+	if s.stats.Undecided.Load() != 2 {
+		t.Errorf("undecided counter %d", s.stats.Undecided.Load())
+	}
+}
+
+// TestCancellationMidRequest proves a client disconnect propagates as
+// context cancellation into the running search: the handler returns
+// long before the multi-second search could finish, and the server
+// counts the cancellation.
+func TestCancellationMidRequest(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 2})
+	body := hardTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/verify", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded despite cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	// The handler finishes asynchronously after the client is gone; the
+	// cancelled counter confirms the search aborted via the context.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.stats.Cancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	postTrace(t, ts, "", coherentTrace)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["requests"].(float64) < 1 || stats["decided"].(float64) < 1 {
+		t.Errorf("stats did not count the request: %v", stats)
+	}
+	// The obs debug surface is mounted.
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestLoadgenSmoke runs the load generator end to end on a small
+// workload and validates the report it writes.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := runLoadgen(
+		serverConfig{workers: 4, maxInflight: 32},
+		loadgenConfig{requests: 60, conc: 4, out: out, seed: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "memverifyd-loadgen/v1" {
+		t.Errorf("schema %q", rep.Schema)
+	}
+	if rep.Requests+rep.Errors+rep.Rejected != 60 {
+		t.Errorf("sample accounting: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("loadgen saw %d errors", rep.Errors)
+	}
+	if rep.Throughput <= 0 || rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Errorf("implausible latency/throughput: %+v", rep)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Errorf("no cache hits on a repeating workload: %+v", rep.Cache)
+	}
+	if rep.Verdicts["coherent"] == 0 || rep.Verdicts["incoherent"] == 0 {
+		t.Errorf("verdict mix missing a class: %v", rep.Verdicts)
+	}
+}
+
+func ExampleVerifyResponse() {
+	// Shape of a verdict as clients see it.
+	resp := VerifyResponse{Verdict: "coherent", Model: "Coherence", Strategy: "auto"}
+	b, _ := json.Marshal(resp)
+	fmt.Println(string(b))
+	// Output: {"verdict":"coherent","model":"Coherence","strategy":"auto","stats":{"states":0,"memo_hits":0,"branches":0,"duration_ms":0},"cached":false,"elapsed_ms":0}
+}

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	vmcheck [-model coherence|sc|tso|pso|lrc] [-use-order] [-portfolio]
+//	vmcheck [-model coherence|sc|tso|pso|lrc|vscc] [-use-order]
+//	        [-strategy auto|portfolio|resilient|exact] [-portfolio]
 //	        [-max-states N] [-timeout D] [-stats] [-cert] [-diagnose]
 //	        [-explain] [-trace FILE] [-progress] [-progress-interval D]
 //	        [-debug-addr HOST:PORT] [-online] [-resilient]
@@ -17,10 +18,14 @@
 //
 // With -use-order, per-address "order" lines in the trace are used to
 // run the polynomial write-order algorithms of §5.2 for coherence.
-// With -portfolio, every applicable coherence algorithm races on a
-// shared worker pool and the first verdict wins. -max-states and
-// -timeout bound the search; a blown budget reports UNDECIDED. -stats
-// prints the solver's per-solve search statistics.
+// -strategy picks the decision-procedure family with the same
+// vocabulary the memverifyd service and the Verifier facades use;
+// -portfolio and -resilient are shorthands for -strategy portfolio and
+// -strategy resilient. With the portfolio strategy, every applicable
+// coherence algorithm races on a shared worker pool and the first
+// verdict wins. -max-states and -timeout bound the search; a blown
+// budget reports UNDECIDED. -stats prints the solver's per-solve search
+// statistics.
 //
 // Robustness (see the README "Robustness" section): -checkpoint FILE
 // makes the coherence check write a versioned, checksummed checkpoint
@@ -69,9 +74,10 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vmcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	model := fs.String("model", "coherence", "model to verify: coherence, sc, tso, pso or lrc")
+	model := fs.String("model", "coherence", "model to verify: coherence, sc, tso, pso, lrc or vscc")
 	useOrder := fs.Bool("use-order", false, "use the trace's per-address write orders (polynomial algorithms of §5.2)")
-	portfolio := fs.Bool("portfolio", false, "race all applicable coherence algorithms on a worker pool; first verdict wins")
+	strategy := fs.String("strategy", "auto", "decision strategy: auto, portfolio, resilient or exact (same vocabulary as memverifyd)")
+	portfolio := fs.Bool("portfolio", false, "shorthand for -strategy portfolio")
 	maxStates := fs.Int("max-states", 0, "abort search after N states (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole check, e.g. 500ms (0 = none)")
 	showStats := fs.Bool("stats", false, "print per-solve search statistics")
@@ -83,27 +89,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "report live solver progress (states/sec, depth, memo hit-rate) to stderr")
 	progressEvery := fs.Duration("progress-interval", 0, "sampling interval for -progress (default 2s)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof debug endpoints on this address, e.g. localhost:6060")
-	resilient := fs.Bool("resilient", false, "degrade gracefully on budget exhaustion: try the §5 restricted algorithms, then sound necessary conditions, reporting UNKNOWN instead of UNDECIDED (coherence model only)")
+	resilient := fs.Bool("resilient", false, "shorthand for -strategy resilient: degrade gracefully on budget exhaustion, reporting UNKNOWN instead of UNDECIDED (coherence model only)")
 	ckPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the budget trips or on SIGINT/SIGTERM (coherence model only)")
 	resumePath := fs.String("resume", "", "resume from a checkpoint written by -checkpoint (coherence model only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *ckPath != "" || *resumePath != "" || *resilient {
+	strat, err := solver.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintf(stderr, "vmcheck: %v\n", err)
+		return 2
+	}
+	if *portfolio {
+		strat = solver.StrategyPortfolio
+	}
+	if *resilient {
+		strat = solver.StrategyResilient
+	}
+	useResilient := strat == solver.StrategyResilient
+	usePortfolio := strat == solver.StrategyPortfolio
+	if *ckPath != "" || *resumePath != "" || useResilient {
 		if *model != "coherence" || *online {
-			fmt.Fprintln(stderr, "vmcheck: -checkpoint, -resume and -resilient require -model coherence (and not -online)")
+			fmt.Fprintln(stderr, "vmcheck: -checkpoint, -resume and the resilient strategy require -model coherence (and not -online)")
 			return 2
 		}
-		if *useOrder && !*resilient {
+		if *useOrder && !useResilient {
 			fmt.Fprintln(stderr, "vmcheck: -checkpoint/-resume do not apply to the -use-order polynomial algorithms")
 			return 2
 		}
-		if *useOrder && *resilient {
-			fmt.Fprintln(stderr, "vmcheck: -resilient uses the trace's write orders as ladder hints automatically; drop -use-order")
+		if *useOrder && useResilient {
+			fmt.Fprintln(stderr, "vmcheck: the resilient strategy uses the trace's write orders as ladder hints automatically; drop -use-order")
 			return 2
 		}
-		if *portfolio && (*ckPath != "" || *resumePath != "") {
-			fmt.Fprintln(stderr, "vmcheck: -checkpoint/-resume need the sequential search, not -portfolio")
+		if usePortfolio && (*ckPath != "" || *resumePath != "") {
+			fmt.Fprintln(stderr, "vmcheck: -checkpoint/-resume need the sequential search, not the portfolio strategy")
 			return 2
 		}
 	}
@@ -142,7 +161,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stop()
 	}
-	opts := solver.New(solver.WithMaxStates(*maxStates))
+	// One unified configuration: the strategy and budget flags bind to
+	// the same solver.Config vocabulary the memverifyd HTTP parameters
+	// and Go facade callers use.
+	cfgOpts := []solver.ConfigOption{
+		solver.WithStrategy(strat),
+		solver.WithBudget(solver.WithMaxStates(*maxStates)),
+	}
+	if useResilient {
+		// The trace's order lines become ladder hints.
+		cfgOpts = append(cfgOpts, solver.WithWriteOrders(tr.WriteOrders))
+	}
+	cfg := solver.NewConfig(cfgOpts...)
 
 	// Observability wiring: an event tracer feeds the JSONL writer
 	// and/or the -explain collector; a metrics set feeds the progress
@@ -203,32 +233,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case "coherence":
 		c := &coherenceCheck{
 			useOrder:   *useOrder,
-			portfolio:  *portfolio,
 			stats:      *showStats,
 			cert:       *cert,
 			diagnose:   *diagnose,
 			explain:    *explain,
-			resilient:  *resilient,
 			ckPath:     *ckPath,
 			resumePath: *resumePath,
 			collector:  collector,
-			opts:       opts,
+			cfg:        cfg,
 		}
 		return c.run(ctx, tr, stdout, stderr)
-	case "sc", "tso", "pso", "lrc":
-		m := map[string]consistency.Model{
-			"sc": consistency.SC, "tso": consistency.TSO,
-			"pso": consistency.PSO, "lrc": consistency.LRC,
-		}[*model]
-		var res *consistency.Result
-		var err error
+	case "sc", "tso", "pso", "lrc", "vscc":
+		m, merr := consistency.ParseModel(*model)
+		if merr != nil {
+			fmt.Fprintf(stderr, "vmcheck: %v\n", merr)
+			return 2
+		}
+		vOpts := []solver.ConfigOption{solver.WithConfig(cfg)}
 		if *useOrder && m == consistency.SC {
 			// §6.3: the write orders constrain (and usually prune) the
 			// SC search — but the question stays NP-Complete.
-			res, err = consistency.SolveVSCWithWriteOrders(ctx, tr.Exec, tr.WriteOrders, opts)
-		} else {
-			res, err = consistency.Verify(ctx, m, tr.Exec, opts)
+			vOpts = append(vOpts, solver.WithWriteOrders(tr.WriteOrders))
 		}
+		res, err := consistency.NewVerifier(m, vOpts...).Verify(ctx, tr.Exec)
 		if err != nil {
 			if be, ok := solver.AsBudgetError(err); ok {
 				reportUndecided(stdout, m.String(), be, *showStats)
@@ -280,28 +307,33 @@ func reportUndecided(w io.Writer, subject string, be *solver.ErrBudgetExceeded, 
 	}
 }
 
-// coherenceCheck bundles the per-address coherence verification flags.
+// coherenceCheck bundles the per-address coherence verification flags
+// around one unified solver.Config.
 type coherenceCheck struct {
 	useOrder   bool
-	portfolio  bool
 	stats      bool
 	cert       bool
 	diagnose   bool
 	explain    bool
-	resilient  bool
 	ckPath     string
 	resumePath string
 	collector  *obs.Collector
-	opts       *coherence.Options
+	cfg        *solver.Config
+}
+
+// resilient reports whether the config asks for the degradation ladder.
+func (c *coherenceCheck) resilient() bool { return c.cfg.Strategy == solver.StrategyResilient }
+
+// verifier builds the per-address facade, overriding the per-solve
+// options (the checkpointed loop derives a per-address variant carrying
+// the resume memo and snapshot sink).
+func (c *coherenceCheck) verifier(opts *coherence.Options) *coherence.Verifier {
+	return coherence.NewVerifier(solver.WithConfig(c.cfg), solver.WithOptions(opts))
 }
 
 func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stderr io.Writer) int {
 	addrs := tr.Exec.Addresses()
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	solve := coherence.SolveAuto
-	if c.portfolio {
-		solve = coherence.SolvePortfolio
-	}
 
 	var ckrun *coherence.CheckpointRun
 	if c.ckPath != "" || c.resumePath != "" {
@@ -346,19 +378,20 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 				continue
 			}
 		}
-		opts := c.opts
+		opts := c.cfg.Options
 		if ckrun != nil {
-			opts = ckrun.Configure(a, c.opts)
+			opts = ckrun.Configure(a, c.cfg.Options)
 		}
 
-		if c.resilient {
-			rr, err := coherence.SolveResilient(ctx, tr.Exec, a, tr.WriteOrders[a], opts)
+		if c.resilient() {
+			ar, err := c.verifier(opts).SolveAddr(ctx, tr.Exec, a)
 			if err != nil {
 				if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
 					return code
 				}
 				continue
 			}
+			rr := ar.Resilient()
 			reportResilient(stdout, tr.Name(a), rr, tr.Exec, c.stats, c.cert)
 			if rr.Verdict != coherence.VerdictCoherent {
 				bad++
@@ -374,9 +407,9 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 				fmt.Fprintf(stderr, "vmcheck: no write order recorded for %s\n", tr.Name(a))
 				return 2
 			}
-			res, err = coherence.SolveWithWriteOrder(ctx, tr.Exec, a, order, c.opts)
+			res, err = coherence.SolveWithWriteOrder(ctx, tr.Exec, a, order, c.cfg.Options)
 		} else {
-			res, err = solve(ctx, tr.Exec, a, opts)
+			res, err = c.verifier(opts).Solve(ctx, tr.Exec, a)
 		}
 		if err != nil {
 			if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
@@ -467,7 +500,7 @@ func reportResilient(w io.Writer, subject string, rr *coherence.ResilientResult,
 }
 
 func (c *coherenceCheck) printDiagnosis(ctx context.Context, tr *trace.Trace, a memory.Addr, stdout, stderr io.Writer) {
-	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.opts)
+	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.cfg.Options)
 	if err != nil {
 		fmt.Fprintf(stderr, "vmcheck: diagnosis of %s failed: %v\n", tr.Name(a), err)
 		return
@@ -496,7 +529,7 @@ func (c *coherenceCheck) printExplanation(ctx context.Context, tr *trace.Trace, 
 			fmt.Fprintf(stdout, "      backtracks by depth: %s\n", h)
 		}
 	}
-	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.opts)
+	d, err := coherence.Diagnose(ctx, tr.Exec, a, c.cfg.Options)
 	if err != nil {
 		fmt.Fprintf(stderr, "vmcheck: explanation of %s incomplete: %v\n", tr.Name(a), err)
 		return

@@ -14,6 +14,10 @@ import (
 )
 
 func main() {
+	// One Verifier handles everything; options (strategy, budget,
+	// workers) would go into NewVerifier, but the defaults are fine here.
+	v := coherence.NewVerifier()
+
 	// Two processors sharing one location. P0 writes 1 then 2; P1 reads
 	// 2 and then... let's start with a value P1 could legally observe.
 	const x = memory.Addr(0)
@@ -22,7 +26,7 @@ func main() {
 		memory.History{memory.R(x, 1), memory.R(x, 2)},
 	).SetInitial(x, 0)
 
-	res, err := coherence.SolveAuto(context.Background(), good, x, nil)
+	res, err := v.Solve(context.Background(), good, x)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,20 +41,22 @@ func main() {
 		memory.History{memory.R(x, 2), memory.R(x, 1)},
 	).SetInitial(x, 0)
 
-	res, err = coherence.SolveAuto(context.Background(), bad, x, nil)
+	res, err = v.Solve(context.Background(), bad, x)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("execution 2 coherent: %v\n", res.Coherent)
 
-	// Whole executions (many addresses) are verified address by address.
+	// Whole executions (many addresses) are verified address by address;
+	// Verify returns a per-address report.
 	multi := memory.NewExecution(
 		memory.History{memory.W(0, 1), memory.W(1, 5)},
 		memory.History{memory.R(0, 1), memory.R(1, 99)}, // address 1 is broken
 	).SetInitial(0, 0).SetInitial(1, 0)
-	ok, addr, err := coherence.Coherent(context.Background(), multi, nil)
+	rep, err := v.Verify(context.Background(), multi)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("execution 3 coherent: %v (first violation at address %d)\n", ok, addr)
+	addr, _ := rep.FirstViolation()
+	fmt.Printf("execution 3 coherent: %v (first violation at address %d)\n", rep.Coherent(), addr)
 }

@@ -1,7 +1,6 @@
 package coherence
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
@@ -244,36 +243,4 @@ func decodeMemo(enc []string) []string {
 		out = append(out, string(b))
 	}
 	return out
-}
-
-// VerifyExecutionCheckpoint is VerifyExecution with checkpoint support:
-// results already present in resume are replayed without solving, the
-// interrupted address's search is seeded from its saved memo table, and
-// on a budget abort the returned Checkpoint captures everything needed
-// to continue later. On success the checkpoint return is nil.
-func VerifyExecutionCheckpoint(ctx context.Context, exec *memory.Execution, opts *Options, resume *Checkpoint) (map[memory.Addr]*Result, *Checkpoint, error) {
-	if err := exec.Validate(); err != nil {
-		return nil, nil, err
-	}
-	run, err := ResumeCheckpointRun(exec, resume)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := make(map[memory.Addr]*Result)
-	for _, a := range exec.Addresses() {
-		if r, ok := run.Lookup(a); ok {
-			out[a] = r
-			continue
-		}
-		r, err := SolveAuto(ctx, exec, a, run.Configure(a, opts))
-		if err != nil {
-			if _, ok := solver.AsBudgetError(err); ok {
-				return out, run.Checkpoint(), err
-			}
-			return out, nil, err
-		}
-		run.Record(a, r)
-		out[a] = r
-	}
-	return out, nil, nil
 }

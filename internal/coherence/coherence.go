@@ -4,20 +4,30 @@
 // there a coherent schedule?
 //
 // VMC is NP-Complete in general (Theorem 4.2), so the package provides
+// one unified facade — Verifier, constructed with the functional
+// options of internal/solver — over
 //
-//   - a complete exponential search (Solve) that realizes the paper's
-//     O(n^k) bound for k process histories via memoization and an eager
-//     read-scheduling rule;
+//   - a complete exponential search (solver.StrategyExact) that
+//     realizes the paper's O(n^k) bound for k process histories via
+//     memoization and an eager read-scheduling rule;
 //   - the polynomial algorithms for every tractable row of the paper's
 //     complexity-summary table (Figure 5.3): write-order supplied (§5.2),
 //     read-map known (at most one write per value), one operation per
-//     process, and read-modify-write chains;
-//   - per-execution verification (VerifyExecution), which checks each
+//     process, and read-modify-write chains — dispatched automatically
+//     by solver.StrategyAuto;
+//   - per-execution verification (Verifier.Verify), which checks each
 //     address independently, per the paper's definition of a coherent
-//     multiprocessor execution;
-//   - a portfolio racer (SolvePortfolio) that runs every applicable
-//     algorithm concurrently on a shared bounded pool and keeps the
-//     first finisher.
+//     multiprocessor execution, optionally fanned out across workers
+//     (solver.WithWorkers) in largest-projection-first order;
+//   - a portfolio racer (solver.StrategyPortfolio) that stages the
+//     applicable algorithms on a shared bounded pool and keeps the
+//     first finisher;
+//   - a graceful-degradation ladder (solver.StrategyResilient) ending
+//     in an explicit Unknown verdict instead of an error.
+//
+// The pre-facade entry points (Solve, SolveAuto, SolvePortfolio,
+// SolveResilient, VerifyExecution and friends) remain as deprecated
+// one-line wrappers in deprecated.go.
 //
 // Every entry point takes a context.Context and honors the unified
 // resource budget of internal/solver: cancellation, the per-solve
@@ -218,14 +228,14 @@ func withAddr(e *solver.ErrBudgetExceeded, addr memory.Addr) *solver.ErrBudgetEx
 	return e
 }
 
-// Solve decides VMC for the operations of exec at address addr using the
-// general memoized search. It is complete: absent a budget it always
-// returns a decided result (at worst in exponential time — VMC is
-// NP-Complete). With k histories and n operations the memoized search
-// visits O(n^k · |D|) states, matching the constant-process polynomial
-// bound of Figure 5.3. A tripped budget (states, deadline, or
-// cancellation) yields a nil Result and a *solver.ErrBudgetExceeded.
-func Solve(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+// solveExact decides VMC for the operations of exec at address addr
+// using the general memoized search. It is complete: absent a budget it
+// always returns a decided result (at worst in exponential time — VMC
+// is NP-Complete). With k histories and n operations the memoized
+// search visits O(n^k · |D|) states, matching the constant-process
+// polynomial bound of Figure 5.3. A tripped budget (states, deadline,
+// or cancellation) yields a nil Result and a *solver.ErrBudgetExceeded.
+func solveExact(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,50 +251,7 @@ func Solve(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *
 	return r, nil
 }
 
-// VerifyExecution checks whether exec is a coherent execution: per the
-// paper, a coherent schedule must exist for each address independently.
-// It dispatches each address to the fastest applicable algorithm (see
-// SolveAuto) and returns the per-address results. The execution is
-// coherent iff every result is Coherent. When a per-address solve trips
-// its budget, the results completed so far are returned alongside the
-// *solver.ErrBudgetExceeded (whose Addr names the aborted address).
-func VerifyExecution(ctx context.Context, exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
-	if err := exec.Validate(); err != nil {
-		return nil, err
-	}
-	out := make(map[memory.Addr]*Result)
-	for _, a := range exec.Addresses() {
-		r, err := SolveAuto(ctx, exec, a, opts)
-		if err != nil {
-			return out, err
-		}
-		out[a] = r
-	}
-	return out, nil
-}
-
-// Coherent is a convenience wrapper over VerifyExecution: it reports
-// whether the execution as a whole is coherent, returning the offending
-// address when it is not. A budget abort surfaces as the
-// *solver.ErrBudgetExceeded from the per-address solve, with the
-// affected address in both the return value and the error.
-func Coherent(ctx context.Context, exec *memory.Execution, opts *Options) (bool, memory.Addr, error) {
-	results, err := VerifyExecution(ctx, exec, opts)
-	if err != nil {
-		if be, ok := solver.AsBudgetError(err); ok && be.HasAddr {
-			return false, be.Addr, err
-		}
-		return false, 0, err
-	}
-	for _, a := range exec.Addresses() {
-		if !results[a].Coherent {
-			return false, a, nil
-		}
-	}
-	return true, 0, nil
-}
-
-// SolveAuto decides VMC for one address, dispatching to the fastest
+// solveAutoAddr decides VMC for one address, dispatching to the fastest
 // algorithm whose preconditions hold (Figure 5.3 rows):
 //
 //  1. at most one write per value  -> read-map algorithm (linear);
@@ -292,9 +259,9 @@ func Coherent(ctx context.Context, exec *memory.Execution, opts *Options) (bool,
 //  3. otherwise                    -> general memoized search.
 //
 // The write-order algorithms require extra input and are exposed
-// separately (SolveWithWriteOrder). SolvePortfolio instead races the
-// applicable algorithms concurrently.
-func SolveAuto(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+// separately (SolveWithWriteOrder); solver.StrategyPortfolio instead
+// races the applicable algorithms concurrently.
+func solveAutoAddr(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}

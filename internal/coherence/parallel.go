@@ -1,13 +1,9 @@
 package coherence
 
 import (
-	"context"
-	"runtime"
 	"sort"
-	"sync"
 
 	"memverify/internal/memory"
-	"memverify/internal/obs"
 )
 
 // projectionSizes counts the data-memory operations per address in one
@@ -46,79 +42,4 @@ func hardnessOrder(addrs []memory.Addr, sizes map[memory.Addr]int) []int {
 		return addrs[i] < addrs[j]
 	})
 	return order
-}
-
-// VerifyExecutionParallel is VerifyExecution with the per-address checks
-// fanned out across workers goroutines (runtime.NumCPU() when workers
-// <= 0). Coherence is defined address-by-address (Section 3), so the
-// checks are embarrassingly parallel; on wide multi-address traces this
-// is a near-linear speedup.
-//
-// Results are deterministic: each per-address solve is independent and
-// runs to its own completion or budget regardless of goroutine
-// scheduling, and when several addresses fail the returned error is
-// always the one for the lowest-indexed address in exec.Addresses()
-// order — so two runs over the same input produce diffable output.
-//
-// Addresses are dispatched largest-projection-first (see hardnessOrder):
-// the per-address search is worst-case exponential in projection size,
-// so starting the heaviest address last would leave one worker grinding
-// alone after the rest drain. Dispatch order affects only load balance,
-// never results. Workers reuse the pooled search scratch (position
-// vectors, schedule buffers, and the packed memo table) across the
-// addresses they drain, so a wide trace costs one warm buffer set per
-// worker rather than one allocation burst per address.
-func VerifyExecutionParallel(ctx context.Context, exec *memory.Execution, opts *Options, workers int) (map[memory.Addr]*Result, error) {
-	if err := exec.Validate(); err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	addrs := exec.Addresses()
-	if workers > len(addrs) {
-		workers = len(addrs)
-	}
-	if workers <= 1 {
-		return VerifyExecution(ctx, exec, opts)
-	}
-
-	// Workers write into per-address slots, so no result ordering
-	// depends on channel receive order (the source of the old
-	// nondeterministic first-error selection).
-	results := make([]*Result, len(addrs))
-	errs := make([]error, len(addrs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	tr := obs.TracerFrom(ctx)
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			wctx := ctx
-			if tr != nil {
-				sp, sctx := tr.BeginWorker(ctx, "verify-worker", w)
-				defer sp.EndWorker(w, "done")
-				wctx = sctx
-			}
-			for i := range next {
-				results[i], errs[i] = SolveAuto(wctx, exec, addrs[i], opts)
-			}
-		}()
-	}
-	for _, i := range hardnessOrder(addrs, projectionSizes(exec)) {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	out := make(map[memory.Addr]*Result, len(addrs))
-	for i, a := range addrs {
-		if errs[i] != nil {
-			return out, errs[i]
-		}
-		out[a] = results[i]
-	}
-	return out, nil
 }

@@ -28,8 +28,8 @@ const portfolioProbeFactor = 32
 // racer and assert the portfolio survives on the others.
 var testHookRaceCandidate func(idx int)
 
-// SolvePortfolio decides VMC for one address with a staged portfolio
-// strategy. The polynomial specialists (read-map, single-op, RMW-Euler)
+// solvePortfolioAddr decides VMC for one address with a staged
+// portfolio strategy. The polynomial specialists (read-map, single-op, RMW-Euler)
 // are tried inline where their preconditions hold — racing a
 // linear-time algorithm against an exponential search is a foregone
 // conclusion, and on an undersubscribed pool the instant specialist
@@ -50,10 +50,10 @@ var testHookRaceCandidate func(idx int)
 // most one extra search configuration — and gain whenever the flipped
 // configuration wins.
 //
-// The verdict is identical to SolveAuto's (every candidate is a complete
-// decision procedure for the instances it accepts); only the Algorithm
-// annotation reveals which racer won.
-func SolvePortfolio(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
+// The verdict is identical to the auto strategy's (every candidate is a
+// complete decision procedure for the instances it accepts); only the
+// Algorithm annotation reveals which racer won.
+func solvePortfolioAddr(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,23 +187,4 @@ func raceOptions(opts *Options, probeMemo []string) (standard, flipped *Options)
 		flipped.ResumeMemo = probeMemo
 	}
 	return standard, flipped
-}
-
-// VerifyExecutionPortfolio is VerifyExecution with each per-address
-// check dispatched through SolvePortfolio. Addresses are checked
-// sequentially; within each address the applicable algorithms race on
-// the shared pool.
-func VerifyExecutionPortfolio(ctx context.Context, exec *memory.Execution, opts *Options) (map[memory.Addr]*Result, error) {
-	if err := exec.Validate(); err != nil {
-		return nil, err
-	}
-	out := make(map[memory.Addr]*Result)
-	for _, a := range exec.Addresses() {
-		r, err := SolvePortfolio(ctx, exec, a, opts)
-		if err != nil {
-			return out, err
-		}
-		out[a] = r
-	}
-	return out, nil
 }

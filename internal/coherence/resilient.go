@@ -106,8 +106,8 @@ type ResilientResult struct {
 // for w = 8), each checked by the polynomial §5.2 placement.
 const maxEnumWrites = 8
 
-// SolveResilient decides VMC for one address with graceful degradation:
-// it runs the exact search first and, if the budget is exhausted
+// solveResilientAddr decides VMC for one address with graceful
+// degradation: it runs the exact search first and, if the budget is exhausted
 // (states or deadline — cancellation always propagates as an error,
 // because the caller asked to stop), steps down the ladder:
 //
@@ -121,7 +121,7 @@ const maxEnumWrites = 8
 //
 // The final rung and aggregated stats are recorded in the returned
 // ResilientResult (and in Stats.Rung for report plumbing).
-func SolveResilient(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*ResilientResult, error) {
+func solveResilientAddr(ctx context.Context, exec *memory.Execution, addr memory.Addr, writeOrder []memory.Ref, opts *Options) (*ResilientResult, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,7 +146,7 @@ func SolveResilient(ctx context.Context, exec *memory.Execution, addr memory.Add
 	}
 
 	// Rung 0: the exact search.
-	r, err := SolveAuto(ctx, exec, addr, opts)
+	r, err := solveAutoAddr(ctx, exec, addr, opts)
 	if err == nil {
 		rr := &ResilientResult{Rung: RungExact, Result: r, Stats: r.Stats}
 		if !r.Coherent {
@@ -215,27 +215,6 @@ func SolveResilient(ctx context.Context, exec *memory.Execution, addr memory.Add
 		rr.Verdict = VerdictUnknown
 	}
 	return wrap(rr), nil
-}
-
-// VerifyExecutionResilient runs SolveResilient for every address of
-// exec. writeOrders optionally supplies per-address observed write
-// orders (nil is fine). Unlike VerifyExecution, a budget exhaustion
-// never aborts the loop — the affected address degrades and the loop
-// continues — so the returned map always covers every address unless
-// the context is cancelled.
-func VerifyExecutionResilient(ctx context.Context, exec *memory.Execution, writeOrders map[memory.Addr][]memory.Ref, opts *Options) (map[memory.Addr]*ResilientResult, error) {
-	if err := exec.Validate(); err != nil {
-		return nil, err
-	}
-	out := make(map[memory.Addr]*ResilientResult)
-	for _, a := range exec.Addresses() {
-		rr, err := SolveResilient(ctx, exec, a, writeOrders[a], opts)
-		if err != nil {
-			return out, err
-		}
-		out[a] = rr
-	}
-	return out, nil
 }
 
 // countWriters counts writing operations in the instance.

@@ -1,0 +1,406 @@
+package coherence
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"memverify/internal/memory"
+	"memverify/internal/obs"
+	"memverify/internal/solver"
+)
+
+// Verifier is the unified facade over every coherence decision
+// procedure in this package. One Verifier, configured once with the
+// functional options of internal/solver, replaces the pre-facade sprawl
+// of entry points (Solve, SolveAuto, SolvePortfolio, SolveResilient,
+// VerifyExecution, VerifyExecutionParallel, VerifyExecutionPortfolio,
+// VerifyExecutionResilient, VerifyExecutionCheckpoint) — those remain as
+// deprecated one-line wrappers over this type.
+//
+//	v := coherence.NewVerifier(
+//	        solver.WithStrategy(solver.StrategyPortfolio),
+//	        solver.WithWorkers(8),
+//	        solver.WithBudget(solver.WithMaxStates(1e6), solver.WithTimeout(time.Second)),
+//	)
+//	report, err := v.Verify(ctx, exec)
+//
+// A Verifier is immutable after construction and safe for concurrent
+// use; the long-running verification service constructs a handful and
+// shares them across all requests.
+type Verifier struct {
+	cfg *solver.Config
+}
+
+// NewVerifier builds a Verifier from functional options. With no
+// options it verifies sequentially with StrategyAuto and no resource
+// bound — the semantics of the old VerifyExecution.
+func NewVerifier(opts ...solver.ConfigOption) *Verifier {
+	return &Verifier{cfg: solver.NewConfig(opts...)}
+}
+
+// Config returns the verifier's configuration (read-only by contract).
+func (v *Verifier) Config() *solver.Config { return v.cfg }
+
+// AddrReport is the per-address outcome of a facade verification. It is
+// strategy-neutral: the exact strategies always decide (Verdict is
+// Coherent or Incoherent, Result non-nil), while StrategyResilient may
+// end at VerdictUnknown with a nil Result and the necessary-condition
+// evidence in Checks.
+type AddrReport struct {
+	// Addr is the address this report covers.
+	Addr memory.Addr
+	// Verdict is the three-valued answer for the address.
+	Verdict ResilientVerdict
+	// Rung is the degradation-ladder rung that produced the verdict
+	// (RungExact for the non-resilient strategies).
+	Rung Rung
+	// Result is the deciding solver's result (certificate, algorithm,
+	// per-solve stats); nil when Verdict is Unknown.
+	Result *Result
+	// Stats aggregates all work spent on the address, including the
+	// partial stats of exhausted ladder rungs.
+	Stats Stats
+	// Checks lists the necessary-condition outcomes when the resilient
+	// ladder reached its last rung.
+	Checks []string
+}
+
+// Resilient converts the report to the legacy ResilientResult shape.
+func (ar *AddrReport) Resilient() *ResilientResult {
+	return &ResilientResult{
+		Verdict: ar.Verdict,
+		Rung:    ar.Rung,
+		Result:  ar.Result,
+		Stats:   ar.Stats,
+		Checks:  ar.Checks,
+	}
+}
+
+// addrReportFromResult wraps a decided two-valued result.
+func addrReportFromResult(addr memory.Addr, r *Result) *AddrReport {
+	ar := &AddrReport{Addr: addr, Verdict: VerdictCoherent, Rung: RungExact, Result: r, Stats: r.Stats}
+	if !r.Coherent {
+		ar.Verdict = VerdictIncoherent
+	}
+	return ar
+}
+
+// addrReportFromResilient wraps a degradation-ladder outcome.
+func addrReportFromResilient(addr memory.Addr, rr *ResilientResult) *AddrReport {
+	return &AddrReport{
+		Addr:    addr,
+		Verdict: rr.Verdict,
+		Rung:    rr.Rung,
+		Result:  rr.Result,
+		Stats:   rr.Stats,
+		Checks:  rr.Checks,
+	}
+}
+
+// Report is the execution-level outcome of Verifier.Verify: one
+// AddrReport per address (in ascending address order) plus the
+// aggregate verdict and stats.
+type Report struct {
+	// Verdict aggregates the per-address verdicts: Incoherent if any
+	// address is incoherent, else Unknown if any address is undecided,
+	// else Coherent.
+	Verdict ResilientVerdict
+	// Addrs holds the per-address reports, sorted by address.
+	Addrs []AddrReport
+	// Stats merges the per-address stats.
+	Stats Stats
+	// Checkpoint carries the resumable state of a budget-aborted
+	// checkpointed run (nil otherwise); see solver.WithCheckpoint.
+	Checkpoint *Checkpoint
+}
+
+// add appends an address report and folds in its stats.
+func (r *Report) add(ar *AddrReport) {
+	r.Addrs = append(r.Addrs, *ar)
+	r.Stats.Merge(ar.Stats)
+}
+
+// finalize computes the aggregate verdict.
+func (r *Report) finalize() {
+	r.Verdict = VerdictCoherent
+	for i := range r.Addrs {
+		switch r.Addrs[i].Verdict {
+		case VerdictIncoherent:
+			r.Verdict = VerdictIncoherent
+			return
+		case VerdictUnknown:
+			r.Verdict = VerdictUnknown
+		}
+	}
+}
+
+// Coherent reports whether every address was proven coherent.
+func (r *Report) Coherent() bool { return r.Verdict == VerdictCoherent }
+
+// Results returns the decided per-address results as the map shape the
+// legacy VerifyExecution* entry points returned. Addresses whose
+// resilient verdict is Unknown are absent.
+func (r *Report) Results() map[memory.Addr]*Result {
+	out := make(map[memory.Addr]*Result, len(r.Addrs))
+	for i := range r.Addrs {
+		if res := r.Addrs[i].Result; res != nil {
+			out[r.Addrs[i].Addr] = res
+		}
+	}
+	return out
+}
+
+// FirstViolation returns the lowest address whose verdict is not
+// Coherent, in address order (ok=false when all addresses are coherent).
+func (r *Report) FirstViolation() (memory.Addr, bool) {
+	for i := range r.Addrs {
+		if r.Addrs[i].Verdict != VerdictCoherent {
+			return r.Addrs[i].Addr, true
+		}
+	}
+	return 0, false
+}
+
+// Solve decides VMC for a single address under the configured strategy
+// and budget. For the always-deciding strategies the returned Result is
+// never nil on a nil error; under StrategyResilient an Unknown ladder
+// outcome is reported as a Result with Decided == false (use SolveAddr
+// for the full three-valued report).
+func (v *Verifier) Solve(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*Result, error) {
+	ar, err := v.SolveAddr(ctx, exec, addr)
+	if err != nil {
+		return nil, err
+	}
+	if ar.Result != nil {
+		return ar.Result, nil
+	}
+	// Resilient ladder exhausted without an answer: surface the legacy
+	// undecided shape rather than inventing a verdict.
+	return &Result{Coherent: false, Decided: false, Algorithm: "resilient-unknown", Stats: ar.Stats}, nil
+}
+
+// SolveAddr decides VMC for a single address under the configured
+// strategy and returns the strategy-neutral per-address report.
+func (v *Verifier) SolveAddr(ctx context.Context, exec *memory.Execution, addr memory.Addr) (*AddrReport, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	return v.solveAddrOpts(ctx, exec, addr, v.cfg.Options)
+}
+
+// solveAddrOpts dispatches one address to the configured strategy with
+// an explicit per-solve Options value (the checkpointed loop derives a
+// per-address variant of the configured budget).
+func (v *Verifier) solveAddrOpts(ctx context.Context, exec *memory.Execution, addr memory.Addr, opts *Options) (*AddrReport, error) {
+	switch v.cfg.Strategy {
+	case solver.StrategyResilient:
+		rr, err := solveResilientAddr(ctx, exec, addr, v.cfg.WriteOrders[addr], opts)
+		if err != nil {
+			return nil, err
+		}
+		return addrReportFromResilient(addr, rr), nil
+	case solver.StrategyPortfolio:
+		r, err := solvePortfolioAddr(ctx, exec, addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		return addrReportFromResult(addr, r), nil
+	case solver.StrategyExact:
+		r, err := solveExact(ctx, exec, addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		return addrReportFromResult(addr, r), nil
+	default:
+		r, err := solveAutoAddr(ctx, exec, addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		return addrReportFromResult(addr, r), nil
+	}
+}
+
+// Verify checks every address of the execution under the configured
+// strategy, budget and parallelism.
+//
+// Error semantics follow the strategy, preserving the legacy entry
+// points' contracts: the exact strategies abort on the first per-address
+// budget trip (in address order — deterministic even with workers),
+// returning the partial Report alongside the *solver.ErrBudgetExceeded;
+// StrategyResilient degrades the affected address and continues, so its
+// Report always covers every address unless the context is cancelled.
+// With solver.WithCheckpoint configured, verification is sequential,
+// resumes from the checkpoint file when it exists, and re-writes it on a
+// budget abort.
+func (v *Verifier) Verify(ctx context.Context, exec *memory.Execution) (*Report, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	if v.cfg.CheckpointPath != "" {
+		return v.verifyCheckpointFile(ctx, exec)
+	}
+	if v.cfg.Workers > 1 {
+		return v.verifyParallel(ctx, exec, v.cfg.Workers)
+	}
+	return v.verifySequential(ctx, exec)
+}
+
+// verifySequential is the address-order loop behind sequential Verify.
+func (v *Verifier) verifySequential(ctx context.Context, exec *memory.Execution) (*Report, error) {
+	rep := &Report{}
+	for _, a := range exec.Addresses() {
+		ar, err := v.solveAddrOpts(ctx, exec, a, v.cfg.Options)
+		if err != nil {
+			return rep, err
+		}
+		rep.add(ar)
+	}
+	rep.finalize()
+	return rep, nil
+}
+
+// verifyParallel fans the per-address checks out across workers
+// goroutines. Coherence is defined address-by-address (Section 3), so
+// the checks are embarrassingly parallel; on wide multi-address traces
+// this is a near-linear speedup.
+//
+// Results are deterministic: each per-address solve is independent and
+// runs to its own completion or budget regardless of goroutine
+// scheduling, and when several addresses fail the returned error is
+// always the one for the lowest address — so two runs over the same
+// input produce diffable output.
+//
+// Addresses are dispatched largest-projection-first (see hardnessOrder):
+// the per-address search is worst-case exponential in projection size,
+// so starting the heaviest address last would leave one worker grinding
+// alone after the rest drain. Dispatch order affects only load balance,
+// never results.
+func (v *Verifier) verifyParallel(ctx context.Context, exec *memory.Execution, workers int) (*Report, error) {
+	addrs := exec.Addresses()
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	if workers <= 1 {
+		return v.verifySequential(ctx, exec)
+	}
+
+	// Workers write into per-address slots, so no result ordering
+	// depends on channel receive order.
+	reports := make([]*AddrReport, len(addrs))
+	errs := make([]error, len(addrs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	tr := obs.TracerFrom(ctx)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wctx := ctx
+			if tr != nil {
+				sp, sctx := tr.BeginWorker(ctx, "verify-worker", w)
+				defer sp.EndWorker(w, "done")
+				wctx = sctx
+			}
+			for i := range next {
+				reports[i], errs[i] = v.solveAddrOpts(wctx, exec, addrs[i], v.cfg.Options)
+			}
+		}()
+	}
+	for _, i := range hardnessOrder(addrs, projectionSizes(exec)) {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	rep := &Report{}
+	for i := range addrs {
+		if errs[i] != nil {
+			return rep, errs[i]
+		}
+		rep.add(reports[i])
+	}
+	rep.finalize()
+	return rep, nil
+}
+
+// VerifyCheckpoint is Verify with explicit checkpoint state: results
+// already present in resume are replayed without solving, the
+// interrupted address's search is seeded from its saved memo table, and
+// on a budget abort the returned Report's Checkpoint field captures
+// everything needed to continue later (nil on success). Checkpointing
+// serializes the address loop by design and requires a strategy whose
+// searches snapshot (StrategyAuto or StrategyExact).
+func (v *Verifier) VerifyCheckpoint(ctx context.Context, exec *memory.Execution, resume *Checkpoint) (*Report, error) {
+	if err := exec.Validate(); err != nil {
+		return nil, err
+	}
+	switch v.cfg.Strategy {
+	case solver.StrategyAuto, solver.StrategyExact:
+	default:
+		return nil, fmt.Errorf("coherence: checkpointed verification requires the auto or exact strategy, not %v", v.cfg.Strategy)
+	}
+	run, err := ResumeCheckpointRun(exec, resume)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for _, a := range exec.Addresses() {
+		if r, ok := run.Lookup(a); ok {
+			rep.add(addrReportFromResult(a, r))
+			continue
+		}
+		ar, err := v.solveAddrOpts(ctx, exec, a, run.Configure(a, v.cfg.Options))
+		if err != nil {
+			if _, ok := solver.AsBudgetError(err); ok {
+				rep.Checkpoint = run.Checkpoint()
+			}
+			return rep, err
+		}
+		run.Record(a, ar.Result)
+		rep.add(ar)
+	}
+	rep.finalize()
+	return rep, nil
+}
+
+// verifyCheckpointFile implements solver.WithCheckpoint: resume from the
+// configured path when a checkpoint file exists there, and persist the
+// resumable state back to it when a budget trip aborts the run.
+func (v *Verifier) verifyCheckpointFile(ctx context.Context, exec *memory.Execution) (*Report, error) {
+	var resume *Checkpoint
+	if _, statErr := os.Stat(v.cfg.CheckpointPath); statErr == nil {
+		ck, err := LoadCheckpoint(v.cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		resume = ck
+	} else if !errors.Is(statErr, os.ErrNotExist) {
+		return nil, statErr
+	}
+	rep, err := v.VerifyCheckpoint(ctx, exec, resume)
+	if rep != nil && rep.Checkpoint != nil {
+		if werr := rep.Checkpoint.WriteFile(v.cfg.CheckpointPath); werr != nil {
+			return rep, errors.Join(err, werr)
+		}
+	}
+	return rep, err
+}
+
+// AddressesByHardness returns the execution's addresses ordered
+// largest-projection-first (ties by ascending address) — the LPT
+// dispatch order used by parallel verification. The verification
+// service uses it to shard a request's per-address work across its
+// global worker fleet in the same order.
+func AddressesByHardness(exec *memory.Execution) []memory.Addr {
+	addrs := exec.Addresses()
+	sizes := projectionSizes(exec)
+	out := make([]memory.Addr, len(addrs))
+	for i, idx := range hardnessOrder(addrs, sizes) {
+		out[i] = addrs[idx]
+	}
+	return out
+}

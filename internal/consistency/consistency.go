@@ -1,36 +1,49 @@
 // Package consistency implements verification of memory consistency
-// models over executions, per Section 6 of Cantin, Lipasti & Smith:
+// models over executions, per Section 6 of Cantin, Lipasti & Smith.
 //
-//   - SolveVSC decides Verifying Sequential Consistency (Definition 6.1;
+// The entry point is the Verifier facade: construct one with NewVerifier
+// for a Model and the shared solver.Config functional options, then call
+// Verify. The models are:
+//
+//   - SC decides Verifying Sequential Consistency (Definition 6.1;
 //     NP-Complete, Gibbons & Korach) with a memoized search that
-//     generalizes the coherence search to multiple addresses.
-//   - SolveVSCC decides the promise problem Verifying Sequential
-//     Consistency with Coherence (Definition 6.2): coherence of the
-//     instance is established per address first, then VSC is decided —
-//     which remains NP-Complete (§6.3).
-//   - MergeSchedules implements the VSC-Conflict construction (§6.3):
-//     given one coherent schedule per address it builds a sequentially
-//     consistent schedule in near-linear time, or reports that this
-//     particular set of coherent schedules cannot be merged.
-//   - VerifyTSO and VerifyPSO are operational store-buffer checkers for
-//     the Sun relaxed models named in §6.2, grounding the claim that
-//     relaxed hardware models still embed coherence per location.
-//   - VerifyLRC checks executions written in the fully synchronized
-//     discipline of Figure 6.1 (every access bracketed by acquire and
-//     release), under which Lazy Release Consistency forces per-address
+//     generalizes the coherence search to multiple addresses. With
+//     solver.WithWriteOrders the search additionally respects the
+//     supplied per-address write orders (the §5.2 memory-system
+//     augmentation applied to VSC — still NP-Complete, §6.3).
+//   - VSCC decides the promise problem Verifying Sequential Consistency
+//     with Coherence (Definition 6.2): coherence of the instance is
+//     established per address first, then VSC is decided — which remains
+//     NP-Complete (§6.3).
+//   - TSO and PSO are operational store-buffer checkers for the Sun
+//     relaxed models named in §6.2, grounding the claim that relaxed
+//     hardware models still embed coherence per location.
+//   - LRC checks executions written in the fully synchronized discipline
+//     of Figure 6.1 (every access bracketed by acquire and release),
+//     under which Lazy Release Consistency forces per-address
 //     serialization, i.e. coherence.
+//   - CoherenceOnly delegates to the coherence.Verifier facade and
+//     requires only per-address serialization.
 //
-// Every entry point takes a context.Context and shares the resource
+// MergeSchedules implements the VSC-Conflict construction (§6.3): given
+// one coherent schedule per address it builds a sequentially consistent
+// schedule in near-linear time, or reports that this particular set of
+// coherent schedules cannot be merged.
+//
+// Every verification takes a context.Context and shares the resource
 // budget machinery of internal/solver with the coherence package:
 // cancellation, Options.Timeout and Options.MaxStates all abort a solve
 // with a *solver.ErrBudgetExceeded carrying the partial Stats.
+//
+// The pre-facade entry points (Verify, SolveVSC, SolveVSCC,
+// SolveVSCWithWriteOrders, VerifyTSO, VerifyPSO, VerifyLRC) remain as
+// deprecated wrappers in deprecated.go.
 package consistency
 
 import (
-	"context"
 	"fmt"
+	"strings"
 
-	"memverify/internal/coherence"
 	"memverify/internal/memory"
 	"memverify/internal/solver"
 )
@@ -54,7 +67,33 @@ const (
 	// LRC is Lazy Release Consistency restricted to fully synchronized
 	// executions (Figure 6.1 discipline).
 	LRC
+	// VSCC is the Verifying Sequential Consistency with Coherence promise
+	// problem (Definition 6.2): the per-address coherence promise is
+	// checked first and its violation is an error, then VSC is decided.
+	VSCC
 )
+
+// ParseModel maps a model name (case-insensitive; "" and "sc" both mean
+// SC, "coherence" means CoherenceOnly) to its Model. It is the shared
+// vocabulary for HTTP parameters and CLI flags.
+func ParseModel(name string) (Model, error) {
+	switch strings.ToLower(name) {
+	case "", "sc":
+		return SC, nil
+	case "tso":
+		return TSO, nil
+	case "pso":
+		return PSO, nil
+	case "coherence":
+		return CoherenceOnly, nil
+	case "lrc":
+		return LRC, nil
+	case "vscc":
+		return VSCC, nil
+	default:
+		return SC, fmt.Errorf("consistency: unknown model %q (want sc, tso, pso, coherence, lrc or vscc)", name)
+	}
+}
 
 // String returns the conventional model name.
 func (m Model) String() string {
@@ -69,6 +108,8 @@ func (m Model) String() string {
 		return "Coherence"
 	case LRC:
 		return "LRC"
+	case VSCC:
+		return "VSCC"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
@@ -122,57 +163,3 @@ func (r *Result) SolverStats() solver.Stats { return r.Stats }
 
 // Certificate implements solver.Verdict.
 func (r *Result) Certificate() memory.Schedule { return r.Schedule }
-
-// Verify checks exec against the given model. For CoherenceOnly the
-// result's Schedule is empty (coherence certificates are per address; use
-// coherence.VerifyExecution directly for those) and Stats aggregates the
-// per-address solves.
-func Verify(ctx context.Context, model Model, exec *memory.Execution, opts *Options) (*Result, error) {
-	switch model {
-	case SC:
-		return SolveVSC(ctx, exec, opts)
-	case TSO:
-		return VerifyTSO(ctx, exec, opts)
-	case PSO:
-		return VerifyPSO(ctx, exec, opts)
-	case CoherenceOnly:
-		results, err := coherence.VerifyExecution(ctx, exec, opts)
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{Consistent: true, Decided: true, Algorithm: "per-address-coherence"}
-		for _, r := range results {
-			if !r.Coherent {
-				res.Consistent = false
-			}
-			res.Stats.Merge(r.Stats)
-		}
-		return res, nil
-	case LRC:
-		return VerifyLRC(ctx, exec, opts)
-	default:
-		return nil, fmt.Errorf("consistency: unknown model %v", model)
-	}
-}
-
-// SolveVSCC decides the Verifying Sequential Consistency with Coherence
-// promise problem (Definition 6.2). It first checks the promise — a
-// coherent schedule exists for each address — and returns an error if the
-// promise does not hold (the problem is then undefined). It then decides
-// VSC. Per §6.3 this second step remains NP-Complete even though the
-// promise holds.
-func SolveVSCC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
-	ok, bad, err := coherence.Coherent(ctx, exec, opts)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("consistency: VSCC promise violated: address %d has no coherent schedule", bad)
-	}
-	res, err := SolveVSC(ctx, exec, opts)
-	if err != nil {
-		return nil, err
-	}
-	res.Algorithm = "vscc"
-	return res, nil
-}

@@ -1,0 +1,68 @@
+package consistency
+
+import (
+	"context"
+
+	"memverify/internal/memory"
+	"memverify/internal/solver"
+)
+
+// This file keeps the pre-facade entry points compiling as one-line
+// wrappers over the unified Verifier. Each wrapper is pinned to the
+// facade by the oracle-parity test: wrapper and facade must return
+// identical verdicts, witnesses and stats.
+
+// Verify checks exec against the given model.
+//
+// Deprecated: use NewVerifier(model, solver.WithOptions(opts)).Verify(ctx, exec).
+func Verify(ctx context.Context, model Model, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(model, solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// SolveVSC decides Verifying Sequential Consistency (Definition 6.1).
+//
+// Deprecated: use NewVerifier(SC, solver.WithOptions(opts)).Verify(ctx, exec).
+func SolveVSC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(SC, solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// SolveVSCWithWriteOrders decides VSC constrained by the supplied
+// per-address write orders (the §5.2 memory-system augmentation).
+//
+// Deprecated: use NewVerifier(SC, solver.WithWriteOrders(orders),
+// solver.WithOptions(opts)).Verify(ctx, exec).
+func SolveVSCWithWriteOrders(ctx context.Context, exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
+	return NewVerifier(SC, solver.WithWriteOrders(orders), solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// SolveVSCC decides the Verifying Sequential Consistency with Coherence
+// promise problem (Definition 6.2).
+//
+// Deprecated: use NewVerifier(VSCC, solver.WithOptions(opts)).Verify(ctx, exec).
+func SolveVSCC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(VSCC, solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// VerifyTSO checks whether exec is explainable by a Total Store Order
+// machine.
+//
+// Deprecated: use NewVerifier(TSO, solver.WithOptions(opts)).Verify(ctx, exec).
+func VerifyTSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(TSO, solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// VerifyPSO checks whether exec is explainable by a Partial Store Order
+// machine.
+//
+// Deprecated: use NewVerifier(PSO, solver.WithOptions(opts)).Verify(ctx, exec).
+func VerifyPSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(PSO, solver.WithOptions(opts)).Verify(ctx, exec)
+}
+
+// VerifyLRC checks adherence to Lazy Release Consistency for executions
+// written in the fully synchronized discipline of Figure 6.1.
+//
+// Deprecated: use NewVerifier(LRC, solver.WithOptions(opts)).Verify(ctx, exec).
+func VerifyLRC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+	return NewVerifier(LRC, solver.WithOptions(opts)).Verify(ctx, exec)
+}

@@ -6,6 +6,7 @@ import (
 
 	"memverify/internal/coherence"
 	"memverify/internal/memory"
+	"memverify/internal/solver"
 )
 
 // SynchronizationDiscipline describes how thoroughly an execution uses
@@ -63,7 +64,7 @@ func CheckDiscipline(exec *memory.Execution) SynchronizationDiscipline {
 	}
 }
 
-// VerifyLRC checks adherence to Lazy Release Consistency for executions
+// verifyLRC checks adherence to Lazy Release Consistency for executions
 // written in the fully synchronized discipline of Figure 6.1: every
 // memory operation bracketed by an acquire and a release. Under LRC,
 // synchronized accesses to a location must appear serialized — the
@@ -77,17 +78,18 @@ func CheckDiscipline(exec *memory.Execution) SynchronizationDiscipline {
 // Executions that are not fully synchronized are rejected with an error:
 // LRC places no useful constraint on unsynchronized accesses, so neither
 // acceptance nor rejection would be meaningful.
-func VerifyLRC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+func verifyLRC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}
 	if d := CheckDiscipline(exec); d != FullySynchronized {
-		return nil, fmt.Errorf("consistency: execution is %s; VerifyLRC requires the fully synchronized discipline of Figure 6.1", d)
+		return nil, fmt.Errorf("consistency: execution is %s; LRC verification requires the fully synchronized discipline of Figure 6.1", d)
 	}
-	results, err := coherence.VerifyExecution(ctx, exec, opts)
+	rep, err := coherence.NewVerifier(solver.WithOptions(opts)).Verify(ctx, exec)
 	if err != nil {
 		return nil, err
 	}
+	results := rep.Results()
 	res := &Result{Consistent: true, Decided: true, Algorithm: "lrc-synchronized"}
 	for _, r := range results {
 		if !r.Coherent {

@@ -103,18 +103,18 @@ func (s *tsoSearcher) pollObs() {
 	}
 }
 
-// VerifyTSO checks whether exec is explainable by a Total Store Order
+// verifyTSO checks whether exec is explainable by a Total Store Order
 // machine: per-processor FIFO store buffers with forwarding, writes
 // committing to a single coherent memory in issue order. The witness
 // issue/commit event trace is returned on success.
-func VerifyTSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+func verifyTSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	return verifyStoreBuffer(ctx, exec, opts, false)
 }
 
-// VerifyPSO checks whether exec is explainable by a Partial Store Order
+// verifyPSO checks whether exec is explainable by a Partial Store Order
 // machine: like TSO but stores to different addresses may commit out of
 // issue order (per-address FIFOs).
-func VerifyPSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+func verifyPSO(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	return verifyStoreBuffer(ctx, exec, opts, true)
 }
 

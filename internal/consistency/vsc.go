@@ -121,12 +121,12 @@ func (s *vscSearcher) run(ctx context.Context, algorithm string) (res *Result, e
 	return res, nil
 }
 
-// SolveVSC decides Verifying Sequential Consistency (Definition 6.1): is
+// solveVSC decides Verifying Sequential Consistency (Definition 6.1): is
 // there a schedule of all operations, all addresses, in which every read
 // returns the value written by the immediately preceding write to the
 // same address? The search is complete absent a budget; VSC is
 // NP-Complete, so worst-case time is exponential.
-func SolveVSC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
+func solveVSC(ctx context.Context, exec *memory.Execution, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}

@@ -7,7 +7,7 @@ import (
 	"memverify/internal/memory"
 )
 
-// SolveVSCWithWriteOrders decides whether a sequentially consistent
+// solveVSCWithWriteOrders decides whether a sequentially consistent
 // schedule exists that is consistent with the supplied per-address write
 // orders (the memory-system augmentation of §5.2 applied to VSC). This
 // is the problem Gibbons & Korach proved remains NP-Complete — the
@@ -20,7 +20,7 @@ import (
 // its writing operations. The search is the VSC search with one extra
 // enabledness rule: a writing operation may only be scheduled when it is
 // the next unconsumed entry of its address's order.
-func SolveVSCWithWriteOrders(ctx context.Context, exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
+func solveVSCWithWriteOrders(ctx context.Context, exec *memory.Execution, orders map[memory.Addr][]memory.Ref, opts *Options) (*Result, error) {
 	if err := exec.Validate(); err != nil {
 		return nil, err
 	}

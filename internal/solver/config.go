@@ -1,0 +1,174 @@
+package solver
+
+import (
+	"fmt"
+	"strings"
+
+	"memverify/internal/memory"
+)
+
+// Strategy selects the decision-procedure family a Verifier facade runs.
+// It is the one knob that used to be spread across separate entry points
+// (Solve vs SolveAuto vs SolvePortfolio vs SolveResilient): every
+// strategy decides the same question, they differ in how the work is
+// organized and what happens when the budget runs out.
+type Strategy int
+
+const (
+	// StrategyAuto dispatches each instance to the fastest applicable
+	// algorithm (the Figure 5.3 polynomial rows, falling back to the
+	// general memoized search). The default.
+	StrategyAuto Strategy = iota
+	// StrategyPortfolio stages the polynomial specialists, a capped
+	// escalation probe, and a two-configuration race of the general
+	// search on the shared bounded pool.
+	StrategyPortfolio
+	// StrategyResilient runs the graceful-degradation ladder: the exact
+	// search first, then — on budget exhaustion — write-order hints,
+	// exhaustive small-write-order enumeration, and sound necessary
+	// conditions, ending in an explicit Unknown verdict instead of an
+	// error.
+	StrategyResilient
+	// StrategyExact always runs the general memoized search, skipping
+	// the polynomial specialist dispatch (ablation and cross-check use).
+	StrategyExact
+)
+
+// String names the strategy as spelled in HTTP requests and CLI flags.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyPortfolio:
+		return "portfolio"
+	case StrategyResilient:
+		return "resilient"
+	case StrategyExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps the request/flag spelling back to a Strategy. The
+// empty string parses to StrategyAuto, so absent request fields get the
+// default without special-casing.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "auto":
+		return StrategyAuto, nil
+	case "portfolio":
+		return StrategyPortfolio, nil
+	case "resilient":
+		return StrategyResilient, nil
+	case "exact":
+		return StrategyExact, nil
+	}
+	return StrategyAuto, fmt.Errorf("solver: unknown strategy %q (want auto, portfolio, resilient or exact)", name)
+}
+
+// Config is the unified configuration of a Verifier facade
+// (coherence.Verifier, consistency.Verifier): the per-solve Options
+// budget plus the execution-level choices — strategy, per-address
+// parallelism, write-order hints, checkpointing — that used to be
+// encoded in which entry point a caller picked. HTTP request
+// parameters, vmcheck flags, and Go callers all bind to this one
+// vocabulary.
+type Config struct {
+	// Options is the per-solve budget and knob set shared by every
+	// solver (never nil for a Config built by NewConfig).
+	Options *Options
+	// Strategy picks the decision-procedure family.
+	Strategy Strategy
+	// Workers fans the per-address checks of an execution-level Verify
+	// out across this many goroutines, dispatched
+	// largest-projection-first. 0 or 1 verifies sequentially.
+	Workers int
+	// WriteOrders optionally supplies observed per-address write orders
+	// (the §5.2 augmentation): used as ladder hints by
+	// StrategyResilient and as search constraints by the SC verifier.
+	WriteOrders map[memory.Addr][]memory.Ref
+	// CheckpointPath, when non-empty, makes execution-level coherence
+	// verification resumable: an existing checkpoint file at the path is
+	// resumed from, and a budget abort writes a fresh checkpoint there.
+	CheckpointPath string
+}
+
+// ConfigOption is a functional option for NewConfig.
+type ConfigOption func(*Config)
+
+// NewConfig builds a *Config from functional options. NewConfig() with
+// no arguments is the default verifier configuration: sequential,
+// StrategyAuto, unbounded complete search.
+func NewConfig(opts ...ConfigOption) *Config {
+	c := &Config{Options: &Options{}}
+	for _, f := range opts {
+		f(c)
+	}
+	return c
+}
+
+// Clone returns a copy of c with its own Options value (maps are shared:
+// write orders are read-only by contract).
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return NewConfig()
+	}
+	out := *c
+	out.Options = c.Options.Clone()
+	return &out
+}
+
+// WithStrategy selects the decision-procedure family.
+func WithStrategy(s Strategy) ConfigOption { return func(c *Config) { c.Strategy = s } }
+
+// WithWorkers fans execution-level verification out across n workers
+// (0 or 1 = sequential).
+func WithWorkers(n int) ConfigOption { return func(c *Config) { c.Workers = n } }
+
+// WithBudget applies per-solve Options (WithMaxStates, WithTimeout,
+// ablation knobs, ...) to the configuration's budget.
+func WithBudget(budget ...Option) ConfigOption {
+	return func(c *Config) {
+		for _, f := range budget {
+			f(c.Options)
+		}
+	}
+}
+
+// WithOptions adopts an existing *Options value (cloned, so later
+// mutation of the caller's value does not leak in). It exists so the
+// pre-facade entry points, which all took an *Options parameter, can be
+// expressed as one-line wrappers; new code composes WithBudget instead.
+func WithOptions(o *Options) ConfigOption {
+	return func(c *Config) { c.Options = o.Clone() }
+}
+
+// WithWriteOrders supplies observed per-address write orders (§5.2
+// augmentation). The map is retained, not copied; callers must not
+// mutate it while the verifier is in use. A nil map is normalized to an
+// empty one so Config.WriteOrders != nil records that orders were
+// explicitly supplied — the SC verifier then insists on a complete,
+// valid order set instead of silently falling back to the unconstrained
+// search.
+func WithWriteOrders(orders map[memory.Addr][]memory.Ref) ConfigOption {
+	return func(c *Config) {
+		if orders == nil {
+			orders = map[memory.Addr][]memory.Ref{}
+		}
+		c.WriteOrders = orders
+	}
+}
+
+// WithCheckpoint makes execution-level coherence verification resumable
+// through the given file path: resumed from when the file exists,
+// written on a budget abort.
+func WithCheckpoint(path string) ConfigOption {
+	return func(c *Config) { c.CheckpointPath = path }
+}
+
+// WithConfig copies an entire existing configuration, so one facade can
+// hand its configuration to another (the consistency verifier passes its
+// config down to the per-address coherence verifier this way).
+func WithConfig(src *Config) ConfigOption {
+	return func(c *Config) { *c = *src.Clone() }
+}

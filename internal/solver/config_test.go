@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"testing"
+	"time"
+
+	"memverify/internal/memory"
+)
+
+func TestNewConfigDefaults(t *testing.T) {
+	c := NewConfig()
+	if c.Options == nil {
+		t.Fatal("NewConfig() left Options nil")
+	}
+	if c.Strategy != StrategyAuto {
+		t.Errorf("default strategy = %v, want auto", c.Strategy)
+	}
+	if c.Workers != 0 {
+		t.Errorf("default workers = %d, want 0", c.Workers)
+	}
+}
+
+func TestConfigOptionsCompose(t *testing.T) {
+	orders := map[memory.Addr][]memory.Ref{1: {{Proc: 0, Index: 2}}}
+	c := NewConfig(
+		WithStrategy(StrategyResilient),
+		WithWorkers(7),
+		WithBudget(WithMaxStates(1234), WithTimeout(2*time.Second), WithoutMemoization()),
+		WithWriteOrders(orders),
+		WithCheckpoint("/tmp/ck.json"),
+	)
+	if c.Strategy != StrategyResilient || c.Workers != 7 {
+		t.Errorf("strategy/workers = %v/%d", c.Strategy, c.Workers)
+	}
+	if c.Options.MaxStates != 1234 || c.Options.Timeout != 2*time.Second || !c.Options.DisableMemoization {
+		t.Errorf("budget not applied: %+v", c.Options)
+	}
+	if len(c.WriteOrders[1]) != 1 || c.CheckpointPath != "/tmp/ck.json" {
+		t.Errorf("write orders/checkpoint not applied")
+	}
+}
+
+func TestWithOptionsClones(t *testing.T) {
+	o := New(WithMaxStates(10))
+	c := NewConfig(WithOptions(o))
+	o.MaxStates = 99
+	if c.Options.MaxStates != 10 {
+		t.Errorf("WithOptions aliased the caller's Options: got %d", c.Options.MaxStates)
+	}
+}
+
+func TestWithConfigCopies(t *testing.T) {
+	src := NewConfig(WithStrategy(StrategyPortfolio), WithWorkers(3), WithBudget(WithMaxStates(5)))
+	dst := NewConfig(WithConfig(src))
+	if dst.Strategy != StrategyPortfolio || dst.Workers != 3 || dst.Options.MaxStates != 5 {
+		t.Errorf("WithConfig did not copy: %+v", dst)
+	}
+	src.Options.MaxStates = 50
+	if dst.Options.MaxStates != 5 {
+		t.Error("WithConfig shared the Options value")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Strategy
+		ok   bool
+	}{
+		{"", StrategyAuto, true},
+		{"auto", StrategyAuto, true},
+		{"Portfolio", StrategyPortfolio, true},
+		{" resilient ", StrategyResilient, true},
+		{"exact", StrategyExact, true},
+		{"turbo", StrategyAuto, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseStrategy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseStrategy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, s := range []Strategy{StrategyAuto, StrategyPortfolio, StrategyResilient, StrategyExact} {
+		back, err := ParseStrategy(s.String())
+		if err != nil || back != s {
+			t.Errorf("round-trip %v failed: %v %v", s, back, err)
+		}
+	}
+}
