@@ -1,15 +1,19 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"memverify/internal/memory"
 	"memverify/internal/solver"
 )
 
@@ -102,52 +106,91 @@ func readVerifyRequest(r *http.Request) (*VerifyRequest, error) {
 		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
 	}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var req *VerifyRequest
 	if ct == "application/json" {
-		var req VerifyRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		req = new(VerifyRequest)
+		if err := json.Unmarshal(body, req); err != nil {
 			return nil, fmt.Errorf("decoding request: %w", err)
 		}
-		return &req, nil
-	}
-	q := r.URL.Query()
-	req := &VerifyRequest{
-		Trace:    string(body),
-		Model:    q.Get("model"),
-		Strategy: q.Get("strategy"),
-	}
-	if v := q.Get("max_states"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad max_states %q", v)
+	} else {
+		q := r.URL.Query()
+		req = &VerifyRequest{
+			Trace:    string(body),
+			Model:    q.Get("model"),
+			Strategy: q.Get("strategy"),
 		}
-		req.MaxStates = n
-	}
-	if v := q.Get("timeout_ms"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad timeout_ms %q", v)
+		if v := q.Get("max_states"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad max_states %q", v)
+			}
+			req.MaxStates = n
 		}
-		req.TimeoutMS = n
-	}
-	if v := q.Get("use_order"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return nil, fmt.Errorf("bad use_order %q", v)
+		if v := q.Get("timeout_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad timeout_ms %q", v)
+			}
+			req.TimeoutMS = n
 		}
-		req.UseOrder = b
+		if v := q.Get("use_order"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad use_order %q", v)
+			}
+			req.UseOrder = b
+		}
+	}
+	// Validate after decoding so both encodings face the same rules. A
+	// negative budget would read as "unlimited" downstream (budgetFor
+	// only substitutes defaults for zero, and the solver treats
+	// non-positive bounds as absent), silently bypassing the server
+	// ceilings.
+	if req.MaxStates < 0 {
+		return nil, fmt.Errorf("bad max_states %d: must be >= 0", req.MaxStates)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("bad timeout_ms %d: must be >= 0", req.TimeoutMS)
 	}
 	return req, nil
 }
 
 // cacheKey builds the result-cache key: the execution fingerprint plus
-// every request knob that can change the verdict. Worker count is
+// every request knob that can change the verdict. Model and strategy
+// are the parsed canonical spellings, so "", "coherence" and
+// "COHERENCE" share one entry. When the request uses order lines the
+// orders themselves join the key — the execution fingerprint covers
+// histories/initial/final only, and two identical executions with
+// different order lines can verify differently. Worker count is
 // deliberately absent — parallelism never changes answers.
-func cacheKey(fp string, req *VerifyRequest, maxStates int, timeout time.Duration) string {
+func cacheKey(fp, model, strategy string, maxStates int, timeout time.Duration, useOrder bool, orders map[memory.Addr][]memory.Ref) string {
 	var b strings.Builder
 	b.WriteString(fp)
-	fmt.Fprintf(&b, "|m=%s|s=%s|n=%d|t=%d|o=%t",
-		strings.ToLower(req.Model), strings.ToLower(req.Strategy), maxStates, timeout, req.UseOrder)
+	fmt.Fprintf(&b, "|m=%s|s=%s|n=%d|t=%d|o=%t", model, strategy, maxStates, timeout, useOrder)
+	if useOrder {
+		b.WriteString("|w=")
+		b.WriteString(writeOrdersDigest(orders))
+	}
 	return b.String()
+}
+
+// writeOrdersDigest hashes per-address write orders deterministically:
+// addresses sorted, refs in order.
+func writeOrdersDigest(orders map[memory.Addr][]memory.Ref) string {
+	addrs := make([]memory.Addr, 0, len(orders))
+	for a := range orders {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := sha256.New()
+	for _, a := range addrs {
+		fmt.Fprintf(h, "a%d:", a)
+		for _, r := range orders[a] {
+			fmt.Fprintf(h, "%d.%d,", r.Proc, r.Index)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -60,6 +60,7 @@ type serverStats struct {
 	Requests    atomic.Int64
 	Rejected    atomic.Int64
 	ParseErrors atomic.Int64
+	Unavailable atomic.Int64
 	Cancelled   atomic.Int64
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
@@ -82,6 +83,11 @@ type Server struct {
 	mux      *http.ServeMux
 	stop     chan struct{}
 	wg       sync.WaitGroup
+	// closeMu orders enqueue against Close's final drain: enqueue holds
+	// the read side across its shutdown check and queue send, so once
+	// Close acquires the write side no shard can slip into the queue
+	// after the drain that would have caught it.
+	closeMu sync.RWMutex
 }
 
 // newServer builds the service and starts its worker fleet.
@@ -118,26 +124,57 @@ func newServer(cfg serverConfig) *Server {
 }
 
 // Close stops the worker fleet (idempotent is not needed; call once).
+// Shards that slipped into the queue while shutdown raced an enqueue
+// are run inline afterwards, so no handler is left waiting on work the
+// dead fleet will never do.
 func (s *Server) Close() {
 	close(s.stop)
 	s.wg.Wait()
+	// In-flight enqueues finish promptly now that stop is closed; taking
+	// the write lock waits them out, so the drain below sees every shard
+	// that made it into the queue.
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	for {
+		select {
+		case fn := <-s.queue:
+			fn()
+		default:
+			return
+		}
+	}
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// errShuttingDown marks enqueue failures caused by server shutdown, so
+// handlers can answer 503 instead of blaming the client.
+var errShuttingDown = errors.New("server shutting down")
 
 // enqueue hands one shard to the fleet, giving up when the request is
 // gone. Handlers block here when the queue is full — which is safe and
 // bounded: only admitted requests reach this point and workers never
 // enqueue, so there is no cycle to deadlock.
 func (s *Server) enqueue(ctx context.Context, fn func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	// Check shutdown first, on its own: in the combined select below a
+	// buffered queue send and the closed stop channel are both ready and
+	// select picks between them at random, which would strand work in a
+	// queue the dead fleet never drains.
+	select {
+	case <-s.stop:
+		return errShuttingDown
+	default:
+	}
 	select {
 	case s.queue <- fn:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-s.stop:
-		return errors.New("server shutting down")
+		return errShuttingDown
 	}
 }
 
@@ -150,6 +187,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"requests":     s.stats.Requests.Load(),
 		"rejected":     s.stats.Rejected.Load(),
 		"parse_errors": s.stats.ParseErrors.Load(),
+		"unavailable":  s.stats.Unavailable.Load(),
 		"cancelled":    s.stats.Cancelled.Load(),
 		"cache_hits":   s.stats.CacheHits.Load(),
 		"cache_misses": s.stats.CacheMisses.Load(),
@@ -199,7 +237,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		s.stats.ParseErrors.Add(1)
+		// 5xx means the server could not take the work (shutdown); only
+		// 4xx counts against the client as a parse/validation error.
+		if status >= http.StatusInternalServerError {
+			s.stats.Unavailable.Add(1)
+		} else {
+			s.stats.ParseErrors.Add(1)
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -256,7 +300,8 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespons
 	}
 
 	maxStates, timeout := s.budgetFor(req)
-	key := cacheKey(coherence.ExecutionFingerprint(tr.Exec), req, maxStates, timeout)
+	key := cacheKey(coherence.ExecutionFingerprint(tr.Exec), model.String(), strategy.String(),
+		maxStates, timeout, req.UseOrder, tr.WriteOrders)
 	if resp, ok := s.cache.get(key); ok {
 		s.stats.CacheHits.Add(1)
 		resp.Cached = true
@@ -280,6 +325,9 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespons
 		resp, err = s.verifyConsistency(ctx, model, tr, cfgOpts)
 	}
 	if err != nil {
+		if errors.Is(err, errShuttingDown) {
+			return nil, http.StatusServiceUnavailable, err
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	resp.Model = model.String()

@@ -177,6 +177,111 @@ func TestCacheHit(t *testing.T) {
 	}
 }
 
+// orderedTraceGood and orderedTraceBad share one execution
+// (histories/initial/final — and therefore one execution fingerprint)
+// and differ only in their order lines: the good order admits an SC
+// schedule, the bad one contradicts the read sequence.
+const orderedTraceGood = `init x 0
+P0: W x 1
+P1: W x 2
+P2: R x 1
+P2: R x 2
+order x P0[0] P1[0]
+`
+
+const orderedTraceBad = `init x 0
+P0: W x 1
+P1: W x 2
+P2: R x 1
+P2: R x 2
+order x P1[0] P0[0]
+`
+
+// TestCacheKeyIncludesWriteOrders proves two traces with identical
+// executions but different order lines do not share a cache entry when
+// use_order is in play — the second must get its own (opposite)
+// verdict, not the first one's cached answer.
+func TestCacheKeyIncludesWriteOrders(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	resp, first := postTrace(t, ts, "?model=sc&use_order=true", orderedTraceGood)
+	if resp.StatusCode != http.StatusOK || first.Verdict != "consistent" {
+		t.Fatalf("good order: status %d %+v", resp.StatusCode, first)
+	}
+	resp, second := postTrace(t, ts, "?model=sc&use_order=true", orderedTraceBad)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bad order: status %d", resp.StatusCode)
+	}
+	if second.Cached {
+		t.Error("different order lines served the first trace's cache entry")
+	}
+	if second.Verdict != "inconsistent" {
+		t.Errorf("bad order verdict %q, want inconsistent", second.Verdict)
+	}
+	// An identical repeat still hits.
+	_, third := postTrace(t, ts, "?model=sc&use_order=true", orderedTraceBad)
+	if !third.Cached || third.Verdict != "inconsistent" {
+		t.Errorf("repeat of bad order: %+v", third)
+	}
+}
+
+// TestCacheKeyCanonicalSpellings proves equivalent model/strategy
+// spellings share one cache entry instead of fragmenting the LRU.
+func TestCacheKeyCanonicalSpellings(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 2})
+	postTrace(t, ts, "", coherentTrace) // model "", strategy ""
+	_, second := postTrace(t, ts, "?model=COHERENCE&strategy=auto", coherentTrace)
+	if !second.Cached {
+		t.Error("canonical-equivalent spellings missed the cache")
+	}
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cache fragmented into %d entries, want 1", n)
+	}
+}
+
+// TestNegativeBudgetsRejected proves negative budgets are rejected in
+// both request encodings — downstream they would read as "unlimited"
+// and bypass the server ceilings.
+func TestNegativeBudgetsRejected(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	for name, body := range map[string]VerifyRequest{
+		"json negative max_states": {Trace: coherentTrace, MaxStates: -1},
+		"json negative timeout_ms": {Trace: coherentTrace, TimeoutMS: -1},
+	} {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	for _, query := range []string{"?max_states=-1", "?timeout_ms=-1"} {
+		resp, _ := postTrace(t, ts, query, coherentTrace)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %s: status %d, want 400", query, resp.StatusCode)
+		}
+	}
+}
+
+// TestShutdownAnswers503 proves an enqueue failure during shutdown is
+// reported as 503 Service Unavailable and counted as unavailable, not
+// blamed on the client as a 400 parse error.
+func TestShutdownAnswers503(t *testing.T) {
+	s := newServer(serverConfig{workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	s.Close() // fleet stopped: enqueue can only fail with errShuttingDown
+	resp, _ := postTrace(t, ts, "", coherentTrace)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if u, p := s.stats.Unavailable.Load(), s.stats.ParseErrors.Load(); u != 1 || p != 0 {
+		t.Errorf("counters unavailable=%d parse_errors=%d, want 1/0", u, p)
+	}
+}
+
 // hardTrace reduces an unsatisfiable formula to a single-address VMC
 // instance whose complete search runs for seconds — long enough that
 // budgets and cancellation strike mid-search.
