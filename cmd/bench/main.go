@@ -28,8 +28,10 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"memverify/internal/coherence"
+	"memverify/internal/obs"
 	"memverify/internal/memory"
 	"memverify/internal/reduction"
 	"memverify/internal/sat"
@@ -52,6 +54,12 @@ type benchEntry struct {
 	States int `json:"states,omitempty"`
 	// StatesPerSec is States scaled by the measured ns/op.
 	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// P50Ns/P90Ns/P99Ns are per-op latency quantiles over every
+	// iteration testing.Benchmark ran, from an obs.Histogram fed inside
+	// the loop — ns/op alone hides tail variance between iterations.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P90Ns float64 `json:"p90_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // benchReport is the emitted JSON document.
@@ -195,10 +203,14 @@ func buildSuite(quick bool) ([]benchCase, error) {
 // entry.
 func measure(c benchCase) (benchEntry, error) {
 	var opErr error
+	lat := obs.NewHistogram()
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := c.op(); err != nil {
+			t0 := time.Now()
+			err := c.op()
+			lat.ObserveSince(t0)
+			if err != nil {
 				opErr = err
 				b.FailNow()
 			}
@@ -214,6 +226,12 @@ func measure(c benchCase) (benchEntry, error) {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	// The histogram saw every calibration round, not just the final N —
+	// more samples, same distribution.
+	snap := lat.Snapshot()
+	e.P50Ns = float64(snap.Quantile(0.50))
+	e.P90Ns = float64(snap.Quantile(0.90))
+	e.P99Ns = float64(snap.Quantile(0.99))
 	if c.states != nil {
 		n, err := c.states()
 		if err != nil {
@@ -249,8 +267,8 @@ func run(out string, quick bool, logf func(format string, args ...any)) error {
 		if err != nil {
 			return err
 		}
-		logf("%-44s %12.0f ns/op %8d allocs/op %14.0f states/s\n",
-			e.Name, e.NsPerOp, e.AllocsPerOp, e.StatesPerSec)
+		logf("%-44s %12.0f ns/op %8d allocs/op %14.0f states/s  p50 %.0fns p99 %.0fns\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.StatesPerSec, e.P50Ns, e.P99Ns)
 		report.Entries = append(report.Entries, e)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

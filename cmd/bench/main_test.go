@@ -69,6 +69,9 @@ func TestMeasureAndReport(t *testing.T) {
 	if e.States <= 0 || e.StatesPerSec <= 0 {
 		t.Fatalf("solve case lost its state count: %+v", e)
 	}
+	if e.P50Ns <= 0 || e.P90Ns < e.P50Ns || e.P99Ns < e.P90Ns {
+		t.Fatalf("implausible latency quantiles: %+v", e)
+	}
 
 	out := filepath.Join(t.TempDir(), "bench.json")
 	report := benchReport{Schema: benchSchema, Entries: []benchEntry{e}}

@@ -79,6 +79,12 @@ type VerifyResponse struct {
 	Stats     StatsJSON    `json:"stats"`
 	Cached    bool         `json:"cached"`
 	ElapsedMS float64      `json:"elapsed_ms"`
+	// RequestID echoes the X-Request-ID header in the body, so a logged
+	// response can be joined against the server's JSONL trace spans.
+	RequestID string `json:"request_id,omitempty"`
+	// Timings is the per-stage latency breakdown (milliseconds), present
+	// only when the request asked for it with ?debug=timings.
+	Timings map[string]float64 `json:"timings,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 response.

@@ -33,9 +33,12 @@ type loadgenConfig struct {
 // traces would.
 const loadgenPoolSize = 24
 
-// benchReport is the BENCH_PR6.json schema.
+// benchReport is the BENCH_PR7.json schema. v2 adds the Server block:
+// stage-latency quantiles scraped from the server's own /metrics after
+// the run, so the report shows where time went inside the service, not
+// just round-trip latency as seen by the clients.
 type benchReport struct {
-	Schema    string `json:"schema"` // "memverifyd-loadgen/v1"
+	Schema    string `json:"schema"` // "memverifyd-loadgen/v2"
 	Timestamp string `json:"timestamp"`
 	Config    struct {
 		Requests int   `json:"requests"`
@@ -61,6 +64,69 @@ type benchReport struct {
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
 	Verdicts map[string]int `json:"verdicts"`
+	Server   struct {
+		// Stages maps stage name (parse, cache, queue, solve, merge) to
+		// its latency quantiles from memverifyd_stage_duration_seconds.
+		Stages map[string]stageLatency `json:"stages"`
+		// Request is the whole-request histogram
+		// (memverifyd_request_duration_seconds) over the same run.
+		Request stageLatency `json:"request"`
+		// ScrapeSamples counts the parsed /metrics samples — nonzero
+		// proves the exposition round-tripped through the strict parser.
+		ScrapeSamples int `json:"scrape_samples"`
+	} `json:"server"`
+}
+
+// stageLatency is one histogram summarized for the report.
+type stageLatency struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// summarize converts a scraped histogram (seconds) to report shape (ms).
+func summarize(h *histScrape) stageLatency {
+	const toMS = 1000
+	return stageLatency{
+		Count:  int64(h.count),
+		P50MS:  h.quantile(0.50) * toMS,
+		P90MS:  h.quantile(0.90) * toMS,
+		P99MS:  h.quantile(0.99) * toMS,
+		MeanMS: h.mean() * toMS,
+	}
+}
+
+// scrapeServerMetrics pulls GET /metrics and fills rep.Server. An
+// invalid exposition is a hard error: the loadgen doubles as a format
+// check on the server's Prometheus writer.
+func scrapeServerMetrics(client *http.Client, base string, rep *benchReport) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	samples, err := parsePromText(string(body))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	rep.Server.ScrapeSamples = len(samples)
+	rep.Server.Stages = map[string]stageLatency{}
+	for stage, h := range collectHistograms(samples, "memverifyd_stage_duration_seconds", "stage") {
+		rep.Server.Stages[stage] = summarize(h)
+	}
+	if h, ok := collectHistograms(samples, "memverifyd_request_duration_seconds", "")[""]; ok {
+		rep.Server.Request = summarize(h)
+	}
+	return nil
 }
 
 // loadgenTrace is one pool entry: serialized trace text plus the model
@@ -183,7 +249,7 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &benchReport{Schema: "memverifyd-loadgen/v1", Timestamp: start.UTC().Format(time.RFC3339)}
+	rep := &benchReport{Schema: "memverifyd-loadgen/v2", Timestamp: start.UTC().Format(time.RFC3339)}
 	rep.Config.Requests = cfg.requests
 	rep.Config.Conc = cfg.conc
 	rep.Config.Workers = scfg.withDefaults().workers
@@ -219,10 +285,13 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	}
 	rep.DurationMS = float64(elapsed) / float64(time.Millisecond)
 	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
-	rep.Cache.Hits = int(srv.stats.CacheHits.Load())
-	rep.Cache.Misses = int(srv.stats.CacheMisses.Load())
+	rep.Cache.Hits = int(srv.stats.CacheHits.Value())
+	rep.Cache.Misses = int(srv.stats.CacheMisses.Value())
 	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
 		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
+	}
+	if err := scrapeServerMetrics(client, base, rep); err != nil {
+		return err
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -236,5 +305,9 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	fmt.Printf("loadgen: %d ok, %d rejected, %d errors in %.1fms — %.0f req/s, p50 %.2fms p99 %.2fms, cache hit-rate %.2f\n",
 		rep.Requests, rep.Rejected, rep.Errors, rep.DurationMS, rep.Throughput,
 		rep.Latency.P50, rep.Latency.P99, rep.Cache.HitRate)
+	if solve, ok := rep.Server.Stages["solve"]; ok {
+		fmt.Printf("loadgen: server-side solve p50 %.2fms p99 %.2fms over %d shard solves (%d metric samples scraped)\n",
+			solve.P50MS, solve.P99MS, solve.Count, rep.Server.ScrapeSamples)
+	}
 	return nil
 }

@@ -2,31 +2,45 @@
 // trace, get a verdict. Per-address VMC work is sharded across a
 // bounded worker fleet (largest projection first), admission is bounded
 // with backpressure (429 + Retry-After), decided verdicts are cached by
-// execution fingerprint, and the standard obs debug endpoint (expvar +
-// pprof) is mounted under /debug/.
+// execution fingerprint, and the service carries its own telemetry:
+// every request gets an X-Request-ID (propagated into the obs span
+// trace), every stage (parse, cache, queue, solve, merge) feeds a
+// latency histogram, and live saturation gauges, the Prometheus
+// exposition, and in-flight/slowest request tables are all served over
+// HTTP.
 //
 // Endpoints:
 //
-//	POST /v1/verify   verify a trace (JSON envelope or raw trace text)
-//	GET  /v1/healthz  liveness
-//	GET  /v1/stats    service counters
-//	GET  /debug/vars  expvar (solver metrics included)
-//	GET  /debug/pprof pprof profiles
+//	POST /v1/verify       verify a trace (JSON envelope or raw trace
+//	                      text; ?debug=timings echoes the stage split)
+//	GET  /v1/healthz      liveness
+//	GET  /v1/stats        service counters + saturation gauges
+//	GET  /metrics         Prometheus text exposition (stage histograms,
+//	                      gauges, counters)
+//	GET  /debug/requests  in-flight request table + N slowest requests
+//	                      with stage breakdowns
+//	GET  /debug/vars      expvar (solver metrics included)
+//	GET  /debug/pprof     pprof profiles
 //
 // With -loadgen the binary instead boots an in-process server, drives a
-// randomized workload against it over real HTTP, and writes a
-// throughput/latency/cache report (BENCH_PR6.json schema
-// "memverifyd-loadgen/v1") to -loadgen-out.
+// randomized workload against it over real HTTP, scrapes /metrics for
+// the server-side stage quantiles, and writes a combined report
+// (BENCH_PR7.json schema "memverifyd-loadgen/v2") to -loadgen-out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
+
+	"memverify/internal/obs"
 )
 
 func main() {
@@ -40,11 +54,13 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "default per-solve timeout (0 = none)")
 		capStates   = flag.Int("cap-states", 0, "ceiling clamped onto request state budgets (0 = none)")
 		capTimeout  = flag.Duration("cap-timeout", 0, "ceiling clamped onto request timeouts (0 = none)")
+		traceOut    = flag.String("trace", "", "write a JSONL span/event trace of every request to this file (spans carry X-Request-ID)")
+		slowReqs    = flag.Int("slow-requests", 32, "slowest requests kept for GET /debug/requests")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator against an in-process server and exit")
 		loadgenN    = flag.Int("loadgen-requests", 400, "loadgen: total requests")
 		loadgenConc = flag.Int("loadgen-conc", 8, "loadgen: concurrent clients")
-		loadgenOut  = flag.String("loadgen-out", "BENCH_PR6.json", "loadgen: report path")
+		loadgenOut  = flag.String("loadgen-out", "BENCH_PR7.json", "loadgen: report path")
 		loadgenSeed = flag.Int64("loadgen-seed", 1, "loadgen: workload seed")
 	)
 	flag.Parse()
@@ -58,6 +74,20 @@ func main() {
 		timeoutDefault:   *timeout,
 		maxStatesCap:     *capStates,
 		timeoutCap:       *capTimeout,
+		slowRequests:     *slowReqs,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memverifyd:", err)
+			os.Exit(1)
+		}
+		jl := obs.NewJSONL(f)
+		defer func() {
+			jl.Close()
+			f.Close()
+		}()
+		cfg.traceSink = jl
 	}
 
 	if *loadgen {
@@ -89,7 +119,16 @@ func main() {
 	fmt.Printf("memverifyd listening on http://%s (workers=%d inflight=%d queue=%d cache=%d)\n",
 		ln.Addr(), cfg.withDefaults().workers, cfg.withDefaults().maxInflight, cfg.queueDepth, cfg.cacheSize)
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	if err := httpSrv.Serve(ln); err != nil {
+	// SIGINT/SIGTERM shut down gracefully so the deferred cleanups run —
+	// without this, killing the service truncates the buffered -trace
+	// JSONL mid-line.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		httpSrv.Shutdown(context.Background())
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "memverifyd:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the client side of GET /metrics: a strict parser for the
+// Prometheus text exposition format (stdlib-only, like the writer in
+// internal/obs) and a cumulative-bucket quantile estimator. The loadgen
+// uses it to pull the server-side stage-latency quantiles into the
+// BENCH report, and the parser doubles as a format validator — a line
+// the parser rejects would also break a real Prometheus scraper.
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromText parses a whole exposition, returning every sample.
+// Malformed lines are errors: the caller treats the scrape as invalid.
+func parsePromText(text string) ([]promSample, error) {
+	var out []promSample
+	for ln, line := range strings.Split(text, "\n") {
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", ln+1, err)
+		}
+		if s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out, nil
+}
+
+// parsePromLine parses one line: nil for blanks and well-formed
+// comments, a sample otherwise.
+func parsePromLine(line string) (*promSample, error) {
+	if line == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(line, "#") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") || !validMetricName(fields[2]) {
+			return nil, fmt.Errorf("malformed comment %q", line)
+		}
+		if fields[1] == "TYPE" {
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("unknown metric type in %q", line)
+			}
+		}
+		return nil, nil
+	}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return nil, fmt.Errorf("no value in %q", line)
+	}
+	s := &promSample{name: rest[:nameEnd], labels: map[string]string{}}
+	if !validMetricName(s.name) {
+		return nil, fmt.Errorf("bad metric name in %q", line)
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		end, err := parsePromLabels(rest, s.labels)
+		if err != nil {
+			return nil, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// A timestamp after the value is legal in the format; the server
+	// never writes one, so a second field here is an error.
+	if strings.ContainsRune(rest, ' ') {
+		return nil, fmt.Errorf("unexpected trailing field in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parsePromLabels parses a {k="v",...} block starting at s[0]=='{',
+// filling into and returning the index just past the closing brace.
+func parsePromLabels(s string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		key := s[i : i+eq]
+		if !validMetricName(key) {
+			return 0, fmt.Errorf("bad label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value")
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			switch s[i] {
+			case '"':
+				i++
+				goto valueDone
+			case '\\':
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape")
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c", s[i+1])
+				}
+				i += 2
+			default:
+				val.WriteByte(s[i])
+				i++
+			}
+		}
+	valueDone:
+		into[key] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// histScrape reassembles one histogram series from its exposition
+// lines: cumulative counts per le bound, plus _sum and _count.
+type histScrape struct {
+	bounds []float64 // seconds, sorted, excludes +Inf
+	cum    []float64 // cumulative count at each bound
+	count  float64
+	sum    float64
+}
+
+// quantile estimates the q-th quantile in seconds by interpolating
+// within the bucket where the cumulative count crosses the rank — the
+// same arithmetic as PromQL's histogram_quantile.
+func (h *histScrape) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * h.count
+	var prevBound, prevCum float64
+	for i, b := range h.bounds {
+		if h.cum[i] >= rank {
+			width := h.cum[i] - prevCum
+			if width <= 0 {
+				return b
+			}
+			return prevBound + (b-prevBound)*(rank-prevCum)/width
+		}
+		prevBound, prevCum = b, h.cum[i]
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// mean returns the average sample in seconds.
+func (h *histScrape) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// collectHistograms groups the samples of one histogram family by the
+// value of groupLabel ("" collects the single unlabeled series under
+// key "").
+func collectHistograms(samples []promSample, family, groupLabel string) map[string]*histScrape {
+	out := map[string]*histScrape{}
+	get := func(s promSample) *histScrape {
+		key := ""
+		if groupLabel != "" {
+			key = s.labels[groupLabel]
+		}
+		h, ok := out[key]
+		if !ok {
+			h = &histScrape{}
+			out[key] = h
+		}
+		return h
+	}
+	type bucket struct{ le, cum float64 }
+	buckets := map[string][]bucket{}
+	for _, s := range samples {
+		switch s.name {
+		case family + "_bucket":
+			le := s.labels["le"]
+			if le == "+Inf" {
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil || math.IsInf(b, 0) {
+				continue
+			}
+			key := ""
+			if groupLabel != "" {
+				key = s.labels[groupLabel]
+			}
+			get(s) // ensure the series exists even if only buckets seen yet
+			buckets[key] = append(buckets[key], bucket{le: b, cum: s.value})
+		case family + "_sum":
+			get(s).sum = s.value
+		case family + "_count":
+			get(s).count = s.value
+		}
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		h := out[key]
+		for _, b := range bs {
+			h.bounds = append(h.bounds, b.le)
+			h.cum = append(h.cum, b.cum)
+		}
+	}
+	return out
+}

@@ -37,6 +37,13 @@ type serverConfig struct {
 	timeoutCap       time.Duration
 	maxStatesDefault int
 	timeoutDefault   time.Duration
+	// slowRequests bounds the slow-request table behind
+	// GET /debug/requests (0 = default 32).
+	slowRequests int
+	// traceSink, when set, receives the JSONL span/event stream of every
+	// request (the -trace flag). Spans carry the request id, so one
+	// request's trace can be stitched out of the shared stream.
+	traceSink obs.Sink
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -55,24 +62,34 @@ func (c serverConfig) withDefaults() serverConfig {
 	return c
 }
 
-// serverStats are the live counters behind GET /v1/stats.
+// serverStats are the service counters behind GET /v1/stats — each one
+// a registry counter, so /metrics exposes the same registers without
+// double bookkeeping.
 type serverStats struct {
-	Requests    atomic.Int64
-	Rejected    atomic.Int64
-	ParseErrors atomic.Int64
-	Unavailable atomic.Int64
-	Cancelled   atomic.Int64
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
-	Decided     atomic.Int64
-	Violations  atomic.Int64
-	Undecided   atomic.Int64
+	Requests    obs.Counter
+	Rejected    obs.Counter
+	ParseErrors obs.Counter
+	Unavailable obs.Counter
+	Cancelled   obs.Counter
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter
+	Decided     obs.Counter
+	Violations  obs.Counter
+	Undecided   obs.Counter
 }
+
+// stageNames are the request stages with latency histograms: parse
+// (body read + trace parse), cache (result-cache lookup), queue (shard
+// wait for a fleet worker), solve (per-shard search compute), merge
+// (per-address verdict aggregation). Queue and solve record one sample
+// per shard; the others one per request.
+var stageNames = []string{"parse", "cache", "queue", "solve", "merge"}
 
 // Server is the memverifyd verification service: a bounded worker fleet
 // draining a shard queue, an admission semaphore providing backpressure,
-// a fingerprint-keyed result cache, and the obs debug endpoint as the
-// ops surface.
+// a fingerprint-keyed result cache, and a telemetry surface — stage
+// latency histograms and live gauges at /metrics, request traces with
+// ids, and in-flight/slowest request tables at /debug/requests.
 type Server struct {
 	cfg      serverConfig
 	queue    chan func()
@@ -88,11 +105,22 @@ type Server struct {
 	// Close acquires the write side no shard can slip into the queue
 	// after the drain that would have caught it.
 	closeMu sync.RWMutex
+
+	// Telemetry: the metric registry behind GET /metrics, per-stage
+	// latency histograms, the whole-request histogram, the live
+	// worker-busy count, the request table, and the optional tracer.
+	reg         *obs.Registry
+	stage       map[string]*obs.Histogram
+	reqHist     *obs.Histogram
+	workersBusy atomic.Int64
+	reqs        *requestTable
+	tracer      *obs.Tracer
 }
 
 // newServer builds the service and starts its worker fleet.
 func newServer(cfg serverConfig) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan func(), cfg.queueDepth),
@@ -101,10 +129,54 @@ func newServer(cfg serverConfig) *Server {
 		metrics:  obs.NewMetrics(),
 		mux:      http.NewServeMux(),
 		stop:     make(chan struct{}),
+		reg:      reg,
+		stage:    make(map[string]*obs.Histogram, len(stageNames)),
+		reqs:     newRequestTable(cfg.slowRequests),
+		tracer:   obs.NewTracer(cfg.traceSink),
 	}
+
+	// Registry: stage and request latency histograms, service counters,
+	// and live saturation gauges. The counters double as the /v1/stats
+	// payload, so both surfaces read the same registers.
+	reg.SetHelp("memverifyd_stage_duration_seconds",
+		"Request latency by stage: parse, cache, queue (per shard), solve (per shard), merge.")
+	for _, st := range stageNames {
+		s.stage[st] = reg.Histogram("memverifyd_stage_duration_seconds", obs.Label{Key: "stage", Value: st})
+	}
+	reg.SetHelp("memverifyd_request_duration_seconds", "End-to-end /v1/verify latency.")
+	s.reqHist = reg.Histogram("memverifyd_request_duration_seconds")
+	s.stats = serverStats{
+		Requests:    reg.Counter("memverifyd_requests_total"),
+		Rejected:    reg.Counter("memverifyd_rejected_total"),
+		ParseErrors: reg.Counter("memverifyd_parse_errors_total"),
+		Unavailable: reg.Counter("memverifyd_unavailable_total"),
+		Cancelled:   reg.Counter("memverifyd_cancelled_total"),
+		CacheHits:   reg.Counter("memverifyd_cache_hits_total"),
+		CacheMisses: reg.Counter("memverifyd_cache_misses_total"),
+		Decided:     reg.Counter("memverifyd_decided_total"),
+		Violations:  reg.Counter("memverifyd_violations_total"),
+		Undecided:   reg.Counter("memverifyd_undecided_total"),
+	}
+	reg.SetHelp("memverifyd_queue_depth", "Shards waiting in the fleet queue.")
+	reg.GaugeFunc("memverifyd_queue_depth", func() float64 { return float64(len(s.queue)) })
+	reg.SetHelp("memverifyd_in_flight", "Admitted requests not yet answered.")
+	reg.GaugeFunc("memverifyd_in_flight", func() float64 { return float64(len(s.inflight)) })
+	reg.SetHelp("memverifyd_workers_busy", "Fleet workers currently running a shard.")
+	reg.GaugeFunc("memverifyd_workers_busy", func() float64 { return float64(s.workersBusy.Load()) })
+	reg.SetHelp("memverifyd_worker_utilization", "workers_busy / workers, 0..1.")
+	reg.GaugeFunc("memverifyd_worker_utilization", func() float64 {
+		return float64(s.workersBusy.Load()) / float64(cfg.workers)
+	})
+	reg.SetHelp("memverifyd_workers", "Configured fleet size.")
+	reg.Gauge("memverifyd_workers").Set(int64(cfg.workers))
+	reg.SetHelp("memverifyd_cache_len", "Result-cache entries.")
+	reg.GaugeFunc("memverifyd_cache_len", func() float64 { return float64(s.cache.len()) })
+
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", obs.PromHandler(reg))
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.mux.Handle("/debug/", obs.DebugHandler(s.metrics))
 	for i := 0; i < cfg.workers; i++ {
 		s.wg.Add(1)
@@ -113,7 +185,7 @@ func newServer(cfg serverConfig) *Server {
 			for {
 				select {
 				case fn := <-s.queue:
-					fn()
+					s.runShard(fn)
 				case <-s.stop:
 					return
 				}
@@ -121,6 +193,13 @@ func newServer(cfg serverConfig) *Server {
 		}()
 	}
 	return s
+}
+
+// runShard executes one queued shard, tracking fleet utilization.
+func (s *Server) runShard(fn func()) {
+	s.workersBusy.Add(1)
+	fn()
+	s.workersBusy.Add(-1)
 }
 
 // Close stops the worker fleet (idempotent is not needed; call once).
@@ -138,7 +217,7 @@ func (s *Server) Close() {
 	for {
 		select {
 		case fn := <-s.queue:
-			fn()
+			s.runShard(fn)
 		default:
 			return
 		}
@@ -178,25 +257,56 @@ func (s *Server) enqueue(ctx context.Context, fn func()) error {
 	}
 }
 
+// enqueueTimed is enqueue plus stage telemetry: the shard's wait from
+// enqueue to execution is recorded as queue time, the body itself as
+// solve time — per shard, into both the request's timings and the
+// stage histograms.
+func (s *Server) enqueueTimed(ctx context.Context, tm *reqTimings, body func()) error {
+	enqueued := time.Now()
+	return s.enqueue(ctx, func() {
+		wait := time.Since(enqueued)
+		tm.addQueue(wait)
+		s.stage["queue"].Observe(int64(wait))
+		t0 := time.Now()
+		body()
+		d := time.Since(t0)
+		tm.addSolve(d)
+		s.stage["solve"].Observe(int64(d))
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.cfg.workers})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":     s.stats.Requests.Load(),
-		"rejected":     s.stats.Rejected.Load(),
-		"parse_errors": s.stats.ParseErrors.Load(),
-		"unavailable":  s.stats.Unavailable.Load(),
-		"cancelled":    s.stats.Cancelled.Load(),
-		"cache_hits":   s.stats.CacheHits.Load(),
-		"cache_misses": s.stats.CacheMisses.Load(),
+		"requests":     s.stats.Requests.Value(),
+		"rejected":     s.stats.Rejected.Value(),
+		"parse_errors": s.stats.ParseErrors.Value(),
+		"unavailable":  s.stats.Unavailable.Value(),
+		"cancelled":    s.stats.Cancelled.Value(),
+		"cache_hits":   s.stats.CacheHits.Value(),
+		"cache_misses": s.stats.CacheMisses.Value(),
 		"cache_len":    s.cache.len(),
-		"decided":      s.stats.Decided.Load(),
-		"violations":   s.stats.Violations.Load(),
-		"undecided":    s.stats.Undecided.Load(),
+		"decided":      s.stats.Decided.Value(),
+		"violations":   s.stats.Violations.Value(),
+		"undecided":    s.stats.Undecided.Value(),
 		"queue_depth":  len(s.queue),
-		"inflight":     len(s.inflight),
+		"in_flight":    len(s.inflight),
+		"workers_busy": s.workersBusy.Load(),
+		"workers":      s.cfg.workers,
+	})
+}
+
+// handleDebugRequests serves GET /debug/requests: the in-flight request
+// table (id, age, current stage) and the slowest completed requests
+// with their stage breakdowns.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	inflight, slowest := s.reqs.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"in_flight": inflight,
+		"slowest":   slowest,
 	})
 }
 
@@ -206,56 +316,95 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	s.stats.Requests.Add(1)
+	s.stats.Requests.Inc()
 	// Admission: the semaphore is the bounded ingest queue. A full
 	// server answers immediately with backpressure instead of buffering
 	// unbounded work.
 	select {
 	case s.inflight <- struct{}{}:
 	default:
-		s.stats.Rejected.Add(1)
+		s.stats.Rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.maxInflight)
 		return
 	}
 	defer func() { <-s.inflight }()
 
+	// Request identity: echoed in the response header, stamped onto
+	// every obs span begun under this request's context, and the key of
+	// the in-flight table entry.
+	reqID := newRequestID(r)
+	w.Header().Set("X-Request-ID", reqID)
+	live := s.reqs.start(reqID, r.RemoteAddr)
+	start := time.Now()
+	tm := &reqTimings{}
+	outcome := "error"
+	defer func() {
+		total := time.Since(start)
+		s.reqHist.Observe(int64(total))
+		// Per-request stages fold into the histograms once, at the end;
+		// a stage that never ran (merge on a cache hit) stays out.
+		for st, ns := range map[string]int64{
+			"parse": tm.parse.Load(), "cache": tm.cache.Load(), "merge": tm.merge.Load(),
+		} {
+			if ns > 0 {
+				s.stage[st].Observe(ns)
+			}
+		}
+		s.reqs.finish(live, outcome, tm.debugMap(total))
+	}()
+
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	ctx = obs.With(ctx, &obs.Observer{Tracer: s.tracer, Metrics: s.metrics})
+	span, ctx := s.tracer.Begin(ctx, "request")
+	defer func() { span.End(outcome, 0) }()
+
+	t0 := time.Now()
 	req, err := readVerifyRequest(r)
+	tm.addParse(time.Since(t0))
 	if err != nil {
-		s.stats.ParseErrors.Add(1)
+		s.stats.ParseErrors.Inc()
+		outcome = "parse_error"
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	start := time.Now()
-	resp, status, err := s.verify(r.Context(), req)
+	resp, status, err := s.verify(ctx, req, tm, live)
 	if r.Context().Err() != nil {
 		// Client went away; the searches were cancelled through the
 		// context (a cancelled search reports as an undecided budget
 		// trip, so check the context before interpreting the outcome).
 		// Nothing to write.
-		s.stats.Cancelled.Add(1)
+		s.stats.Cancelled.Inc()
+		outcome = "cancelled"
 		return
 	}
 	if err != nil {
 		// 5xx means the server could not take the work (shutdown); only
 		// 4xx counts against the client as a parse/validation error.
 		if status >= http.StatusInternalServerError {
-			s.stats.Unavailable.Add(1)
+			s.stats.Unavailable.Inc()
+			outcome = "unavailable"
 		} else {
-			s.stats.ParseErrors.Add(1)
+			s.stats.ParseErrors.Inc()
+			outcome = "parse_error"
 		}
 		writeError(w, status, "%v", err)
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.RequestID = reqID
+	if r.URL.Query().Get("debug") == "timings" {
+		resp.Timings = tm.debugMap(time.Since(start))
+	}
+	outcome = resp.Verdict
 	switch resp.Verdict {
 	case "undecided":
-		s.stats.Undecided.Add(1)
+		s.stats.Undecided.Inc()
 	case "incoherent", "inconsistent":
-		s.stats.Decided.Add(1)
-		s.stats.Violations.Add(1)
+		s.stats.Decided.Inc()
+		s.stats.Violations.Inc()
 	default:
-		s.stats.Decided.Add(1)
+		s.stats.Decided.Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -282,7 +431,8 @@ func (s *Server) budgetFor(req *VerifyRequest) (int, time.Duration) {
 // verify parses, consults the cache, runs the verification on the
 // fleet, and caches decided answers. The returned int is the HTTP
 // status for a non-nil error.
-func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, int, error) {
+func (s *Server) verify(ctx context.Context, req *VerifyRequest, tm *reqTimings, live *liveReq) (*VerifyResponse, int, error) {
+	t0 := time.Now()
 	model, err := consistency.ParseModel(orDefault(req.Model, "coherence"))
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -291,23 +441,29 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespons
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	s.reqs.setModel(live, model.String())
 	tr, err := trace.Read(strings.NewReader(req.Trace))
+	if err == nil {
+		err = tr.Exec.Validate()
+	}
+	tm.addParse(time.Since(t0))
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	if err := tr.Exec.Validate(); err != nil {
-		return nil, http.StatusBadRequest, err
-	}
 
+	s.reqs.setStage(live, "cache")
 	maxStates, timeout := s.budgetFor(req)
 	key := cacheKey(coherence.ExecutionFingerprint(tr.Exec), model.String(), strategy.String(),
 		maxStates, timeout, req.UseOrder, tr.WriteOrders)
-	if resp, ok := s.cache.get(key); ok {
-		s.stats.CacheHits.Add(1)
+	t0 = time.Now()
+	resp, ok := s.cache.get(key)
+	tm.addCache(time.Since(t0))
+	if ok {
+		s.stats.CacheHits.Inc()
 		resp.Cached = true
 		return &resp, 0, nil
 	}
-	s.stats.CacheMisses.Add(1)
+	s.stats.CacheMisses.Inc()
 
 	cfgOpts := []solver.ConfigOption{
 		solver.WithStrategy(strategy),
@@ -316,13 +472,13 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespons
 	if req.UseOrder {
 		cfgOpts = append(cfgOpts, solver.WithWriteOrders(tr.WriteOrders))
 	}
-	ctx = obs.With(ctx, &obs.Observer{Metrics: s.metrics})
 
-	var resp *VerifyResponse
+	s.reqs.setStage(live, "solve")
+	var out *VerifyResponse
 	if model == consistency.CoherenceOnly {
-		resp, err = s.verifyCoherenceSharded(ctx, tr, cfgOpts)
+		out, err = s.verifyCoherenceSharded(ctx, tr, cfgOpts, tm, live)
 	} else {
-		resp, err = s.verifyConsistency(ctx, model, tr, cfgOpts)
+		out, err = s.verifyConsistency(ctx, model, tr, cfgOpts, tm)
 	}
 	if err != nil {
 		if errors.Is(err, errShuttingDown) {
@@ -330,19 +486,19 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyRespons
 		}
 		return nil, http.StatusBadRequest, err
 	}
-	resp.Model = model.String()
-	resp.Strategy = strategy.String()
-	if resp.Verdict != "undecided" {
-		s.cache.put(key, *resp)
+	out.Model = model.String()
+	out.Strategy = strategy.String()
+	if out.Verdict != "undecided" {
+		s.cache.put(key, *out)
 	}
-	return resp, 0, nil
+	return out, 0, nil
 }
 
 // verifyCoherenceSharded fans the per-address VMC checks of one request
 // out over the shared worker fleet, largest projection first (the LPT
 // order parallel verification uses), so one hot request cannot
 // monopolize the fleet against concurrent small ones.
-func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cfgOpts []solver.ConfigOption) (*VerifyResponse, error) {
+func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cfgOpts []solver.ConfigOption, tm *reqTimings, live *liveReq) (*VerifyResponse, error) {
 	v := coherence.NewVerifier(cfgOpts...)
 	addrs := coherence.AddressesByHardness(tr.Exec)
 	reports := make([]*coherence.AddrReport, len(addrs))
@@ -351,7 +507,7 @@ func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cf
 	for i, a := range addrs {
 		i, a := i, a
 		wg.Add(1)
-		if err := s.enqueue(ctx, func() {
+		if err := s.enqueueTimed(ctx, tm, func() {
 			defer wg.Done()
 			reports[i], errs[i] = v.SolveAddr(ctx, tr.Exec, a)
 		}); err != nil {
@@ -364,6 +520,9 @@ func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cf
 	}
 	wg.Wait()
 
+	s.reqs.setStage(live, "merge")
+	t0 := time.Now()
+	defer func() { tm.addMerge(time.Since(t0)) }()
 	resp := &VerifyResponse{Verdict: "coherent"}
 	var agg solver.Stats
 	var budget *solver.ErrBudgetExceeded
@@ -418,7 +577,7 @@ func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cf
 // verifyConsistency runs a whole-execution model as a single fleet
 // task: the SC/VSCC searches and the operational machines are one
 // search over all addresses, so there is nothing to shard.
-func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model, tr *trace.Trace, cfgOpts []solver.ConfigOption) (*VerifyResponse, error) {
+func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model, tr *trace.Trace, cfgOpts []solver.ConfigOption, tm *reqTimings) (*VerifyResponse, error) {
 	v := consistency.NewVerifier(model, cfgOpts...)
 	var (
 		res *consistency.Result
@@ -426,7 +585,7 @@ func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model,
 		wg  sync.WaitGroup
 	)
 	wg.Add(1)
-	if qerr := s.enqueue(ctx, func() {
+	if qerr := s.enqueueTimed(ctx, tm, func() {
 		defer wg.Done()
 		res, err = v.Verify(ctx, tr.Exec)
 	}); qerr != nil {

@@ -139,7 +139,7 @@ func TestBackpressure(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("missing Retry-After header")
 	}
-	if got := s.stats.Rejected.Load(); got != 1 {
+	if got := s.stats.Rejected.Value(); got != 1 {
 		t.Errorf("rejected counter %d, want 1", got)
 	}
 	if len(s.queue) != 0 {
@@ -167,7 +167,7 @@ func TestCacheHit(t *testing.T) {
 	if second.Verdict != first.Verdict || len(second.Addrs) != len(first.Addrs) {
 		t.Errorf("cached response diverges: %+v vs %+v", second, first)
 	}
-	if h, m := s.stats.CacheHits.Load(), s.stats.CacheMisses.Load(); h != 1 || m != 1 {
+	if h, m := s.stats.CacheHits.Value(), s.stats.CacheMisses.Value(); h != 1 || m != 1 {
 		t.Errorf("cache counters hits=%d misses=%d", h, m)
 	}
 	// A different budget is a different key.
@@ -277,7 +277,7 @@ func TestShutdownAnswers503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
 	}
-	if u, p := s.stats.Unavailable.Load(), s.stats.ParseErrors.Load(); u != 1 || p != 0 {
+	if u, p := s.stats.Unavailable.Value(), s.stats.ParseErrors.Value(); u != 1 || p != 0 {
 		t.Errorf("counters unavailable=%d parse_errors=%d, want 1/0", u, p)
 	}
 }
@@ -337,8 +337,8 @@ func TestUndecidedOnBudget(t *testing.T) {
 	if again.Cached {
 		t.Error("undecided verdict was cached")
 	}
-	if s.stats.Undecided.Load() != 2 {
-		t.Errorf("undecided counter %d", s.stats.Undecided.Load())
+	if s.stats.Undecided.Value() != 2 {
+		t.Errorf("undecided counter %d", s.stats.Undecided.Value())
 	}
 }
 
@@ -370,7 +370,7 @@ func TestCancellationMidRequest(t *testing.T) {
 	// The handler finishes asynchronously after the client is gone; the
 	// cancelled counter confirms the search aborted via the context.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.stats.Cancelled.Load() == 0 {
+	for s.stats.Cancelled.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never recorded the cancellation")
 		}
@@ -425,7 +425,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "memverifyd-loadgen/v1" {
+	if rep.Schema != "memverifyd-loadgen/v2" {
 		t.Errorf("schema %q", rep.Schema)
 	}
 	if rep.Requests+rep.Errors+rep.Rejected != 60 {
@@ -442,6 +442,18 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if rep.Verdicts["coherent"] == 0 || rep.Verdicts["incoherent"] == 0 {
 		t.Errorf("verdict mix missing a class: %v", rep.Verdicts)
+	}
+	// v2: the server-side stage quantiles scraped from /metrics.
+	if rep.Server.ScrapeSamples == 0 {
+		t.Errorf("no /metrics samples scraped")
+	}
+	for _, stage := range []string{"parse", "queue", "solve", "merge"} {
+		if rep.Server.Stages[stage].Count == 0 {
+			t.Errorf("stage %q has no observations: %+v", stage, rep.Server.Stages)
+		}
+	}
+	if rep.Server.Request.Count != int64(rep.Requests) {
+		t.Errorf("request histogram count %d, want %d completed", rep.Server.Request.Count, rep.Requests)
 	}
 }
 

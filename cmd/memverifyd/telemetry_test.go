@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memverify/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the JSONL sink flushes
+// from handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestIDHeader checks every verify response carries an
+// X-Request-ID (also echoed in the body), and that a client-supplied id
+// survives end to end.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	resp, vr := postTrace(t, ts, "", coherentTrace)
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	if vr.RequestID != id {
+		t.Errorf("body request_id %q != header %q", vr.RequestID, id)
+	}
+	// A second request gets a different id.
+	resp2, _ := postTrace(t, ts, "", coherentTrace)
+	if id2 := resp2.Header.Get("X-Request-ID"); id2 == "" || id2 == id {
+		t.Errorf("ids not unique: %q then %q", id, id2)
+	}
+	// A client-supplied id is honored.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/verify", strings.NewReader(coherentTrace))
+	req.Header.Set("X-Request-ID", "client-chose-this")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-ID"); got != "client-chose-this" {
+		t.Errorf("client id not honored: %q", got)
+	}
+}
+
+// TestRequestIDInTraceSpans checks the stitching contract: with a JSONL
+// trace sink configured, the spans of a request — the request span and
+// the solver spans nested under it — carry that request's id in their
+// req field, so a logged response joins against the server trace.
+func TestRequestIDInTraceSpans(t *testing.T) {
+	var buf syncBuffer
+	jl := obs.NewJSONL(&buf)
+	_, ts := newTestServer(t, serverConfig{workers: 2, traceSink: jl})
+	resp, _ := postTrace(t, ts, "", coherentTrace)
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	// Span-end defers run after the response is written; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans map[string]int
+	for {
+		jl.Flush()
+		spans = spanNamesForReq(t, buf.String(), id)
+		// The request span plus at least one nested solver span (the
+		// solver names its top span after the strategy, e.g.
+		// "solve-auto") must carry the id.
+		if spans["request"] > 0 && len(spans) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spans for request %q never appeared; got %v", id, spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if spans["request"] != 1 {
+		t.Errorf("want exactly one request span for %q, got %v", id, spans)
+	}
+}
+
+// spanNamesForReq parses a JSONL trace and counts span_begin events
+// carrying req == id, by span name.
+func spanNamesForReq(t *testing.T, trace, id string) map[string]int {
+	t.Helper()
+	out := map[string]int{}
+	for _, line := range strings.Split(trace, "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Ev   string `json:"ev"`
+			Name string `json:"name"`
+			Req  string `json:"req"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if ev.Ev == "span_begin" && ev.Req == id {
+			out[ev.Name]++
+		}
+	}
+	return out
+}
+
+// TestMetricsEndpoint drives a few requests and scrapes /metrics: the
+// exposition must parse (strict parser from promscrape.go), the stage
+// histograms must have observations, and the gauges and counters the
+// ISSUE names must be present.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	postTrace(t, ts, "", coherentTrace)
+	postTrace(t, ts, "", coherentTrace) // cache hit: no solve stage
+	postTrace(t, ts, "", incoherentTrace)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	samples, err := parsePromText(string(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	byName := map[string]int{}
+	for _, s := range samples {
+		byName[s.name]++
+	}
+	for _, name := range []string{
+		"memverifyd_requests_total", "memverifyd_cache_hits_total",
+		"memverifyd_queue_depth", "memverifyd_in_flight",
+		"memverifyd_workers_busy", "memverifyd_worker_utilization",
+		"memverifyd_workers", "memverifyd_cache_len",
+	} {
+		if byName[name] == 0 {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	stages := collectHistograms(samples, "memverifyd_stage_duration_seconds", "stage")
+	for _, stage := range []string{"parse", "cache", "queue", "solve", "merge"} {
+		h, ok := stages[stage]
+		if !ok || h.count == 0 {
+			t.Errorf("stage %q histogram empty", stage)
+		}
+	}
+	if h, ok := collectHistograms(samples, "memverifyd_request_duration_seconds", "")[""]; !ok || h.count != 3 {
+		t.Errorf("request histogram: %+v", h)
+	}
+}
+
+// TestDebugTimings checks ?debug=timings echoes the stage breakdown.
+func TestDebugTimings(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	_, vr := postTrace(t, ts, "?debug=timings", coherentTrace)
+	if vr.Timings == nil {
+		t.Fatal("no timings in response")
+	}
+	for _, key := range []string{"parse_ms", "cache_ms", "queue_wait_ms", "solve_ms", "merge_ms", "shards", "total_ms"} {
+		if _, ok := vr.Timings[key]; !ok {
+			t.Errorf("timings missing %q: %v", key, vr.Timings)
+		}
+	}
+	if vr.Timings["total_ms"] <= 0 || vr.Timings["shards"] != 1 {
+		t.Errorf("implausible timings: %v", vr.Timings)
+	}
+	// Without the flag the field stays off the wire.
+	_, plain := postTrace(t, ts, "", coherentTrace)
+	if plain.Timings != nil {
+		t.Errorf("timings leaked without debug flag: %v", plain.Timings)
+	}
+}
+
+// TestDebugRequestsInflight holds a slow request mid-solve and checks
+// GET /debug/requests shows it in the in-flight table with its id and
+// stage — then, after completion of a fast request, checks the slowest
+// table records stage breakdowns.
+func TestDebugRequestsInflight(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slow, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/verify", strings.NewReader(hardTrace(t)))
+	slow.Header.Set("X-Request-ID", "slow-one")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, err := http.DefaultClient.Do(slow); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	type debugResp struct {
+		InFlight []reqRecord `json:"in_flight"`
+		Slowest  []reqRecord `json:"slowest"`
+	}
+	fetch := func() debugResp {
+		resp, err := http.Get(ts.URL + "/debug/requests")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dr debugResp
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			t.Fatal(err)
+		}
+		return dr
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var seen *reqRecord
+	for seen == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never appeared in /debug/requests in-flight table")
+		}
+		dr := fetch()
+		for i := range dr.InFlight {
+			if dr.InFlight[i].ID == "slow-one" {
+				seen = &dr.InFlight[i]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if seen.Stage != "solve" {
+		t.Errorf("in-flight stage %q, want solve", seen.Stage)
+	}
+	if seen.AgeMS <= 0 {
+		t.Errorf("in-flight age %v", seen.AgeMS)
+	}
+	cancel()
+	<-done
+
+	// A completed request lands in the slowest table with its breakdown.
+	resp, _ := postTrace(t, ts, "", coherentTrace)
+	id := resp.Header.Get("X-Request-ID")
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		dr := fetch()
+		var rec *reqRecord
+		for i := range dr.Slowest {
+			if dr.Slowest[i].ID == id {
+				rec = &dr.Slowest[i]
+			}
+		}
+		if rec != nil {
+			if rec.Verdict != "coherent" || rec.DurationMS <= 0 || rec.Timings["total_ms"] <= 0 {
+				t.Errorf("slow-table record incomplete: %+v", *rec)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completed request never reached the slowest table")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsGauges checks /v1/stats carries the live saturation gauges.
+func TestStatsGauges(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 3})
+	postTrace(t, ts, "", coherentTrace)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"queue_depth", "in_flight", "workers_busy", "workers"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["workers"].(float64) != 3 {
+		t.Errorf("workers = %v, want 3", stats["workers"])
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"memverify/internal/coherence"
 	"memverify/internal/consistency"
@@ -241,6 +242,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			resumePath: *resumePath,
 			collector:  collector,
 			cfg:        cfg,
+			lat:        obs.NewHistogram(),
 		}
 		return c.run(ctx, tr, stdout, stderr)
 	case "sc", "tso", "pso", "lrc", "vscc":
@@ -319,6 +321,7 @@ type coherenceCheck struct {
 	resumePath string
 	collector  *obs.Collector
 	cfg        *solver.Config
+	lat        *obs.Histogram // per-address solve latency, printed with -stats
 }
 
 // resilient reports whether the config asks for the degradation ladder.
@@ -383,8 +386,10 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 			opts = ckrun.Configure(a, c.cfg.Options)
 		}
 
+		solveStart := time.Now()
 		if c.resilient() {
 			ar, err := c.verifier(opts).SolveAddr(ctx, tr.Exec, a)
+			c.lat.ObserveSince(solveStart)
 			if err != nil {
 				if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
 					return code
@@ -411,6 +416,7 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 		} else {
 			res, err = c.verifier(opts).Solve(ctx, tr.Exec, a)
 		}
+		c.lat.ObserveSince(solveStart)
 		if err != nil {
 			if code, stop := c.handleSolveErr(tr, a, err, writeCk, stdout, stderr, &bad); stop {
 				return code
@@ -431,12 +437,31 @@ func (c *coherenceCheck) run(ctx context.Context, tr *trace.Trace, stdout, stder
 			}
 		}
 	}
+	if c.stats {
+		printLatencySummary(stdout, c.lat.Snapshot())
+	}
 	if bad > 0 {
 		fmt.Fprintf(stdout, "VIOLATION: %d of %d addresses incoherent or undecided\n", bad, len(addrs))
 		return 1
 	}
 	fmt.Fprintf(stdout, "OK: execution coherent at all %d addresses\n", len(addrs))
 	return 0
+}
+
+// printLatencySummary prints the per-address solve-latency quantiles
+// collected with -stats — the same obs.Histogram memverifyd feeds its
+// /metrics stage histograms from. Replayed checkpoint verdicts are not
+// solves and stay out of the histogram (n counts real solves).
+func printLatencySummary(w io.Writer, s obs.HistSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "solve latency: n=%d p50=%s p90=%s p99=%s max=%s\n",
+		s.Count,
+		time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.90)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(s.Max).Round(time.Microsecond))
 }
 
 // handleSolveErr deals with a per-address solve error. Budget trips

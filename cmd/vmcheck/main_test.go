@@ -233,8 +233,10 @@ func TestStatsGolden(t *testing.T) {
 		t.Fatalf("code=%d out=%q", code, out)
 	}
 	norm := regexp.MustCompile(`rate=\S+ t=\S+`).ReplaceAllString(out, "rate=? t=?")
+	norm = regexp.MustCompile(`p50=\S+ p90=\S+ p99=\S+ max=\S+`).ReplaceAllString(norm, "p50=? p90=? p99=? max=?")
 	want := "x: VIOLATION (general-search)\n" +
 		"  stats: states=32 memo=19/51 (37.3%) eager=14 depth=5 branch=1.56 rate=? t=?\n" +
+		"solve latency: n=1 p50=? p90=? p99=? max=?\n" +
 		"VIOLATION: 1 of 1 addresses incoherent or undecided\n"
 	if norm != want {
 		t.Errorf("-stats output:\n got %q\nwant %q", norm, want)
@@ -243,6 +245,10 @@ func TestStatsGolden(t *testing.T) {
 	// placeholder: the general search records its duration.
 	if !regexp.MustCompile(`rate=\d+/s`).MatchString(out) {
 		t.Errorf("no states/sec in %q", out)
+	}
+	// The raw latency line carries real durations.
+	if !regexp.MustCompile(`solve latency: n=1 p50=\d+\S* `).MatchString(out) {
+		t.Errorf("no solve-latency quantiles in %q", out)
 	}
 }
 

@@ -51,8 +51,8 @@ type Stats struct {
 
 // Counters implements obs.CounterSet, so cmd/simtrace prints MESI and
 // directory stats through one code path.
-func (st Stats) Counters() []obs.Counter {
-	return []obs.Counter{
+func (st Stats) Counters() []obs.StatCounter {
+	return []obs.StatCounter{
 		{Name: "hits", Value: st.Hits},
 		{Name: "misses", Value: st.Misses},
 		{Name: "bus-rd", Value: st.BusReads},

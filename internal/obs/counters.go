@@ -5,8 +5,9 @@ import (
 	"strings"
 )
 
-// Counter is one named simulator counter.
-type Counter struct {
+// StatCounter is one named simulator counter: a passive name/value
+// snapshot, unlike the live registry Counter instrument.
+type StatCounter struct {
 	Name  string
 	Value uint64
 }
@@ -16,7 +17,7 @@ type Counter struct {
 // cmd/simtrace — and any other consumer — print every simulator's
 // counters through one code path instead of per-protocol formatting.
 type CounterSet interface {
-	Counters() []Counter
+	Counters() []StatCounter
 }
 
 // FormatCounters renders a counter set as one "name=value ..." line,

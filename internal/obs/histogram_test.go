@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBounds checks that every bucket index round-trips
+// through bucketBounds: a value must land in a bucket whose bounds
+// contain it, and indices never exceed the array.
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 100, 1000, 1 << 20, 1 << 40, 1 << 62, math.MaxInt64}
+	for _, v := range cases {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Errorf("value %d in bucket %d with bounds [%d,%d]", v, i, lo, hi)
+		}
+	}
+}
+
+// TestBucketIndexMonotone checks ordering: a larger value never maps to
+// a smaller bucket.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := 0
+	for v := int64(0); v < 1<<16; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestBucketRelativeError checks the design guarantee behind quantile
+// accuracy: above the exact range, bucket width stays within 2^-histSubBits
+// (12.5%) of the bucket's lower bound.
+func TestBucketRelativeError(t *testing.T) {
+	for i := 2 * histSub; i < 400; i++ {
+		lo, hi := bucketBounds(i)
+		if lo == 0 {
+			continue
+		}
+		if rel := float64(hi-lo+1) / float64(lo); rel > 1.0/float64(histSub)+1e-9 {
+			t.Errorf("bucket %d [%d,%d] relative width %.4f", i, lo, hi, rel)
+		}
+	}
+}
+
+// TestHistogramQuantileOracle compares quantile estimates against the
+// exact answer from the sorted sample on several distributions. The
+// bucketing guarantees ≤12.5% relative error per sample, so the
+// quantile estimate must sit within ~15% of the oracle (interpolation
+// adds a little slack at bucket edges).
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"lognormal": func() int64 { return int64(math.Exp(rng.NormFloat64()*1.5 + 10)) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return 5_000_000 + rng.Int63n(100_000)
+			}
+			return 1_000 + rng.Int63n(1_000)
+		},
+	}
+	for name, draw := range dists {
+		h := NewHistogram()
+		samples := make([]int64, 20_000)
+		for i := range samples {
+			v := draw()
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			got := snap.Quantile(q)
+			want := samples[int(q*float64(len(samples)-1))]
+			if want == 0 {
+				continue
+			}
+			if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.15 {
+				t.Errorf("%s p%g: got %d want %d (rel err %.3f)", name, q*100, got, want, rel)
+			}
+		}
+		if snap.Count != int64(len(samples)) {
+			t.Errorf("%s: count %d want %d", name, snap.Count, len(samples))
+		}
+		if snap.Min != samples[0] || snap.Max != samples[len(samples)-1] {
+			t.Errorf("%s: min/max %d/%d want %d/%d", name, snap.Min, snap.Max, samples[0], samples[len(samples)-1])
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines —
+// meaningful under -race — and checks nothing is lost: atomic buckets
+// drop no observations.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const (
+		goroutines = 8
+		perG       = 10_000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, c := range snap.Counts {
+		bucketSum += c
+	}
+	if bucketSum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, snap.Count)
+	}
+	if snap.Min > snap.Max || snap.Sum <= 0 {
+		t.Fatalf("implausible snapshot: min=%d max=%d sum=%d", snap.Min, snap.Max, snap.Sum)
+	}
+}
+
+// TestHistogramMerge checks that merging two snapshots equals observing
+// both sample streams into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 5_000; i++ {
+		v := rng.Int63n(1 << 24)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged != want {
+		t.Fatalf("merged snapshot differs from single-stream snapshot:\n merged: count=%d sum=%d min=%d max=%d\n   want: count=%d sum=%d min=%d max=%d",
+			merged.Count, merged.Sum, merged.Min, merged.Max, want.Count, want.Sum, want.Min, want.Max)
+	}
+}
+
+// TestHistogramNilAndEmpty pins the zero-cost-when-off contract: a nil
+// histogram accepts observations, and an empty snapshot answers zero.
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(42)                                // must not panic
+	h.ObserveSince(time.Now().Add(-time.Second)) // must not panic
+	snap := NewHistogram().Snapshot()
+	if q := snap.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %d", q)
+	}
+	if m := snap.Mean(); m != 0 {
+		t.Errorf("empty mean = %v", m)
+	}
+}
+
+// TestHistogramNegativeClamped checks negative observations clamp to
+// zero rather than corrupting bucket indexing.
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Counts[0] != 1 || snap.Min != 0 {
+		t.Errorf("negative observation not clamped: %+v", snap.Counts[:2])
+	}
+}
+
+// TestCumulativeAtMost checks the exposition helper against a brute
+// count.
+func TestCumulativeAtMost(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{1, 5, 10, 100, 1000, 100_000, 1 << 30}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	for _, bound := range []int64{0, 1, 9, 10, 999, 1_000_000, math.MaxInt64} {
+		var want int64
+		for _, v := range vals {
+			// CumulativeAtMost counts only buckets wholly <= bound, so
+			// compare against the sample's bucket upper edge.
+			_, hi := bucketBounds(bucketIndex(v))
+			if hi <= bound {
+				want++
+			}
+		}
+		if got := snap.CumulativeAtMost(bound); got != want {
+			t.Errorf("CumulativeAtMost(%d) = %d, want %d", bound, got, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type jsonEvent struct {
 	N      *int64  `json:"n,omitempty"`
 	Proc   *int    `json:"proc,omitempty"`
 	Detail string  `json:"detail,omitempty"`
+	Req    string  `json:"req,omitempty"`
 }
 
 // depthKinds are the kinds whose Depth field is meaningful even at 0.
@@ -68,6 +69,7 @@ func (j *JSONL) Emit(e Event) {
 		Span:   e.Span,
 		Name:   e.Name,
 		Detail: e.Detail,
+		Req:    e.Req,
 	}
 	if e.Kind == KindSpanBegin && e.Parent != 0 {
 		je.Parent = &e.Parent

@@ -141,6 +141,10 @@ type Event struct {
 	Proc int
 	// Detail carries free-text context (verdicts, error strings).
 	Detail string
+	// Req is the request id of the serving request (memverifyd stamps
+	// one per HTTP request); set on KindSpanBegin events so a whole
+	// request's span tree can be stitched out of a shared JSONL trace.
+	Req string
 }
 
 // Sink consumes events. Implementations must be safe for concurrent use:
@@ -186,6 +190,7 @@ type Observer struct {
 
 type observerKey struct{}
 type spanKey struct{}
+type requestIDKey struct{}
 
 // With attaches an observer to the context. Solver entry points pick it
 // up with TracerFrom / MetricsFrom.
@@ -223,5 +228,22 @@ func MetricsFrom(ctx context.Context) *Metrics {
 // spanFrom returns the innermost span id on ctx (0 at the root).
 func spanFrom(ctx context.Context) uint64 {
 	id, _ := ctx.Value(spanKey{}).(uint64)
+	return id
+}
+
+// WithRequestID attaches a request id to the context. Every span begun
+// under the returned context carries the id in its begin event, so one
+// request's spans can be filtered out of a trace shared by concurrent
+// requests. An empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id on ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
 	return id
 }

@@ -476,8 +476,8 @@ func TestDepthBuckets(t *testing.T) {
 
 type fakeStats struct{}
 
-func (fakeStats) Counters() []Counter {
-	return []Counter{{"hits", 12}, {"misses", 3}, {"wb", 0}}
+func (fakeStats) Counters() []StatCounter {
+	return []StatCounter{{"hits", 12}, {"misses", 3}, {"wb", 0}}
 }
 
 func TestFormatCounters(t *testing.T) {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// promBounds are the le upper bounds (in nanoseconds) of the exposed
+// histogram buckets: a power-of-two ladder from 1µs to ~34s plus +Inf.
+// The fine-grained internal buckets (12.5% wide) fold into these, so
+// the exposition stays ~27 lines per histogram instead of 512 while
+// Prometheus-side quantile interpolation keeps sub-octave accuracy.
+var promBounds = func() []int64 {
+	var b []int64
+	for v := int64(1000); v <= 34_359_738_368; v *= 2 { // 1µs .. 2^35 ns
+		b = append(b, v)
+	}
+	return b
+}()
+
+// promLabels renders a label set (optionally with an extra le pair) in
+// exposition syntax, escaping values.
+func promLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// promFloat formats a sample value.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4), using only the standard library. Counters
+// and gauges emit one line per series; histograms emit cumulative
+// le-bucket lines plus _sum and _count, with nanosecond samples
+// converted to seconds (histogram names should end in _seconds).
+func WriteProm(w io.Writer, r *Registry) error {
+	for _, f := range r.gather() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		typ := "gauge"
+		switch f.kind {
+		case kindCounter:
+			typ = "counter"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			if f.kind == kindHistogram {
+				err = writePromHist(w, f.name, s)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels, ""), promFloat(s.value))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHist writes one histogram series: cumulative buckets at the
+// promBounds ladder, +Inf, _sum and _count.
+func writePromHist(w io.Writer, name string, s series) error {
+	for _, bound := range promBounds {
+		le := promFloat(float64(bound) / 1e9)
+		cum := s.hist.CumulativeAtMost(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(s.labels, "+Inf"), s.hist.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(s.labels, ""), promFloat(float64(s.hist.Sum)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.labels, ""), s.hist.Count)
+	return err
+}
+
+// PromHandler serves the registry at GET /metrics in the Prometheus
+// text exposition format. Exposition is deliberately stdlib-only: the
+// format is a dozen line shapes, and a client dependency would be the
+// only third-party import in the repository (see DESIGN.md §5).
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r)
+	})
+}

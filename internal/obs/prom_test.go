@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryIdentity checks the lookup-by-name contract: the same
+// (name, labels) yields the same instrument, different labels a
+// different one, and counters accumulate across lookups.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", Label{"stage", "parse"})
+	b := r.Counter("reqs", Label{"stage", "parse"})
+	c := r.Counter("reqs", Label{"stage", "solve"})
+	a.Add(2)
+	b.Inc()
+	c.Inc()
+	if a.Value() != 3 {
+		t.Errorf("same-identity counters not shared: %d", a.Value())
+	}
+	if c.Value() != 1 {
+		t.Errorf("distinct-label counter shared: %d", c.Value())
+	}
+	if h1, h2 := r.Histogram("lat"), r.Histogram("lat"); h1 != h2 {
+		t.Errorf("same-identity histograms not shared")
+	}
+}
+
+// TestRegistryKindMismatchPanics pins that re-registering a name as a
+// different kind is a programming error, not a silent aliasing bug.
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestGaugeFuncSampledAtGather checks that a gauge function is read at
+// exposition time, not registration time.
+func TestGaugeFuncSampledAtGather(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("depth", func() float64 { return v })
+	v = 42
+	out := promText(t, r)
+	if !strings.Contains(out, "depth 42\n") {
+		t.Errorf("gauge func not sampled at gather:\n%s", out)
+	}
+}
+
+// promText renders a registry through the real HTTP handler.
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// Line shapes of the text exposition format, version 0.0.4.
+var (
+	promCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+)
+
+// TestPromExpositionValid builds a registry exercising every instrument
+// kind (labels, escaping, histograms) and validates every exposition
+// line against the format grammar — the test the ISSUE pins: "parse
+// every line".
+func TestPromExpositionValid(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("reqs_total", "total requests")
+	r.Counter("reqs_total").Add(7)
+	r.Gauge("queue_depth").Set(3)
+	r.GaugeFunc("inflight", func() float64 { return 2.5 })
+	r.Counter("weird", Label{"path", `a\b"c` + "\n"}).Inc()
+	h := r.Histogram("lat_seconds", Label{"stage", "solve"})
+	for _, v := range []int64{500, 1_500, 2_000_000, 30_000_000_000} {
+		h.Observe(v)
+	}
+	out := promText(t, r)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously short exposition:\n%s", out)
+	}
+	for _, ln := range lines {
+		if ln == "" {
+			t.Errorf("blank line in exposition")
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			if !promCommentRe.MatchString(ln) {
+				t.Errorf("malformed comment: %q", ln)
+			}
+			continue
+		}
+		if !promSampleRe.MatchString(ln) {
+			t.Errorf("malformed sample line: %q", ln)
+		}
+	}
+	for _, want := range []string{"reqs_total 7\n", "# HELP reqs_total total requests\n",
+		"# TYPE lat_seconds histogram\n", `lat_seconds_count{stage="solve"} 4` + "\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromHistogramCumulative checks the le buckets are cumulative,
+// monotone, end at the sample count, and that bounds are in seconds.
+func TestPromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	// One sample per decade from 1µs to 10s, in ns.
+	for _, v := range []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000} {
+		h.Observe(v)
+	}
+	out := promText(t, r)
+	var prevCum int64 = -1
+	var prevBound float64
+	var bucketLines int
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, "lat_seconds_bucket{le=") {
+			continue
+		}
+		bucketLines++
+		parts := strings.SplitN(ln, " ", 2)
+		cum, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count in %q: %v", ln, err)
+		}
+		if cum < prevCum {
+			t.Errorf("non-cumulative buckets at %q (%d < %d)", ln, cum, prevCum)
+		}
+		prevCum = cum
+		le := strings.TrimSuffix(strings.TrimPrefix(parts[0], `lat_seconds_bucket{le="`), `"}`)
+		if le == "+Inf" {
+			if cum != 8 {
+				t.Errorf("+Inf bucket %d, want 8", cum)
+			}
+			continue
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil || bound <= prevBound {
+			t.Errorf("bad or non-increasing le %q after %g", le, prevBound)
+		}
+		prevBound = bound
+	}
+	if bucketLines == 0 {
+		t.Fatalf("no bucket lines:\n%s", out)
+	}
+	if prevBound < 30 || prevBound > 40 {
+		t.Errorf("largest finite le = %gs, want ~34s (ns→s conversion)", prevBound)
+	}
+	if !strings.Contains(out, "lat_seconds_count 8\n") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+}

@@ -73,6 +73,7 @@ func (t *Tracer) begin(ctx context.Context, name string, addr int64, hasAddr boo
 		Addr:    addr,
 		HasAddr: hasAddr,
 		Proc:    proc,
+		Req:     RequestIDFrom(ctx),
 	})
 	if proc >= 0 {
 		t.emit(Event{Kind: KindWorkerStart, Span: id, Name: name, Proc: proc})
