@@ -44,6 +44,12 @@ type VerifyRequest struct {
 	// search constraint for model sc, as ladder hints for the resilient
 	// strategy.
 	UseOrder bool `json:"use_order,omitempty"`
+	// DeadlineMS is the caller's remaining budget for this request in
+	// milliseconds (0 = none). The X-Deadline-Ms header carries the same
+	// value and wins when both are present — it is visible before the
+	// body, so the server can shed an unserviceable request without
+	// parsing it.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // AddrResult is the per-address slice of a coherence verdict.
@@ -85,6 +91,11 @@ type VerifyResponse struct {
 	// Timings is the per-stage latency breakdown (milliseconds), present
 	// only when the request asked for it with ?debug=timings.
 	Timings map[string]float64 `json:"timings,omitempty"`
+	// Degraded marks a brownout answer: the server was saturated (or
+	// chaos forced the path) and served this request with a downgraded
+	// strategy and shrunken budgets. DegradeReason says why.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 response.
@@ -146,6 +157,13 @@ func readVerifyRequest(r *http.Request) (*VerifyRequest, error) {
 			}
 			req.UseOrder = b
 		}
+		if v := q.Get("deadline_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad deadline_ms %q", v)
+			}
+			req.DeadlineMS = n
+		}
 	}
 	// Validate after decoding so both encodings face the same rules. A
 	// negative budget would read as "unlimited" downstream (budgetFor
@@ -158,7 +176,26 @@ func readVerifyRequest(r *http.Request) (*VerifyRequest, error) {
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("bad timeout_ms %d: must be >= 0", req.TimeoutMS)
 	}
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("bad deadline_ms %d: must be >= 0", req.DeadlineMS)
+	}
 	return req, nil
+}
+
+// deadlineFrom reads the X-Deadline-Ms header — the caller's remaining
+// budget in milliseconds — into an absolute deadline. Zero time means
+// no deadline was propagated. A non-positive value is a valid header
+// (the deadline already passed upstream); the caller answers it 504.
+func deadlineFrom(r *http.Request) (time.Time, error) {
+	h := strings.TrimSpace(r.Header.Get("X-Deadline-Ms"))
+	if h == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad X-Deadline-Ms %q", h)
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
 }
 
 // cacheKey builds the result-cache key: the execution fingerprint plus

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,10 +12,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
+	"memverify/internal/chaos"
+	"memverify/internal/client"
 	"memverify/internal/trace"
 	"memverify/internal/workload"
 )
@@ -24,6 +27,16 @@ type loadgenConfig struct {
 	conc     int
 	out      string
 	seed     int64
+	// chaos runs the chaos harness: a seeded fault schedule assigns at
+	// most one fault to each request index up front (chaosRate of them),
+	// carried to the server on the X-Chaos-Fault header of the first
+	// attempt only — retries land on a healthy path, which is exactly
+	// what the availability number measures.
+	chaos     bool
+	chaosRate float64
+	// deadline, when set, is each request's client-side deadline; the
+	// resilient client propagates it as X-Deadline-Ms.
+	deadline time.Duration
 }
 
 // loadgenPoolSize is the number of distinct traces the workload cycles
@@ -33,19 +46,22 @@ type loadgenConfig struct {
 // traces would.
 const loadgenPoolSize = 24
 
-// benchReport is the BENCH_PR7.json schema. v2 adds the Server block:
-// stage-latency quantiles scraped from the server's own /metrics after
-// the run, so the report shows where time went inside the service, not
-// just round-trip latency as seen by the clients.
+// benchReport is the BENCH_PR8.json schema. v3 adds the Chaos block
+// (the deterministic fault assignment and what the server logged
+// injecting) and the Resilience block (availability through the
+// retrying client, shed/degraded/panic counts) on top of v2's
+// server-side stage quantiles.
 type benchReport struct {
-	Schema    string `json:"schema"` // "memverifyd-loadgen/v2"
+	Schema    string `json:"schema"` // "memverifyd-loadgen/v3"
 	Timestamp string `json:"timestamp"`
 	Config    struct {
-		Requests int   `json:"requests"`
-		Conc     int   `json:"concurrency"`
-		Workers  int   `json:"workers"`
-		Pool     int   `json:"trace_pool"`
-		Seed     int64 `json:"seed"`
+		Requests int     `json:"requests"`
+		Conc     int     `json:"concurrency"`
+		Workers  int     `json:"workers"`
+		Pool     int     `json:"trace_pool"`
+		Seed     int64   `json:"seed"`
+		Chaos    bool    `json:"chaos"`
+		Rate     float64 `json:"chaos_rate"`
 	} `json:"config"`
 	Requests   int     `json:"completed"`
 	Errors     int     `json:"errors"`
@@ -64,7 +80,33 @@ type benchReport struct {
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
 	Verdicts map[string]int `json:"verdicts"`
-	Server   struct {
+	// Chaos reports the fault plan. Assigned is a pure function of the
+	// seed (the BuildSchedule counts), so two same-seed runs must report
+	// it identically; Injected is the server injector's bookkeeping.
+	Chaos struct {
+		Enabled  bool           `json:"enabled"`
+		Seed     int64          `json:"seed"`
+		Assigned map[string]int `json:"assigned"`
+		Injected map[string]int `json:"injected,omitempty"`
+	} `json:"chaos"`
+	// Resilience is the robustness scorecard: availability as seen
+	// through the retrying client, how many answers needed a retry, and
+	// the server's shed/degraded/panic registers.
+	Resilience struct {
+		Availability      float64 `json:"availability"`
+		Retries           int64   `json:"retries"`
+		SuccessAfterRetry int64   `json:"success_after_retry"`
+		BreakerOpens      int64   `json:"breaker_opens"`
+		BreakerState      string  `json:"breaker_state"`
+		Shed              int64   `json:"shed"`
+		ShedRate          float64 `json:"shed_rate"`
+		Degraded          int64   `json:"degraded"`
+		DegradedRate      float64 `json:"degraded_rate"`
+		DeadlineExpired   int64   `json:"deadline_expired"`
+		WorkerPanics      int64   `json:"worker_panics_recovered"`
+		HandlerPanics     int64   `json:"handler_panics_recovered"`
+	} `json:"resilience"`
+	Server struct {
 		// Stages maps stage name (parse, cache, queue, solve, merge) to
 		// its latency quantiles from memverifyd_stage_duration_seconds.
 		Stages map[string]stageLatency `json:"stages"`
@@ -101,8 +143,8 @@ func summarize(h *histScrape) stageLatency {
 // scrapeServerMetrics pulls GET /metrics and fills rep.Server. An
 // invalid exposition is a hard error: the loadgen doubles as a format
 // check on the server's Prometheus writer.
-func scrapeServerMetrics(client *http.Client, base string, rep *benchReport) error {
-	resp, err := client.Get(base + "/metrics")
+func scrapeServerMetrics(httpc *http.Client, base string, rep *benchReport) error {
+	resp, err := httpc.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("scraping /metrics: %w", err)
 	}
@@ -169,8 +211,11 @@ func buildPool(seed int64) []loadgenTrace {
 }
 
 // runLoadgen boots an in-process server on a loopback socket, drives
-// cfg.requests against it over real HTTP from cfg.conc clients, and
-// writes the benchReport to cfg.out.
+// cfg.requests against it over real HTTP through the resilient client,
+// and writes the benchReport to cfg.out. In chaos mode every request
+// index has a pre-assigned fault (or none) from the seeded schedule;
+// the client's per-attempt hook stamps the fault header on the first
+// attempt only.
 func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	srv := newServer(scfg)
 	defer srv.Close()
@@ -187,13 +232,32 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	if len(pool) == 0 {
 		return fmt.Errorf("loadgen: empty trace pool")
 	}
-	client := &http.Client{Timeout: 60 * time.Second}
+
+	var sched []chaos.Kind
+	if cfg.chaos {
+		sched = chaos.BuildSchedule(scfg.withDefaults().chaosSeed, cfg.requests, cfg.chaosRate, chaos.Kinds())
+	}
+
+	// One shared client: the retry budget and the breaker protect the
+	// server from this process as a whole, which is what the harness
+	// measures. The breaker threshold is set above any consecutive-fault
+	// streak a few-percent schedule plausibly produces, so availability
+	// reflects retries, not fail-fast short-circuits.
+	cl := client.New(client.Config{
+		Base:             base,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       250 * time.Millisecond,
+		BreakerThreshold: 8,
+		Seed:             cfg.seed,
+	})
 
 	type sample struct {
-		latency time.Duration
-		verdict string
-		status  int
-		err     bool
+		latency  time.Duration
+		verdict  string
+		status   int
+		attempts int
+		degraded bool
+		err      bool
 	}
 	samples := make([]sample, cfg.requests)
 	var next int64
@@ -222,25 +286,34 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 					return
 				}
 				tc := pool[rng.Intn(len(pool))]
-				t0 := time.Now()
-				resp, err := client.Post(
-					base+"/v1/verify?model="+tc.model,
-					"text/plain", strings.NewReader(tc.text))
-				if err != nil {
-					samples[i] = sample{err: true}
-					continue
+				var hook func(int, *http.Request)
+				if sched != nil && sched[i] != chaos.KindNone {
+					fault := sched[i].String()
+					hook = func(attempt int, hr *http.Request) {
+						if attempt == 0 {
+							hr.Header.Set("X-Chaos-Fault", fault)
+						}
+					}
 				}
-				var vr VerifyResponse
-				derr := json.NewDecoder(resp.Body).Decode(&vr)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				s := sample{latency: time.Since(t0), status: resp.StatusCode}
-				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
-				case resp.StatusCode != http.StatusOK || derr != nil:
+				ctx, cancel := context.Background(), context.CancelFunc(func() {})
+				if cfg.deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+				}
+				t0 := time.Now()
+				resp, err := cl.Do(ctx, &client.Request{Trace: tc.text, Model: tc.model}, hook)
+				cancel()
+				s := sample{latency: time.Since(t0)}
+				if err != nil {
 					s.err = true
-				default:
-					s.verdict = vr.Verdict
+					var he *client.HTTPError
+					if errors.As(err, &he) {
+						s.status = he.Status
+					}
+				} else {
+					s.status = http.StatusOK
+					s.verdict = resp.Verdict
+					s.attempts = resp.Attempts
+					s.degraded = resp.Degraded
 				}
 				samples[i] = s
 			}
@@ -249,23 +322,29 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &benchReport{Schema: "memverifyd-loadgen/v2", Timestamp: start.UTC().Format(time.RFC3339)}
+	rep := &benchReport{Schema: "memverifyd-loadgen/v3", Timestamp: start.UTC().Format(time.RFC3339)}
 	rep.Config.Requests = cfg.requests
 	rep.Config.Conc = cfg.conc
 	rep.Config.Workers = scfg.withDefaults().workers
 	rep.Config.Pool = len(pool)
 	rep.Config.Seed = cfg.seed
+	rep.Config.Chaos = cfg.chaos
+	rep.Config.Rate = cfg.chaosRate
 	rep.Verdicts = map[string]int{}
+	degradedSeen := 0
 	var lats []float64
 	for _, s := range samples {
 		switch {
+		case s.err && s.status == http.StatusTooManyRequests:
+			rep.Rejected++
 		case s.err:
 			rep.Errors++
-		case s.status == http.StatusTooManyRequests:
-			rep.Rejected++
 		default:
 			rep.Requests++
 			rep.Verdicts[s.verdict]++
+			if s.degraded {
+				degradedSeen++
+			}
 			lats = append(lats, float64(s.latency)/float64(time.Millisecond))
 		}
 	}
@@ -290,7 +369,31 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
 		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
 	}
-	if err := scrapeServerMetrics(client, base, rep); err != nil {
+
+	rep.Chaos.Enabled = cfg.chaos
+	rep.Chaos.Seed = scfg.withDefaults().chaosSeed
+	rep.Chaos.Assigned = chaos.CountSchedule(sched)
+	if srv.chaosInj != nil {
+		rep.Chaos.Injected = srv.chaosInj.Counts()
+	}
+	cst := cl.Stats()
+	if cfg.requests > 0 {
+		rep.Resilience.Availability = float64(rep.Requests) / float64(cfg.requests)
+		rep.Resilience.ShedRate = float64(srv.stats.Shed.Value()) / float64(cfg.requests)
+		rep.Resilience.DegradedRate = float64(degradedSeen) / float64(cfg.requests)
+	}
+	rep.Resilience.Retries = cst.Retries
+	rep.Resilience.SuccessAfterRetry = cst.SuccessAfterRetry
+	rep.Resilience.BreakerOpens = cst.BreakerOpens
+	rep.Resilience.BreakerState = cst.BreakerState.String()
+	rep.Resilience.Shed = srv.stats.Shed.Value()
+	rep.Resilience.Degraded = srv.stats.Degraded.Value()
+	rep.Resilience.DeadlineExpired = srv.stats.DeadlineExpired.Value()
+	rep.Resilience.WorkerPanics = srv.stats.WorkerPanics.Value()
+	rep.Resilience.HandlerPanics = srv.stats.Panics.Value()
+
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if err := scrapeServerMetrics(httpc, base, rep); err != nil {
 		return err
 	}
 
@@ -305,6 +408,11 @@ func runLoadgen(scfg serverConfig, cfg loadgenConfig) error {
 	fmt.Printf("loadgen: %d ok, %d rejected, %d errors in %.1fms — %.0f req/s, p50 %.2fms p99 %.2fms, cache hit-rate %.2f\n",
 		rep.Requests, rep.Rejected, rep.Errors, rep.DurationMS, rep.Throughput,
 		rep.Latency.P50, rep.Latency.P99, rep.Cache.HitRate)
+	if cfg.chaos {
+		fmt.Printf("loadgen: chaos seed %d — availability %.4f, %d retries (%d answers needed one), degraded %d, faults assigned %v\n",
+			rep.Chaos.Seed, rep.Resilience.Availability, rep.Resilience.Retries,
+			rep.Resilience.SuccessAfterRetry, rep.Resilience.Degraded, rep.Chaos.Assigned)
+	}
 	if solve, ok := rep.Server.Stages["solve"]; ok {
 		fmt.Printf("loadgen: server-side solve p50 %.2fms p99 %.2fms over %d shard solves (%d metric samples scraped)\n",
 			solve.P50MS, solve.P99MS, solve.Count, rep.Server.ScrapeSamples)

@@ -1,13 +1,22 @@
 // Command memverifyd is the long-running verification service: POST a
 // trace, get a verdict. Per-address VMC work is sharded across a
 // bounded worker fleet (largest projection first), admission is bounded
-// with backpressure (429 + Retry-After), decided verdicts are cached by
-// execution fingerprint, and the service carries its own telemetry:
-// every request gets an X-Request-ID (propagated into the obs span
-// trace), every stage (parse, cache, queue, solve, merge) feeds a
-// latency histogram, and live saturation gauges, the Prometheus
-// exposition, and in-flight/slowest request tables are all served over
-// HTTP.
+// with backpressure (429 + an adaptive Retry-After priced from the
+// observed drain rate), decided verdicts are cached by execution
+// fingerprint, and the service carries its own telemetry: every request
+// gets an X-Request-ID (propagated into the obs span trace), every
+// stage (parse, cache, queue, solve, merge) feeds a latency histogram,
+// and live saturation gauges, the Prometheus exposition, and
+// in-flight/slowest request tables are all served over HTTP.
+//
+// The request path is built to survive overload and faults: client
+// deadlines propagate in (X-Deadline-Ms header or deadline_ms field)
+// and expired work is dropped before it burns a worker (504),
+// unserviceable requests are shed early (429), a queue-delay brownout
+// degrades new requests (exact -> resilient, shrunken budgets,
+// "degraded": true in the response) with hysteretic recovery, panics
+// anywhere are recovered into JSON 500s, and -chaos arms a seeded
+// fault-injection layer for proving all of it deterministically.
 //
 // Endpoints:
 //
@@ -23,9 +32,12 @@
 //	GET  /debug/pprof     pprof profiles
 //
 // With -loadgen the binary instead boots an in-process server, drives a
-// randomized workload against it over real HTTP, scrapes /metrics for
-// the server-side stage quantiles, and writes a combined report
-// (BENCH_PR7.json schema "memverifyd-loadgen/v2") to -loadgen-out.
+// randomized workload against it through the resilient internal/client
+// over real HTTP, scrapes /metrics for the server-side stage quantiles,
+// and writes a combined report (BENCH_PR8.json schema
+// "memverifyd-loadgen/v3") to -loadgen-out; -loadgen-chaos additionally
+// drives the seeded fault schedule and reports availability,
+// success-after-retry, shed and degraded rates under it.
 package main
 
 import (
@@ -57,11 +69,26 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a JSONL span/event trace of every request to this file (spans carry X-Request-ID)")
 		slowReqs    = flag.Int("slow-requests", 32, "slowest requests kept for GET /debug/requests")
 
-		loadgen     = flag.Bool("loadgen", false, "run the load generator against an in-process server and exit")
-		loadgenN    = flag.Int("loadgen-requests", 400, "loadgen: total requests")
-		loadgenConc = flag.Int("loadgen-conc", 8, "loadgen: concurrent clients")
-		loadgenOut  = flag.String("loadgen-out", "BENCH_PR7.json", "loadgen: report path")
-		loadgenSeed = flag.Int64("loadgen-seed", 1, "loadgen: workload seed")
+		retryMax      = flag.Duration("retry-after-max", 30*time.Second, "cap on the adaptive Retry-After answer (floor is always 1s)")
+		brownHigh     = flag.Duration("brownout-high", 150*time.Millisecond, "queue-delay EWMA that opens the brownout (degrade new requests); 0 disables")
+		brownLow      = flag.Duration("brownout-low", 0, "queue-delay EWMA below which brownout starts recovering (0 = high/2)")
+		brownHold     = flag.Int("brownout-hold", 3, "consecutive calm observations before brownout closes")
+		degradeStates = flag.Int("degrade-max-states", 20000, "state budget clamped onto browned-out requests")
+		degradeTO     = flag.Duration("degrade-timeout", 250*time.Millisecond, "per-solve timeout clamped onto browned-out requests")
+
+		chaosOn   = flag.Bool("chaos", false, "enable the seeded fault-injection layer on /v1/verify")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos: fault schedule seed")
+		chaosRate = flag.Float64("chaos-rate", 0, "chaos: server-side per-kind fault rate (0 = header-driven only)")
+		chaosSlow = flag.Duration("chaos-slow", 200*time.Millisecond, "chaos: stall injected by a slow-solve fault")
+
+		loadgen      = flag.Bool("loadgen", false, "run the load generator against an in-process server and exit")
+		loadgenN     = flag.Int("loadgen-requests", 400, "loadgen: total requests")
+		loadgenConc  = flag.Int("loadgen-conc", 8, "loadgen: concurrent clients")
+		loadgenOut   = flag.String("loadgen-out", "BENCH_PR8.json", "loadgen: report path")
+		loadgenSeed  = flag.Int64("loadgen-seed", 1, "loadgen: workload seed")
+		loadgenChaos = flag.Bool("loadgen-chaos", false, "loadgen: run the chaos harness (seeded fault schedule + resilient client)")
+		loadgenRate  = flag.Float64("loadgen-chaos-rate", 0.05, "loadgen: fraction of requests assigned a fault")
+		loadgenDL    = flag.Duration("loadgen-deadline", 0, "loadgen: per-request client deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -75,6 +102,16 @@ func main() {
 		maxStatesCap:     *capStates,
 		timeoutCap:       *capTimeout,
 		slowRequests:     *slowReqs,
+		retryAfterMax:    *retryMax,
+		brownoutHigh:     *brownHigh,
+		brownoutLow:      *brownLow,
+		brownoutHold:     *brownHold,
+		degradeMaxStates: *degradeStates,
+		degradeTimeout:   *degradeTO,
+		chaosEnabled:     *chaosOn,
+		chaosSeed:        *chaosSeed,
+		chaosRate:        *chaosRate,
+		chaosSlow:        *chaosSlow,
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -97,11 +134,23 @@ func main() {
 		if cfg.maxInflight < 2**loadgenConc {
 			cfg.maxInflight = 2 * *loadgenConc
 		}
+		if *loadgenChaos {
+			// The chaos harness needs the injection layer on and the
+			// brownout off: degraded verdicts must come only from the
+			// seeded schedule so two same-seed runs report identical
+			// counts.
+			cfg.chaosEnabled = true
+			cfg.chaosSeed = *chaosSeed
+			cfg.brownoutHigh = 0
+		}
 		if err := runLoadgen(cfg, loadgenConfig{
-			requests: *loadgenN,
-			conc:     *loadgenConc,
-			out:      *loadgenOut,
-			seed:     *loadgenSeed,
+			requests:  *loadgenN,
+			conc:      *loadgenConc,
+			out:       *loadgenOut,
+			seed:      *loadgenSeed,
+			chaos:     *loadgenChaos,
+			chaosRate: *loadgenRate,
+			deadline:  *loadgenDL,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "memverifyd:", err)
 			os.Exit(1)

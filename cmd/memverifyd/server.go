@@ -3,12 +3,15 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"memverify/internal/chaos"
 	"memverify/internal/coherence"
 	"memverify/internal/consistency"
 	"memverify/internal/memory"
@@ -44,6 +47,31 @@ type serverConfig struct {
 	// request (the -trace flag). Spans carry the request id, so one
 	// request's trace can be stitched out of the shared stream.
 	traceSink obs.Sink
+	// retryAfterMax caps the adaptive Retry-After answer on a 429; the
+	// floor is always 1s (never 0: see retryAfterSecs).
+	retryAfterMax time.Duration
+	// brownoutHigh enables the brownout controller: when the queue-delay
+	// EWMA crosses it, new requests are downgraded (shrunken budgets,
+	// exact → resilient) until the EWMA falls below brownoutLow and stays
+	// there for brownoutHold observations. 0 disables brownout.
+	brownoutHigh time.Duration
+	brownoutLow  time.Duration
+	brownoutHold int
+	// degradeMaxStates / degradeTimeout are the shrunken budgets clamped
+	// onto a browned-out request. They are fixed values, not fractions of
+	// the request's ask, so degraded cache keys stay deterministic.
+	degradeMaxStates int
+	degradeTimeout   time.Duration
+	// drainTick is the drain-rate estimator's observation window.
+	drainTick time.Duration
+	// chaosEnabled turns on the seeded fault-injection layer on
+	// /v1/verify: faults arrive either on the X-Chaos-Fault header (the
+	// loadgen's schedule) or, when chaosRate > 0, from the server's own
+	// seeded injector. chaosSlow is the stall injected by a "slow" fault.
+	chaosEnabled bool
+	chaosSeed    int64
+	chaosRate    float64
+	chaosSlow    time.Duration
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -58,6 +86,21 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.cacheSize == 0 {
 		c.cacheSize = 1024
+	}
+	if c.retryAfterMax <= 0 {
+		c.retryAfterMax = 30 * time.Second
+	}
+	if c.drainTick <= 0 {
+		c.drainTick = 250 * time.Millisecond
+	}
+	if c.degradeMaxStates == 0 {
+		c.degradeMaxStates = 20000
+	}
+	if c.degradeTimeout == 0 {
+		c.degradeTimeout = 250 * time.Millisecond
+	}
+	if c.chaosSlow <= 0 {
+		c.chaosSlow = 200 * time.Millisecond
 	}
 	return c
 }
@@ -76,6 +119,21 @@ type serverStats struct {
 	Decided     obs.Counter
 	Violations  obs.Counter
 	Undecided   obs.Counter
+	// Overload and robustness counters (PR 8). Shed counts requests
+	// rejected because their deadline could not survive the queue;
+	// DeadlineExpired counts 504s (deadline gone before or during
+	// processing); ExpiredDrops counts shards discarded at dequeue with an
+	// already-dead context; Degraded counts browned-out requests; Panics
+	// and WorkerPanics count recovered panics in handlers and fleet
+	// workers; Solves counts actual solver invocations — the register the
+	// never-burn-a-worker guarantee is pinned against.
+	Shed            obs.Counter
+	DeadlineExpired obs.Counter
+	ExpiredDrops    obs.Counter
+	Degraded        obs.Counter
+	Panics          obs.Counter
+	WorkerPanics    obs.Counter
+	Solves          obs.Counter
 }
 
 // stageNames are the request stages with latency histograms: parse
@@ -98,8 +156,11 @@ type Server struct {
 	stats    serverStats
 	metrics  *obs.Metrics
 	mux      *http.ServeMux
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	// root is the served handler: recovery and chaos middleware wrapped
+	// around the mux.
+	root http.Handler
+	stop chan struct{}
+	wg   sync.WaitGroup
 	// closeMu orders enqueue against Close's final drain: enqueue holds
 	// the read side across its shutdown check and queue send, so once
 	// Close acquires the write side no shard can slip into the queue
@@ -115,6 +176,19 @@ type Server struct {
 	workersBusy atomic.Int64
 	reqs        *requestTable
 	tracer      *obs.Tracer
+
+	// Overload control: the drain-rate estimator behind adaptive
+	// Retry-After and deadline-aware shedding, the brownout controller
+	// (nil when disabled), and the shard-completion counter the drain
+	// ticker differentiates.
+	drain           *drainRate
+	brown           *brownout
+	completedShards atomic.Int64
+
+	// Chaos: the seeded injector (nil unless cfg.chaosEnabled) and the
+	// per-kind fired counters in the registry.
+	chaosInj   *chaos.Injector
+	chaosFired map[chaos.Kind]obs.Counter
 }
 
 // newServer builds the service and starts its worker fleet.
@@ -133,6 +207,17 @@ func newServer(cfg serverConfig) *Server {
 		stage:    make(map[string]*obs.Histogram, len(stageNames)),
 		reqs:     newRequestTable(cfg.slowRequests),
 		tracer:   obs.NewTracer(cfg.traceSink),
+		drain:    &drainRate{},
+		brown:    newBrownout(cfg.brownoutHigh, cfg.brownoutLow, cfg.brownoutHold),
+	}
+	if cfg.chaosEnabled {
+		rates := make(map[chaos.Kind]float64)
+		if cfg.chaosRate > 0 {
+			for _, k := range chaos.Kinds() {
+				rates[k] = cfg.chaosRate
+			}
+		}
+		s.chaosInj = chaos.NewInjector(cfg.chaosSeed, rates)
 	}
 
 	// Registry: stage and request latency histograms, service counters,
@@ -156,6 +241,28 @@ func newServer(cfg serverConfig) *Server {
 		Decided:     reg.Counter("memverifyd_decided_total"),
 		Violations:  reg.Counter("memverifyd_violations_total"),
 		Undecided:   reg.Counter("memverifyd_undecided_total"),
+
+		Shed:            reg.Counter("memverifyd_shed_total"),
+		DeadlineExpired: reg.Counter("memverifyd_deadline_expired_total"),
+		ExpiredDrops:    reg.Counter("memverifyd_expired_drops_total"),
+		Degraded:        reg.Counter("memverifyd_degraded_total"),
+		Panics:          reg.Counter("memverifyd_panics_total"),
+		WorkerPanics:    reg.Counter("memverifyd_worker_panics_total"),
+		Solves:          reg.Counter("memverifyd_solves_total"),
+	}
+	reg.SetHelp("memverifyd_shed_total",
+		"Requests rejected because their deadline could not survive the estimated queue wait.")
+	reg.SetHelp("memverifyd_deadline_expired_total", "Requests answered 504: deadline expired.")
+	reg.SetHelp("memverifyd_expired_drops_total",
+		"Shards discarded at dequeue because their request's context was already dead.")
+	reg.SetHelp("memverifyd_degraded_total", "Requests served in brownout (downgraded strategy/budgets).")
+	reg.SetHelp("memverifyd_panics_total", "Handler panics recovered by the HTTP middleware.")
+	reg.SetHelp("memverifyd_worker_panics_total", "Fleet worker panics recovered mid-shard.")
+	reg.SetHelp("memverifyd_solves_total", "Solver invocations actually started on fleet workers.")
+	reg.SetHelp("memverifyd_chaos_injected_total", "Chaos faults injected, by kind.")
+	s.chaosFired = make(map[chaos.Kind]obs.Counter, len(chaos.Kinds()))
+	for _, k := range chaos.Kinds() {
+		s.chaosFired[k] = reg.Counter("memverifyd_chaos_injected_total", obs.Label{Key: "kind", Value: k.String()})
 	}
 	reg.SetHelp("memverifyd_queue_depth", "Shards waiting in the fleet queue.")
 	reg.GaugeFunc("memverifyd_queue_depth", func() float64 { return float64(len(s.queue)) })
@@ -171,6 +278,29 @@ func newServer(cfg serverConfig) *Server {
 	reg.Gauge("memverifyd_workers").Set(int64(cfg.workers))
 	reg.SetHelp("memverifyd_cache_len", "Result-cache entries.")
 	reg.GaugeFunc("memverifyd_cache_len", func() float64 { return float64(s.cache.len()) })
+	reg.SetHelp("memverifyd_brownout_state", "Brownout controller: 0 closed (full service), 1 half-open, 2 open (degrading).")
+	reg.GaugeFunc("memverifyd_brownout_state", func() float64 {
+		st, _, _ := s.brown.snapshot()
+		return float64(st)
+	})
+	reg.SetHelp("memverifyd_brownout_opens", "Times the brownout controller has opened.")
+	reg.GaugeFunc("memverifyd_brownout_opens", func() float64 {
+		_, _, opens := s.brown.snapshot()
+		return float64(opens)
+	})
+	reg.SetHelp("memverifyd_queue_delay_ewma_seconds", "Smoothed shard queue delay feeding the brownout controller.")
+	reg.GaugeFunc("memverifyd_queue_delay_ewma_seconds", func() float64 {
+		_, ewma, _ := s.brown.snapshot()
+		return ewma.Seconds()
+	})
+	reg.SetHelp("memverifyd_drain_rate", "Estimated fleet drain rate in shards/sec (0 until the estimator warms).")
+	reg.GaugeFunc("memverifyd_drain_rate", func() float64 {
+		rate, warm := s.drain.estimate()
+		if !warm {
+			return 0
+		}
+		return rate
+	})
 
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -178,6 +308,7 @@ func newServer(cfg serverConfig) *Server {
 	s.mux.Handle("/metrics", obs.PromHandler(reg))
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.mux.Handle("/debug/", obs.DebugHandler(s.metrics))
+	s.root = s.recoveryMiddleware(s.chaosMiddleware(s.mux))
 	for i := 0; i < cfg.workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -192,14 +323,47 @@ func newServer(cfg serverConfig) *Server {
 			}
 		}()
 	}
+	// Drain ticker: differentiates the shard-completion counter into the
+	// drain-rate EWMA, and decays the brownout EWMA when the fleet goes
+	// idle — without this an overloaded-then-silent server would stay
+	// browned out forever, because only dequeues feed the controller.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(cfg.drainTick)
+		defer t.Stop()
+		last := time.Now()
+		var seen int64
+		for {
+			select {
+			case now := <-t.C:
+				done := s.completedShards.Load()
+				s.drain.tick(done-seen, now.Sub(last))
+				if done == seen && len(s.queue) == 0 && s.workersBusy.Load() == 0 {
+					s.brown.observe(0)
+				}
+				seen, last = done, now
+			case <-s.stop:
+				return
+			}
+		}
+	}()
 	return s
 }
 
-// runShard executes one queued shard, tracking fleet utilization.
+// runShard executes one queued shard, tracking fleet utilization. The
+// recover is a backstop: shard closures recover their own panics (so
+// the error lands in the request's merge), but if one ever escapes the
+// worker survives and the fleet keeps its size.
 func (s *Server) runShard(fn func()) {
 	s.workersBusy.Add(1)
+	defer func() {
+		s.workersBusy.Add(-1)
+		if rec := recover(); rec != nil {
+			s.stats.WorkerPanics.Inc()
+		}
+	}()
 	fn()
-	s.workersBusy.Add(-1)
 }
 
 // Close stops the worker fleet (idempotent is not needed; call once).
@@ -224,8 +388,8 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (middleware included).
+func (s *Server) Handler() http.Handler { return s.root }
 
 // errShuttingDown marks enqueue failures caused by server shutdown, so
 // handlers can answer 503 instead of blaming the client.
@@ -267,11 +431,15 @@ func (s *Server) enqueueTimed(ctx context.Context, tm *reqTimings, body func()) 
 		wait := time.Since(enqueued)
 		tm.addQueue(wait)
 		s.stage["queue"].Observe(int64(wait))
+		// Every dequeue feeds the brownout controller its queue delay —
+		// the saturation signal degradation decisions run on.
+		s.brown.observe(wait)
 		t0 := time.Now()
 		body()
 		d := time.Since(t0)
 		tm.addSolve(d)
 		s.stage["solve"].Observe(int64(d))
+		s.completedShards.Add(1)
 	})
 }
 
@@ -280,7 +448,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	bstate, ewma, opens := s.brown.snapshot()
+	rate, warm := s.drain.estimate()
+	stats := map[string]any{
 		"requests":     s.stats.Requests.Value(),
 		"rejected":     s.stats.Rejected.Value(),
 		"parse_errors": s.stats.ParseErrors.Value(),
@@ -296,7 +466,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"in_flight":    len(s.inflight),
 		"workers_busy": s.workersBusy.Load(),
 		"workers":      s.cfg.workers,
-	})
+
+		"shed":                s.stats.Shed.Value(),
+		"deadline_expired":    s.stats.DeadlineExpired.Value(),
+		"expired_drops":       s.stats.ExpiredDrops.Value(),
+		"degraded":            s.stats.Degraded.Value(),
+		"panics":              s.stats.Panics.Value(),
+		"worker_panics":       s.stats.WorkerPanics.Value(),
+		"solves":              s.stats.Solves.Value(),
+		"brownout_state":      bstate.String(),
+		"brownout_opens":      opens,
+		"queue_delay_ewma_ms": float64(ewma) / float64(time.Millisecond),
+		"drain_warm":          warm,
+		"drain_rate":          rate,
+	}
+	if s.chaosInj != nil {
+		stats["chaos"] = s.chaosInj.Counts()
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // handleDebugRequests serves GET /debug/requests: the in-flight request
@@ -304,9 +491,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // with their stage breakdowns.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	inflight, slowest := s.reqs.snapshot()
+	bstate, ewma, opens := s.brown.snapshot()
+	rate, warm := s.drain.estimate()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"in_flight": inflight,
 		"slowest":   slowest,
+		"overload": map[string]any{
+			"brownout_state":      bstate.String(),
+			"brownout_opens":      opens,
+			"queue_delay_ewma_ms": float64(ewma) / float64(time.Millisecond),
+			"drain_warm":          warm,
+			"drain_rate":          rate,
+			"shed":                s.stats.Shed.Value(),
+			"degraded":            s.stats.Degraded.Value(),
+		},
 	})
 }
 
@@ -317,14 +515,48 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.Requests.Inc()
+	// Deadline propagation: the client's remaining budget arrives as
+	// X-Deadline-Ms (or as deadline_ms in the JSON envelope, applied
+	// after parse). A request that arrives already expired is answered
+	// 504 before any work.
+	deadline, err := deadlineFrom(r)
+	if err != nil {
+		s.stats.ParseErrors.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.stats.DeadlineExpired.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline expired before processing")
+		return
+	}
+	// Deadline-aware shedding: if the estimated queue wait already
+	// exceeds the request's remaining budget, admitting it only burns a
+	// worker on an answer nobody will read — shed it now with honest
+	// backpressure instead.
+	if !deadline.IsZero() {
+		if rate, warm := s.drain.estimate(); warm && rate > 0 {
+			estWait := time.Duration(float64(len(s.queue)) / rate * float64(time.Second))
+			if estWait > time.Until(deadline) {
+				s.stats.Shed.Inc()
+				s.stats.Rejected.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(len(s.queue), rate, warm, s.cfg.retryAfterMax)))
+				writeError(w, http.StatusTooManyRequests,
+					"shed: estimated queue wait %v exceeds request deadline", estWait.Round(time.Millisecond))
+				return
+			}
+		}
+	}
 	// Admission: the semaphore is the bounded ingest queue. A full
 	// server answers immediately with backpressure instead of buffering
-	// unbounded work.
+	// unbounded work — and the Retry-After it quotes is the estimated
+	// time to drain the current queue, not a constant.
 	select {
 	case s.inflight <- struct{}{}:
 	default:
 		s.stats.Rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		rate, warm := s.drain.estimate()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(len(s.queue), rate, warm, s.cfg.retryAfterMax)))
 		writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.maxInflight)
 		return
 	}
@@ -368,6 +600,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if deadline.IsZero() && req.DeadlineMS > 0 {
+		// The JSON envelope can carry the deadline too; the header wins
+		// when both are present (it was visible before the body).
+		deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if !deadline.IsZero() {
+		// The deadline rides the context: solver budgets compose with it
+		// (a search cut short reports an undecided budget trip), and
+		// shards still queued when it passes are dropped at dequeue.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	resp, status, err := s.verify(ctx, req, tm, live)
 	if r.Context().Err() != nil {
 		// Client went away; the searches were cancelled through the
@@ -379,12 +624,17 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		// 5xx means the server could not take the work (shutdown); only
-		// 4xx counts against the client as a parse/validation error.
-		if status >= http.StatusInternalServerError {
+		// 5xx means the server could not finish the work (shutdown,
+		// worker panic, expired deadline); only 4xx counts against the
+		// client as a parse/validation error.
+		switch {
+		case status == http.StatusGatewayTimeout:
+			s.stats.DeadlineExpired.Inc()
+			outcome = "deadline_expired"
+		case status >= http.StatusInternalServerError:
 			s.stats.Unavailable.Inc()
 			outcome = "unavailable"
-		} else {
+		default:
 			s.stats.ParseErrors.Inc()
 			outcome = "parse_error"
 		}
@@ -453,14 +703,42 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest, tm *reqTimings,
 
 	s.reqs.setStage(live, "cache")
 	maxStates, timeout := s.budgetFor(req)
+	// Brownout: a degraded request trades fidelity for latency — the
+	// exact strategy falls back to the resilient ladder and the budgets
+	// shrink to fixed degraded values. Applied before the cache key is
+	// built, so degraded answers live under their own (deterministic)
+	// keys and never pollute full-fidelity entries.
+	degraded, degradeReason := s.degradeFor(ctx)
+	if degraded {
+		s.stats.Degraded.Inc()
+		if n := s.cfg.degradeMaxStates; n > 0 && (maxStates == 0 || maxStates > n) {
+			maxStates = n
+		}
+		if d := s.cfg.degradeTimeout; d > 0 && (timeout == 0 || timeout > d) {
+			timeout = d
+		}
+		if strategy == solver.StrategyExact {
+			strategy = solver.StrategyResilient
+		}
+	}
 	key := cacheKey(coherence.ExecutionFingerprint(tr.Exec), model.String(), strategy.String(),
 		maxStates, timeout, req.UseOrder, tr.WriteOrders)
+	// A worker-level chaos fault (panic, slow solve) is about the solve
+	// path, so the request must take it: bypass the cache lookup instead
+	// of letting the assigned fault dissolve on a hit. The verdict is
+	// unchanged and still cached afterwards — the fault alters how this
+	// request is served, not what the answer is.
+	plan := planFrom(ctx)
+	bypassCache := plan.is(chaos.KindWorkerPanic) || plan.is(chaos.KindSlowSolve)
 	t0 = time.Now()
 	resp, ok := s.cache.get(key)
 	tm.addCache(time.Since(t0))
-	if ok {
+	if ok && !bypassCache {
 		s.stats.CacheHits.Inc()
 		resp.Cached = true
+		if degraded {
+			resp.Degraded, resp.DegradeReason = true, degradeReason
+		}
 		return &resp, 0, nil
 	}
 	s.stats.CacheMisses.Inc()
@@ -481,17 +759,88 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest, tm *reqTimings,
 		out, err = s.verifyConsistency(ctx, model, tr, cfgOpts, tm)
 	}
 	if err != nil {
-		if errors.Is(err, errShuttingDown) {
+		switch {
+		case errors.Is(err, errShuttingDown):
 			return nil, http.StatusServiceUnavailable, err
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, http.StatusGatewayTimeout, err
+		case errors.Is(err, errWorkerPanic):
+			return nil, http.StatusInternalServerError, err
+		default:
+			return nil, http.StatusBadRequest, err
 		}
-		return nil, http.StatusBadRequest, err
 	}
 	out.Model = model.String()
 	out.Strategy = strategy.String()
 	if out.Verdict != "undecided" {
 		s.cache.put(key, *out)
 	}
+	if degraded {
+		// Set after the cache put: the stored entry is keyed by the
+		// degraded knobs but the flag is about how *this* request was
+		// served, not a property of the verdict.
+		out.Degraded, out.DegradeReason = true, degradeReason
+	}
 	return out, 0, nil
+}
+
+// degradeFor decides whether this request is served degraded: either
+// the brownout controller is open, or chaos forced the path (so the
+// degraded response shape is exercised deterministically).
+func (s *Server) degradeFor(ctx context.Context) (bool, string) {
+	if planFrom(ctx).is(chaos.KindDegrade) {
+		return true, "chaos: forced degrade"
+	}
+	if s.brown.degrading() {
+		_, ewma, _ := s.brown.snapshot()
+		return true, fmt.Sprintf("brownout: queue delay EWMA %v over threshold %v",
+			ewma.Round(time.Millisecond), s.cfg.brownoutHigh)
+	}
+	return false, ""
+}
+
+// errWorkerPanic marks a request whose shard panicked on a fleet
+// worker; the panic is recovered and surfaces as a plain 500.
+var errWorkerPanic = errors.New("worker panic")
+
+// runProtected is the robustness prologue of every fleet task: drop the
+// work if the request's context died while it sat in the queue (never
+// burn a worker on an expired deadline), inject any worker-level chaos
+// assigned to the request, and recover panics into an error so one bad
+// shard fails one request instead of a fleet goroutine.
+func (s *Server) runProtected(ctx context.Context, run func() error) (err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		s.stats.ExpiredDrops.Inc()
+		return cerr
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.WorkerPanics.Inc()
+			err = fmt.Errorf("%w: %v", errWorkerPanic, rec)
+		}
+	}()
+	plan := planFrom(ctx)
+	if plan.take(chaos.KindWorkerPanic) {
+		panic("chaos: injected worker panic")
+	}
+	if plan.take(chaos.KindSlowSolve) {
+		sleepCtx(ctx, s.cfg.chaosSlow)
+	}
+	s.stats.Solves.Inc()
+	return run()
+}
+
+// sleepCtx sleeps d or until the context dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // verifyCoherenceSharded fans the per-address VMC checks of one request
@@ -509,7 +858,11 @@ func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cf
 		wg.Add(1)
 		if err := s.enqueueTimed(ctx, tm, func() {
 			defer wg.Done()
-			reports[i], errs[i] = v.SolveAddr(ctx, tr.Exec, a)
+			errs[i] = s.runProtected(ctx, func() error {
+				var serr error
+				reports[i], serr = v.SolveAddr(ctx, tr.Exec, a)
+				return serr
+			})
 		}); err != nil {
 			wg.Done()
 			// The request is gone; shards already queued notice the
@@ -587,7 +940,11 @@ func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model,
 	wg.Add(1)
 	if qerr := s.enqueueTimed(ctx, tm, func() {
 		defer wg.Done()
-		res, err = v.Verify(ctx, tr.Exec)
+		err = s.runProtected(ctx, func() error {
+			var verr error
+			res, verr = v.Verify(ctx, tr.Exec)
+			return verr
+		})
 	}); qerr != nil {
 		wg.Done()
 		return nil, qerr

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -136,8 +137,10 @@ func TestBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q: must be an integer >= 1", ra)
 	}
 	if got := s.stats.Rejected.Value(); got != 1 {
 		t.Errorf("rejected counter %d, want 1", got)
@@ -425,7 +428,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "memverifyd-loadgen/v2" {
+	if rep.Schema != "memverifyd-loadgen/v3" {
 		t.Errorf("schema %q", rep.Schema)
 	}
 	if rep.Requests+rep.Errors+rep.Rejected != 60 {

@@ -1,0 +1,115 @@
+// Resilient client: call memverifyd through internal/client and watch
+// the retry discipline work — backoff past transient 5xx, Retry-After
+// honored on 429, the circuit breaker failing fast through a hard
+// outage, and no retry ever attempted past the caller's deadline.
+//
+// The example is self-contained: it runs a deliberately flaky stand-in
+// for memverifyd on a loopback socket. Point the client at a real
+// server (go run ./cmd/memverifyd) and the same code works unchanged —
+// the flakiness here just makes the client's behavior visible in one
+// run.
+//
+// Run with: go run ./examples/resilientclient
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"memverify/internal/client"
+)
+
+// flaky is the stand-in server: a scriptable sequence of failures in
+// front of a canned coherent verdict.
+type flaky struct {
+	calls    atomic.Int64
+	failures atomic.Int64 // answer 500 to this many leading calls
+	outage   atomic.Bool  // refuse everything with 503 while set
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.calls.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case f.outage.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "outage"})
+	case n <= f.failures.Load():
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "transient"})
+	default:
+		json.NewEncoder(w).Encode(map[string]any{
+			"verdict": "coherent", "model": "Coherence", "strategy": "auto",
+		})
+	}
+}
+
+func main() {
+	srv := &flaky{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+
+	cl := client.New(client.Config{
+		Base:             "http://" + ln.Addr().String(),
+		BaseBackoff:      10 * time.Millisecond, // demo-fast; default 50ms
+		RetryBudget:      1,                     // generous for the demo; default 0.10
+		BreakerThreshold: 3,
+		BreakerCooldown:  200 * time.Millisecond,
+		Seed:             1,
+	})
+	req := &client.Request{Trace: "P0: W x 1\nP1: R x 1\n"}
+
+	// 1. Transient failures: the first two attempts draw a 500, the
+	// third lands — one Verify call, the retries are invisible.
+	srv.failures.Store(2)
+	resp, err := cl.Verify(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transient 5xx:  verdict=%s after %d attempts\n", resp.Verdict, resp.Attempts)
+
+	// 2. Hard outage: every attempt fails, the breaker opens, and
+	// further calls fail fast without touching the network.
+	srv.outage.Store(true)
+	if _, err := cl.Verify(context.Background(), req); err != nil {
+		fmt.Printf("hard outage:    %v\n", err)
+	}
+	before := srv.calls.Load()
+	if _, err := cl.Verify(context.Background(), req); err != nil {
+		fmt.Printf("breaker open:   %v (network calls made: %d)\n", err, srv.calls.Load()-before)
+	}
+
+	// 3. Recovery: after the cooldown one half-open probe goes out; its
+	// success closes the breaker for everyone.
+	srv.outage.Store(false)
+	srv.failures.Store(0)
+	time.Sleep(250 * time.Millisecond)
+	resp, err = cl.Verify(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered:      verdict=%s after %d attempts\n", resp.Verdict, resp.Attempts)
+
+	// 4. Deadline discipline: with 5ms left the client refuses to wait
+	// out a backoff it could not finish — and forwards the deadline as
+	// X-Deadline-Ms so a real server sheds the work too.
+	srv.failures.Store(srv.calls.Load() + 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Verify(ctx, req); err != nil {
+		fmt.Printf("tight deadline: %v\n", err)
+	}
+
+	st := cl.Stats()
+	fmt.Printf("lifetime stats: requests=%d attempts=%d retries=%d breaker_opens=%d state=%s\n",
+		st.Requests, st.Attempts, st.Retries, st.BreakerOpens, st.BreakerState)
+}

@@ -1,0 +1,249 @@
+// Package chaos is the seeded deterministic fault-injection layer of
+// the service tier. It plays the role mesi.Faults and directory.Faults
+// play for the protocol simulators, one level up: instead of dropped
+// invalidations it injects service-shaped faults — worker panics, slow
+// solves, dropped connections, HTTP 500s, forced degradation — at a
+// configured rate, reproducibly from a single seed.
+//
+// Determinism under concurrency is the design constraint. A service
+// handles requests on many goroutines, so a naive shared rand.Rand
+// would make the fired schedule depend on goroutine interleaving. Two
+// mechanisms avoid that:
+//
+//   - Decide is a pure function of (seed, kind, opportunity, rate): the
+//     set of firing opportunities is fixed by the seed alone, whatever
+//     order concurrent callers claim opportunity numbers in.
+//   - BuildSchedule assigns faults to request indices up front, so a
+//     load generator can decide "request #17 gets a worker panic"
+//     before any request is sent and carry the assignment on the
+//     request itself.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind names one injectable service fault.
+type Kind int
+
+const (
+	// KindNone is the absence of a fault (the zero value, so an
+	// unassigned schedule slot injects nothing).
+	KindNone Kind = iota
+	// KindWorkerPanic panics inside a fleet worker mid-shard: the
+	// server must recover it, answer 500, and keep the worker alive.
+	KindWorkerPanic
+	// KindSlowSolve stalls one shard's solve by a configured duration,
+	// simulating a pathologically hard instance hogging a worker.
+	KindSlowSolve
+	// KindDropConn severs the client connection before any response
+	// bytes, simulating a mid-flight network failure.
+	KindDropConn
+	// KindError500 answers an immediate HTTP 500, simulating an
+	// internal failure upstream of the solver.
+	KindError500
+	// KindDegrade forces the brownout downgrade path on one request
+	// regardless of the live queue-delay EWMA, so the degraded response
+	// shape is exercised deterministically.
+	KindDegrade
+	numKinds
+)
+
+// String names the kind as spelled in the X-Chaos-Fault header.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindWorkerPanic:
+		return "panic"
+	case KindSlowSolve:
+		return "slow"
+	case KindDropConn:
+		return "drop"
+	case KindError500:
+		return "500"
+	case KindDegrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps the header spelling back to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "none":
+		return KindNone, nil
+	case "panic":
+		return KindWorkerPanic, nil
+	case "slow":
+		return KindSlowSolve, nil
+	case "drop":
+		return KindDropConn, nil
+	case "500":
+		return KindError500, nil
+	case "degrade":
+		return KindDegrade, nil
+	}
+	return KindNone, fmt.Errorf("chaos: unknown fault kind %q (want panic, slow, drop, 500 or degrade)", name)
+}
+
+// Kinds lists every injectable fault kind (KindNone excluded).
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds-1)
+	for k := KindWorkerPanic; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Decide reports whether fault kind k fires at its n-th opportunity
+// under the given seed and rate. It is a pure function — a splitmix64
+// hash of (seed, kind, opportunity) compared against rate — so the set
+// of firing opportunities is fixed by the seed, independent of the
+// order in which concurrent callers reach their opportunities.
+func Decide(seed int64, k Kind, opportunity uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	x := uint64(seed) ^ (uint64(k)+1)*0x9e3779b97f4a7c15 ^ (opportunity+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(uint64(1)<<53) < rate
+}
+
+// Event records one fired fault: its kind and the opportunity number
+// (1-based, per kind) it fired at — the same shape the protocol fault
+// injectors log, so a chaos run replays from (seed, rates) alone.
+type Event struct {
+	Kind        Kind   `json:"-"`
+	KindName    string `json:"kind"`
+	Opportunity uint64 `json:"opportunity"`
+}
+
+// Injector fires faults at a per-kind rate, deterministically from a
+// seed, and logs what fired. Opportunity numbers are claimed with
+// atomics and the firing decision is the pure Decide function, so with
+// the same per-kind opportunity counts two runs fire the identical
+// opportunity sets; only the interleaved log order can differ (compare
+// schedules sorted, or compare Counts).
+type Injector struct {
+	seed  int64
+	rates map[Kind]float64
+	seen  [numKinds]atomic.Uint64
+
+	mu  sync.Mutex
+	log []Event
+}
+
+// NewInjector builds an injector firing each kind in rates at its
+// configured probability, decided by seed.
+func NewInjector(seed int64, rates map[Kind]float64) *Injector {
+	r := make(map[Kind]float64, len(rates))
+	for k, p := range rates {
+		r[k] = p
+	}
+	return &Injector{seed: seed, rates: r}
+}
+
+// Fire claims the next opportunity for kind k and reports whether the
+// fault fires there. Nil-safe: a nil injector never fires.
+func (in *Injector) Fire(k Kind) bool {
+	if in == nil || k <= KindNone || k >= numKinds {
+		return false
+	}
+	n := in.seen[k].Add(1)
+	if !Decide(in.seed, k, n, in.rates[k]) {
+		return false
+	}
+	in.record(k, n)
+	return true
+}
+
+// Force logs an externally-commanded fault of kind k (the header-driven
+// mode, where the load generator owns the schedule and the injector
+// only keeps the books). Nil-safe.
+func (in *Injector) Force(k Kind) {
+	if in == nil || k <= KindNone || k >= numKinds {
+		return
+	}
+	in.record(k, in.seen[k].Add(1))
+}
+
+func (in *Injector) record(k Kind, n uint64) {
+	in.mu.Lock()
+	in.log = append(in.log, Event{Kind: k, KindName: k.String(), Opportunity: n})
+	in.mu.Unlock()
+}
+
+// Schedule returns the fired faults sorted by (kind, opportunity) —
+// the canonical form, so two runs with the same seed and the same
+// per-kind opportunity counts return equal schedules even though their
+// goroutines interleaved differently.
+func (in *Injector) Schedule() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := append([]Event(nil), in.log...)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Opportunity < out[j].Opportunity
+	})
+	return out
+}
+
+// Counts tallies fired faults by kind name. Nil-safe (empty map).
+func (in *Injector) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, e := range in.Schedule() {
+		out[e.KindName]++
+	}
+	return out
+}
+
+// BuildSchedule assigns at most one fault to each of n request slots:
+// with probability rate a slot draws one of kinds uniformly, otherwise
+// it stays KindNone. The assignment is a pure function of the seed, so
+// a load generator holding the schedule knows the full fault plan —
+// and its per-kind counts — before the first request is sent.
+func BuildSchedule(seed int64, n int, rate float64, kinds []Kind) []Kind {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Kind, n)
+	if rate <= 0 || len(kinds) == 0 {
+		return out
+	}
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = kinds[rng.Intn(len(kinds))]
+		}
+	}
+	return out
+}
+
+// CountSchedule tallies a BuildSchedule assignment by kind name,
+// KindNone excluded — the deterministic "what was injected" block of a
+// chaos report.
+func CountSchedule(sched []Kind) map[string]int {
+	out := make(map[string]int)
+	for _, k := range sched {
+		if k != KindNone {
+			out[k.String()]++
+		}
+	}
+	return out
+}

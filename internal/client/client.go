@@ -1,0 +1,495 @@
+// Package client is the resilient Go client for memverifyd. It wraps
+// POST /v1/verify with the retry discipline an always-on verification
+// pipeline needs against a server that sheds, degrades, and
+// occasionally fails:
+//
+//   - jittered exponential backoff between attempts, honoring the
+//     server's Retry-After header on 429/503;
+//   - a retry budget: across the client's lifetime at most
+//     Config.RetryBudget (default 10%) of requests may be retries, so
+//     a hard outage cannot turn every client into a retry storm;
+//   - a closed/open/half-open circuit breaker: consecutive transport
+//     errors and 5xx answers open it, requests then fail fast without
+//     touching the network until a cooldown admits a single half-open
+//     probe whose success closes it again;
+//   - deadline discipline: a retry is never attempted when the backoff
+//     wait would cross the caller's context deadline, and the caller's
+//     deadline is propagated to the server as X-Deadline-Ms so the
+//     server can drop the request instead of solving past it.
+//
+// All methods are safe for concurrent use; the retry budget and the
+// breaker are shared across goroutines, which is the point — they
+// protect the server from the client process as a whole.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request is the wire shape of POST /v1/verify as this client speaks
+// it (the JSON envelope; mirrors the server's VerifyRequest).
+type Request struct {
+	Trace      string `json:"trace"`
+	Model      string `json:"model,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	MaxStates  int    `json:"max_states,omitempty"`
+	TimeoutMS  int    `json:"timeout_ms,omitempty"`
+	UseOrder   bool   `json:"use_order,omitempty"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"`
+}
+
+// AddrResult mirrors the server's per-address verdict slice.
+type AddrResult struct {
+	Addr      string `json:"addr"`
+	Verdict   string `json:"verdict"`
+	Algorithm string `json:"algorithm,omitempty"`
+	States    int    `json:"states"`
+}
+
+// Response is the decoded verdict, plus client-side bookkeeping.
+type Response struct {
+	Verdict       string       `json:"verdict"`
+	Model         string       `json:"model"`
+	Strategy      string       `json:"strategy"`
+	Violation     string       `json:"violation,omitempty"`
+	Reason        string       `json:"reason,omitempty"`
+	Degraded      bool         `json:"degraded,omitempty"`
+	DegradeReason string       `json:"degrade_reason,omitempty"`
+	Addrs         []AddrResult `json:"addrs,omitempty"`
+	Cached        bool         `json:"cached"`
+	ElapsedMS     float64      `json:"elapsed_ms"`
+	RequestID     string       `json:"request_id,omitempty"`
+
+	// Attempts is filled by the client: how many HTTP attempts this
+	// answer took (1 = no retries).
+	Attempts int `json:"-"`
+}
+
+// HTTPError is a non-2xx answer that exhausted the retry policy (or
+// was not retryable at all, like a 400).
+type HTTPError struct {
+	Status int
+	Body   string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("memverifyd: HTTP %d: %s", e.Status, e.Body)
+}
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker is
+// open and the request failed fast without touching the network.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// ErrRetryBudgetExhausted wraps the final attempt's error when a retry
+// was wanted but the client-wide retry budget refused it.
+var ErrRetryBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// Config tunes a Client. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Base is the server root, e.g. "http://localhost:8372".
+	Base string
+	// HTTP is the transport; nil uses a 60s-timeout http.Client.
+	HTTP *http.Client
+	// MaxAttempts bounds attempts per request (first try included).
+	// Default 4.
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential backoff: attempt i
+	// waits a jittered BaseBackoff·2^i, capped at MaxBackoff. Defaults
+	// 50ms / 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryBudget caps lifetime retries at this fraction of lifetime
+	// requests (a small bootstrap burst of 3 is always allowed, so the
+	// first failures of a fresh client can still retry). Default 0.10.
+	RetryBudget float64
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// breaker (transport errors and 5xx count; 429 does not — a
+	// shedding server is alive). Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// admitting one half-open probe. Default 1s.
+	BreakerCooldown time.Duration
+	// Seed seeds the backoff jitter, so a seeded harness produces the
+	// same wait sequence. 0 seeds from 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 60 * time.Second}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 0.10
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state as exposed in stats and reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// Stats is a snapshot of the client's lifetime counters.
+type Stats struct {
+	Requests          int64
+	Attempts          int64
+	Retries           int64
+	Successes         int64
+	SuccessAfterRetry int64
+	Failures          int64
+	BreakerOpens      int64
+	BreakerState      BreakerState
+}
+
+// Client is a resilient memverifyd client. Create with New; the zero
+// value is not usable.
+type Client struct {
+	cfg Config
+
+	requests          atomic.Int64
+	attempts          atomic.Int64
+	retries           atomic.Int64
+	successes         atomic.Int64
+	successAfterRetry atomic.Int64
+	failures          atomic.Int64
+	breakerOpens      atomic.Int64
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool
+}
+
+// New builds a Client for the server at cfg.Base.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the lifetime counters and breaker state.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	return Stats{
+		Requests:          c.requests.Load(),
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		Successes:         c.successes.Load(),
+		SuccessAfterRetry: c.successAfterRetry.Load(),
+		Failures:          c.failures.Load(),
+		BreakerOpens:      c.breakerOpens.Load(),
+		BreakerState:      state,
+	}
+}
+
+// allow asks the breaker whether an attempt may go out. In the open
+// state it fails fast until the cooldown elapses, then admits exactly
+// one half-open probe at a time.
+func (c *Client) allow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if time.Since(c.openedAt) < c.cfg.BreakerCooldown {
+			return ErrBreakerOpen
+		}
+		c.state = BreakerHalfOpen
+		c.probing = true
+		return nil
+	default: // half-open
+		if c.probing {
+			return ErrBreakerOpen
+		}
+		c.probing = true
+		return nil
+	}
+}
+
+// onResult reports an attempt's outcome to the breaker. Only outcomes
+// that say something about the server's health move it: success closes,
+// failure (transport error or 5xx) counts toward opening; a 429 or 4xx
+// is neutral — the server answered coherently.
+func (c *Client) onResult(failure bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == BreakerHalfOpen {
+		c.probing = false
+	}
+	if !failure {
+		c.state = BreakerClosed
+		c.consecFails = 0
+		return
+	}
+	c.consecFails++
+	if c.state == BreakerHalfOpen || c.consecFails >= c.cfg.BreakerThreshold {
+		if c.state != BreakerOpen {
+			c.breakerOpens.Add(1)
+		}
+		c.state = BreakerOpen
+		c.openedAt = time.Now()
+	}
+}
+
+// retryAllowed consumes one unit of the retry budget if available:
+// lifetime retries stay under RetryBudget · lifetime requests, plus a
+// bootstrap burst of 3 so a fresh client is not starved.
+func (c *Client) retryAllowed() bool {
+	allowed := int64(c.cfg.RetryBudget*float64(c.requests.Load())) + 3
+	// Optimistically claim; undo on overrun. Contention is rare (only
+	// failing requests get here).
+	if c.retries.Add(1) <= allowed {
+		return true
+	}
+	c.retries.Add(-1)
+	return false
+}
+
+// backoff computes the jittered exponential wait before retry number
+// attempt (1-based), floored by the server's Retry-After when given.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if retryAfter > jittered {
+		return retryAfter
+	}
+	return jittered
+}
+
+// attemptOutcome classifies one HTTP attempt.
+type attemptOutcome struct {
+	resp       *Response
+	err        error
+	retryable  bool
+	failure    bool // counts toward the breaker
+	retryAfter time.Duration
+}
+
+// attempt performs one HTTP round trip.
+func (c *Client) attempt(ctx context.Context, body []byte, deadlineMS int, attempt int, beforeAttempt func(int, *http.Request)) attemptOutcome {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.Base+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		return attemptOutcome{err: err}
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if deadlineMS > 0 {
+		hr.Header.Set("X-Deadline-Ms", strconv.Itoa(deadlineMS))
+	}
+	if beforeAttempt != nil {
+		beforeAttempt(attempt, hr)
+	}
+	c.attempts.Add(1)
+	resp, err := c.cfg.HTTP.Do(hr)
+	if err != nil {
+		// Transport-level failure (connection dropped, refused, reset):
+		// retryable unless the caller's context ended it.
+		if ctx.Err() != nil {
+			return attemptOutcome{err: ctx.Err()}
+		}
+		return attemptOutcome{err: err, retryable: true, failure: true}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return attemptOutcome{err: ctx.Err()}
+		}
+		return attemptOutcome{err: err, retryable: true, failure: true}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		out := &Response{}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return attemptOutcome{err: fmt.Errorf("decoding response: %w", err), retryable: true, failure: true}
+		}
+		return attemptOutcome{resp: out}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Backpressure: retryable, honors Retry-After, breaker-neutral.
+		return attemptOutcome{
+			err:        &HTTPError{Status: resp.StatusCode, Body: errBody(raw)},
+			retryable:  true,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		// The request's own deadline expired server-side: retrying the
+		// same deadline cannot help, and the server is healthy.
+		return attemptOutcome{err: &HTTPError{Status: resp.StatusCode, Body: errBody(raw)}}
+	case resp.StatusCode >= http.StatusInternalServerError:
+		return attemptOutcome{
+			err:        &HTTPError{Status: resp.StatusCode, Body: errBody(raw)},
+			retryable:  true,
+			failure:    true,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	default:
+		// 4xx other than 429: the request itself is wrong — retrying
+		// the same bytes cannot help.
+		return attemptOutcome{err: &HTTPError{Status: resp.StatusCode, Body: errBody(raw)}}
+	}
+}
+
+// errBody extracts the server's JSON error message, falling back to
+// the raw body.
+func errBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(raw) > 200 {
+		raw = raw[:200]
+	}
+	return string(raw)
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (the only
+// form memverifyd emits).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// Verify sends one verification request, retrying per the client's
+// policy, and returns the decoded verdict.
+func (c *Client) Verify(ctx context.Context, req *Request) (*Response, error) {
+	return c.Do(ctx, req, nil)
+}
+
+// Do is Verify with a per-attempt hook: beforeAttempt(i, hr) may mutate
+// the outgoing *http.Request of attempt i (0-based) — the seam the
+// chaos harness uses to inject a fault header on the first attempt
+// only, so retries land on a healthy path.
+func (c *Client) Do(ctx context.Context, req *Request, beforeAttempt func(attempt int, hr *http.Request)) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.requests.Add(1)
+	// Propagate the caller's deadline to the server unless the request
+	// names its own: the server drops work it cannot finish in time
+	// instead of solving for a caller that stopped listening.
+	deadlineMS := req.DeadlineMS
+	if deadlineMS == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				deadlineMS = int(rem / time.Millisecond)
+				if deadlineMS == 0 {
+					deadlineMS = 1
+				}
+			}
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := c.allow(); err != nil {
+			if lastErr != nil {
+				c.failures.Add(1)
+				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+			c.failures.Add(1)
+			return nil, err
+		}
+		out := c.attempt(ctx, body, deadlineMS, attempt, beforeAttempt)
+		c.onResult(out.failure)
+		if out.resp != nil {
+			out.resp.Attempts = attempt + 1
+			c.successes.Add(1)
+			if attempt > 0 {
+				c.successAfterRetry.Add(1)
+			}
+			return out.resp, nil
+		}
+		lastErr = out.err
+		if !out.retryable || ctx.Err() != nil {
+			break
+		}
+		if attempt+1 >= c.cfg.MaxAttempts {
+			break
+		}
+		if !c.retryAllowed() {
+			c.failures.Add(1)
+			return nil, fmt.Errorf("%w (last error: %v)", ErrRetryBudgetExhausted, lastErr)
+		}
+		wait := c.backoff(attempt+1, out.retryAfter)
+		// Never retry past the caller's deadline: if the wait would
+		// cross it, the retry could not finish anyway.
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+			c.failures.Add(1)
+			return nil, fmt.Errorf("client: deadline too close to retry (waited-for backoff %v): %w", wait, lastErr)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			c.failures.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	c.failures.Add(1)
+	return nil, lastErr
+}

@@ -1,0 +1,272 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// verdictHandler answers a fixed script of statuses, then "coherent"
+// forever; it records how many attempts arrived.
+func verdictHandler(script ...int) (*atomic.Int64, http.HandlerFunc) {
+	var n atomic.Int64
+	return &n, func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i < len(script) {
+			status := script[i]
+			if status == 429 {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": "scripted"})
+			return
+		}
+		json.NewEncoder(w).Encode(Response{Verdict: "coherent", Model: "Coherence"})
+	}
+}
+
+func fastCfg(base string) Config {
+	return Config{
+		Base:        base,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+func TestRetryOn500ThenSuccess(t *testing.T) {
+	attempts, h := verdictHandler(500)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	resp, err := c.Verify(context.Background(), &Request{Trace: "P0: W x 1\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != "coherent" || resp.Attempts != 2 {
+		t.Errorf("resp %+v", resp)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.SuccessAfterRetry != 1 || st.Successes != 1 || st.Failures != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestNoRetryOn400(t *testing.T) {
+	attempts, h := verdictHandler(400)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	_, err := c.Verify(context.Background(), &Request{Trace: "garbage"})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 400 {
+		t.Fatalf("err %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("400 was retried: %d attempts", got)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	_, h := verdictHandler(429)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(fastCfg(ts.URL)) // backoff alone would be ~1ms
+	start := time.Now()
+	resp, err := c.Verify(context.Background(), &Request{Trace: "P0: W x 1\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Attempts != 2 {
+		t.Errorf("attempts %d", resp.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v, Retry-After: 1 not honored", elapsed)
+	}
+}
+
+// TestNoRetryPastDeadline: with Retry-After demanding a 1s wait and
+// only ~100ms of deadline left, the client must give up immediately
+// rather than sleep through the caller's deadline.
+func TestNoRetryPastDeadline(t *testing.T) {
+	attempts, h := verdictHandler(429, 429, 429)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Verify(ctx, &Request{Trace: "P0: W x 1\n"})
+	if err == nil {
+		t.Fatal("succeeded despite unretryable deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("client slept %v past its deadline", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts %d, want 1 (no retry past deadline)", got)
+	}
+}
+
+// TestRetryBudget: a failing burst may only spend the bootstrap burst
+// (3) plus 10% of requests as retries; after that, failures are
+// returned without another attempt.
+func TestRetryBudget(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.WriteHeader(500)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 10
+	cfg.BreakerThreshold = 1 << 30 // isolate the budget from the breaker
+	c := New(cfg)
+	for i := 0; i < 4; i++ {
+		c.Verify(context.Background(), &Request{Trace: "P0: W x 1\n"})
+	}
+	st := c.Stats()
+	// 4 requests: allowed retries = 3 + floor(0.1 * requests-so-far).
+	if st.Retries > 4 {
+		t.Errorf("retry budget leaked: %d retries over %d requests", st.Retries, st.Requests)
+	}
+	budgetHits := false
+	_, err := c.Verify(context.Background(), &Request{Trace: "P0: W x 1\n"})
+	if errors.Is(err, ErrRetryBudgetExhausted) {
+		budgetHits = true
+	}
+	if !budgetHits {
+		t.Errorf("5th failing request did not trip the retry budget: %v", err)
+	}
+}
+
+// TestBreakerOpensAndRecovers: consecutive failures open the breaker
+// (fail-fast, no network), the cooldown admits a half-open probe, and
+// a successful probe closes it.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		if fail.Load() {
+			w.WriteHeader(500)
+			return
+		}
+		json.NewEncoder(w).Encode(Response{Verdict: "coherent"})
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1 // no retries: isolate the breaker
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	c := New(cfg)
+	for i := 0; i < 3; i++ {
+		c.Verify(context.Background(), &Request{Trace: "t"})
+	}
+	if st := c.Stats(); st.BreakerState != BreakerOpen || st.BreakerOpens != 1 {
+		t.Fatalf("breaker did not open: %+v", st)
+	}
+	sent := n.Load()
+	_, err := c.Verify(context.Background(), &Request{Trace: "t"})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker did not fail fast: %v", err)
+	}
+	if n.Load() != sent {
+		t.Error("open breaker let a request through before cooldown")
+	}
+	// Cooldown elapses; the server is healthy again; the half-open
+	// probe succeeds and closes the breaker.
+	fail.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	resp, err := c.Verify(context.Background(), &Request{Trace: "t"})
+	if err != nil || resp.Verdict != "coherent" {
+		t.Fatalf("half-open probe failed: %v %+v", err, resp)
+	}
+	if st := c.Stats(); st.BreakerState != BreakerClosed {
+		t.Errorf("breaker state after successful probe: %v", st.BreakerState)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failing half-open probe slams
+// the breaker shut again without waiting for the threshold.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	_, h := verdictHandler(500, 500, 500, 500, 500, 500, 500, 500)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 20 * time.Millisecond
+	c := New(cfg)
+	c.Verify(context.Background(), &Request{Trace: "t"})
+	c.Verify(context.Background(), &Request{Trace: "t"})
+	if st := c.Stats(); st.BreakerState != BreakerOpen {
+		t.Fatalf("not open: %+v", st)
+	}
+	time.Sleep(30 * time.Millisecond)
+	c.Verify(context.Background(), &Request{Trace: "t"}) // failing probe
+	if st := c.Stats(); st.BreakerState != BreakerOpen || st.BreakerOpens != 2 {
+		t.Errorf("failed probe did not reopen: %+v", st)
+	}
+}
+
+// TestDeadlinePropagatedAsHeader: a context deadline becomes
+// X-Deadline-Ms on the wire.
+func TestDeadlinePropagatedAsHeader(t *testing.T) {
+	var gotHeader atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get("X-Deadline-Ms"))
+		json.NewEncoder(w).Encode(Response{Verdict: "coherent"})
+	}))
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Verify(ctx, &Request{Trace: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := gotHeader.Load().(string)
+	if h == "" {
+		t.Fatal("X-Deadline-Ms not set from context deadline")
+	}
+}
+
+// TestBeforeAttemptHook: the hook sees the attempt number and can
+// mutate the request — and runs again with the new number on retry.
+func TestBeforeAttemptHook(t *testing.T) {
+	var first, second atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Chaos-Fault") != "" {
+			first.Store(r.Header.Get("X-Chaos-Fault"))
+			w.WriteHeader(500)
+			return
+		}
+		second.Store("clean")
+		json.NewEncoder(w).Encode(Response{Verdict: "coherent"})
+	}))
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	resp, err := c.Do(context.Background(), &Request{Trace: "t"}, func(attempt int, hr *http.Request) {
+		if attempt == 0 {
+			hr.Header.Set("X-Chaos-Fault", "500")
+		}
+	})
+	if err != nil || resp.Attempts != 2 {
+		t.Fatalf("err %v resp %+v", err, resp)
+	}
+	if f, _ := first.Load().(string); f != "500" {
+		t.Error("hook header missing on first attempt")
+	}
+	if s, _ := second.Load().(string); s != "clean" {
+		t.Error("retry carried the first attempt's fault header")
+	}
+}
