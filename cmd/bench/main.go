@@ -12,10 +12,22 @@
 // §5), so the report carries its own before/after for the packed state
 // layer.
 //
+// With -fastpath the command instead measures the polynomial fast-path
+// frontline's crossover (internal/coherence/fastpath.go): a relay-family
+// trace (see workload.GenerateRelay) is verified once through
+// solver.StrategyFast and once through the exact search with the
+// frontline ablated (solver.WithoutFastPath) under a MaxStates budget of
+// 20x the operation count. At the full size (~10^6 operations) the
+// frontline decides both the coherent and the phantom-read variant in
+// seconds while the ablated exact search exhausts its state budget —
+// that crossover, committed as BENCH_PR9.json, is the evidence the
+// README performance table cites.
+//
 // Usage:
 //
 //	go run ./cmd/bench                  # full suite -> BENCH_PR5.json
 //	go run ./cmd/bench -quick           # small fixture subset (CI smoke)
+//	go run ./cmd/bench -fastpath        # frontline crossover -> BENCH_PR9.json
 //	go run ./cmd/bench -out report.json # alternate output path
 package main
 
@@ -279,12 +291,148 @@ func run(out string, quick bool, logf func(format string, args ...any)) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
+// fastpathSchema versions the crossover report format.
+const fastpathSchema = "memverify-fastpath/v1"
+
+// fastpathEntry is one timed verification in the crossover report.
+type fastpathEntry struct {
+	Name string `json:"name"`
+	// Mode is "fastpath" (solver.StrategyFast) or "exact-ablation"
+	// (solver.WithoutFastPath under a MaxStates budget of 20x ops).
+	Mode string `json:"mode"`
+	// Ops is the operation count of the instance.
+	Ops int `json:"ops"`
+	// Verdict is coherent, incoherent, or unknown (ablation budget trip).
+	Verdict   string `json:"verdict"`
+	Rung      string `json:"rung,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	// States is the number of search states charged (the frontline
+	// charges its linear pass, the exact search its explored states).
+	States     int     `json:"states"`
+	DurationMS float64 `json:"duration_ms"`
+	// MaxStates is the ablation's state budget (absent for fastpath).
+	MaxStates int `json:"max_states,omitempty"`
+	// BudgetExceeded marks an ablation run that ran out of budget
+	// without an answer; Reason says which bound tripped.
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	Reason         string `json:"reason,omitempty"`
+}
+
+// fastpathReport is the JSON document -fastpath emits.
+type fastpathReport struct {
+	Schema    string          `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Quick     bool            `json:"quick"`
+	Entries   []fastpathEntry `json:"benchmarks"`
+}
+
+// fastpathBudgetFactor scales the ablation's MaxStates budget from the
+// instance's operation count. A complete search that needs more than
+// 20x ops states on a trace the frontline decides in one linear pass
+// has lost the crossover; letting it run unbounded instead would take
+// hours at the full size.
+const fastpathBudgetFactor = 20
+
+// runFastpath measures the frontline crossover on the relay family and
+// writes the report; split from main for the package test.
+func runFastpath(out string, quick bool, logf func(format string, args ...any)) error {
+	cfg := workload.RelayConfig{Processors: 4, Rounds: 13900, Decoys: 16}
+	if quick {
+		cfg.Rounds = 60
+	}
+	report := fastpathReport{
+		Schema:    fastpathSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+	fast := coherence.NewVerifier(solver.WithStrategy(solver.StrategyFast))
+	for _, phantom := range []bool{false, true} {
+		c := cfg
+		c.Phantom = phantom
+		exec := workload.GenerateRelay(c)
+		n := exec.NumOps()
+		name := fmt.Sprintf("relay/m=%d/rounds=%d/decoys=%d/phantom=%v", c.Processors, c.Rounds, c.Decoys, phantom)
+
+		t0 := time.Now()
+		ar, err := fast.SolveAddr(context.Background(), exec, 0)
+		if err != nil {
+			return fmt.Errorf("%s: fastpath: %w", name, err)
+		}
+		e := fastpathEntry{
+			Name:       name,
+			Mode:       "fastpath",
+			Ops:        n,
+			Verdict:    ar.Verdict.String(),
+			Rung:       ar.Rung.String(),
+			States:     ar.Stats.States,
+			DurationMS: float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		if ar.Result != nil {
+			e.Algorithm = ar.Result.Algorithm
+		}
+		logf("%-48s %-15s %-10s %10d states %10.0f ms\n", e.Name, e.Mode, e.Verdict, e.States, e.DurationMS)
+		report.Entries = append(report.Entries, e)
+
+		ablated := coherence.NewVerifier(solver.WithBudget(
+			solver.WithoutFastPath(), solver.WithMaxStates(fastpathBudgetFactor*n)))
+		t0 = time.Now()
+		ar, err = ablated.SolveAddr(context.Background(), exec, 0)
+		e = fastpathEntry{
+			Name:       name,
+			Mode:       "exact-ablation",
+			Ops:        n,
+			MaxStates:  fastpathBudgetFactor * n,
+			DurationMS: float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		switch {
+		case err == nil:
+			e.Verdict = ar.Verdict.String()
+			e.States = ar.Stats.States
+			if ar.Result != nil {
+				e.Algorithm = ar.Result.Algorithm
+			}
+		default:
+			be, ok := solver.AsBudgetError(err)
+			if !ok {
+				return fmt.Errorf("%s: ablation: %w", name, err)
+			}
+			e.Verdict = "unknown"
+			e.States = be.Stats.States
+			e.BudgetExceeded = true
+			e.Reason = be.Reason.String()
+		}
+		logf("%-48s %-15s %-10s %10d states %10.0f ms\n", e.Name, e.Mode, e.Verdict, e.States, e.DurationMS)
+		report.Entries = append(report.Entries, e)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(out, data, 0o644)
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
+	out := flag.String("out", "", "output path for the JSON report (default BENCH_PR5.json, or BENCH_PR9.json with -fastpath)")
 	quick := flag.Bool("quick", false, "run only the small fixtures (CI smoke)")
+	fastpath := flag.Bool("fastpath", false, "measure the fast-path frontline crossover instead of the solver suite")
 	flag.Parse()
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
-	if err := run(*out, *quick, logf); err != nil {
+	if *out == "" {
+		*out = "BENCH_PR5.json"
+		if *fastpath {
+			*out = "BENCH_PR9.json"
+		}
+	}
+	runFn := run
+	if *fastpath {
+		runFn = runFastpath
+	}
+	if err := runFn(*out, *quick, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

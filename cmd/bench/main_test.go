@@ -94,3 +94,43 @@ func TestMeasureAndReport(t *testing.T) {
 		t.Fatalf("report round-trip mangled: %+v", back)
 	}
 }
+
+// TestFastpathCrossoverQuick runs the -fastpath mode at its quick size
+// end to end and checks the crossover invariant the committed
+// BENCH_PR9.json evidences at full size: the frontline decides both
+// relay variants (with the right verdicts) while the ablated exact
+// search exhausts its state budget on both.
+func TestFastpathCrossoverQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fastpath.json")
+	if err := runFastpath(out, true, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fastpathReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("emitted report is not valid JSON: %v", err)
+	}
+	if rep.Schema != fastpathSchema || len(rep.Entries) != 4 {
+		t.Fatalf("report shape: schema=%q entries=%d", rep.Schema, len(rep.Entries))
+	}
+	byMode := map[string][]fastpathEntry{}
+	for _, e := range rep.Entries {
+		byMode[e.Mode] = append(byMode[e.Mode], e)
+	}
+	for i, want := range []string{"coherent", "incoherent"} {
+		if got := byMode["fastpath"][i]; got.Verdict != want || got.Rung != "fast" {
+			t.Errorf("fastpath entry %d: verdict=%s rung=%s, want %s at fast", i, got.Verdict, got.Rung, want)
+		}
+	}
+	for _, e := range byMode["exact-ablation"] {
+		if !e.BudgetExceeded || e.Verdict != "unknown" {
+			t.Errorf("ablation on %s answered %q in budget — the instance is too easy to evidence the crossover", e.Name, e.Verdict)
+		}
+		if e.States < e.MaxStates {
+			t.Errorf("ablation on %s stopped at %d states under its %d budget", e.Name, e.States, e.MaxStates)
+		}
+	}
+}

@@ -32,7 +32,7 @@ type VerifyRequest struct {
 	// (default), lrc or vscc.
 	Model string `json:"model,omitempty"`
 	// Strategy picks the decision-procedure family: auto (default),
-	// portfolio, resilient or exact.
+	// portfolio, resilient, exact or fast.
 	Strategy string `json:"strategy,omitempty"`
 	// MaxStates bounds the states explored per solve (0 = server
 	// default; always clamped to the server's ceiling).

@@ -717,7 +717,10 @@ func (s *Server) verify(ctx context.Context, req *VerifyRequest, tm *reqTimings,
 		if d := s.cfg.degradeTimeout; d > 0 && (timeout == 0 || timeout > d) {
 			timeout = d
 		}
-		if strategy == solver.StrategyExact {
+		if strategy == solver.StrategyExact || strategy == solver.StrategyFast {
+			// Both end in an unbounded exact search when escalation is
+			// needed; the ladder degrades to Unknown instead of burning the
+			// shrunken budget on a hopeless search.
 			strategy = solver.StrategyResilient
 		}
 	}

@@ -3,11 +3,11 @@
 // Usage:
 //
 //	vmcheck [-model coherence|sc|tso|pso|lrc|vscc] [-use-order]
-//	        [-strategy auto|portfolio|resilient|exact] [-portfolio]
-//	        [-max-states N] [-timeout D] [-stats] [-cert] [-diagnose]
-//	        [-explain] [-trace FILE] [-progress] [-progress-interval D]
-//	        [-debug-addr HOST:PORT] [-online] [-resilient]
-//	        [-checkpoint FILE] [-resume FILE] [trace-file]
+//	        [-strategy auto|portfolio|resilient|exact|fast] [-portfolio]
+//	        [-no-fastpath] [-max-states N] [-timeout D] [-stats] [-cert]
+//	        [-diagnose] [-explain] [-trace FILE] [-progress]
+//	        [-progress-interval D] [-debug-addr HOST:PORT] [-online]
+//	        [-resilient] [-checkpoint FILE] [-resume FILE] [trace-file]
 //
 // The trace is read from the file argument or standard input, in the
 // format of internal/trace. The exit status is 0 when the trace adheres
@@ -23,9 +23,12 @@
 // -portfolio and -resilient are shorthands for -strategy portfolio and
 // -strategy resilient. With the portfolio strategy, every applicable
 // coherence algorithm races on a shared worker pool and the first
-// verdict wins. -max-states and -timeout bound the search; a blown
-// budget reports UNDECIDED. -stats prints the solver's per-solve search
-// statistics.
+// verdict wins. The polynomial constraint-propagation frontline opens
+// the auto, portfolio and resilient strategies by default (and is the
+// whole of -strategy fast, escalating only on an explicit
+// inconclusive); -no-fastpath ablates it for A/B comparisons.
+// -max-states and -timeout bound the search; a blown budget reports
+// UNDECIDED. -stats prints the solver's per-solve search statistics.
 //
 // Robustness (see the README "Robustness" section): -checkpoint FILE
 // makes the coherence check write a versioned, checksummed checkpoint
@@ -77,8 +80,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	model := fs.String("model", "coherence", "model to verify: coherence, sc, tso, pso, lrc or vscc")
 	useOrder := fs.Bool("use-order", false, "use the trace's per-address write orders (polynomial algorithms of §5.2)")
-	strategy := fs.String("strategy", "auto", "decision strategy: auto, portfolio, resilient or exact (same vocabulary as memverifyd)")
+	strategy := fs.String("strategy", "auto", "decision strategy: auto, portfolio, resilient, exact or fast (same vocabulary as memverifyd)")
 	portfolio := fs.Bool("portfolio", false, "shorthand for -strategy portfolio")
+	noFastPath := fs.Bool("no-fastpath", false, "disable the polynomial fast-path frontline (ablation baseline; the verdict never changes, only the time to reach it)")
 	maxStates := fs.Int("max-states", 0, "abort search after N states (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole check, e.g. 500ms (0 = none)")
 	showStats := fs.Bool("stats", false, "print per-solve search statistics")
@@ -168,6 +172,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	cfgOpts := []solver.ConfigOption{
 		solver.WithStrategy(strat),
 		solver.WithBudget(solver.WithMaxStates(*maxStates)),
+	}
+	if *noFastPath {
+		cfgOpts = append(cfgOpts, solver.WithBudget(solver.WithoutFastPath()))
 	}
 	if useResilient {
 		// The trace's order lines become ladder hints.

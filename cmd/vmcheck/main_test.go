@@ -483,14 +483,20 @@ P3: W x 1
 // annotations for the exact and enumeration rungs, and the UNKNOWN
 // verdict with necessary-condition evidence when the ladder exhausts.
 func TestResilientCLI(t *testing.T) {
-	// Unbudgeted: the exact rung decides as usual.
+	// Default ladder: the polynomial frontline decides first.
 	code, out, _ := runCheck(t, []string{"-resilient"}, coherentTrace)
+	if code != 0 || !strings.Contains(out, "x: OK (fastpath, rung=fast)") {
+		t.Errorf("fast rung: code=%d out=%q", code, out)
+	}
+	// Frontline ablated: the exact rung decides as before.
+	code, out, _ = runCheck(t, []string{"-resilient", "-no-fastpath"}, coherentTrace)
 	if code != 0 || !strings.Contains(out, "x: OK (read-map, rung=exact)") {
 		t.Errorf("exact rung: code=%d out=%q", code, out)
 	}
 	// Budget too small for the exact search but only six writes: the
-	// write-order enumeration rung still refutes.
-	code, out, _ = runCheck(t, []string{"-resilient", "-max-states", "3"}, backtrackTrace)
+	// write-order enumeration rung still refutes (frontline ablated so
+	// the ladder is what answers).
+	code, out, _ = runCheck(t, []string{"-resilient", "-no-fastpath", "-max-states", "3"}, backtrackTrace)
 	if code != 1 || !strings.Contains(out, "x: VIOLATION (write-order-enum, rung=specialist)") {
 		t.Errorf("specialist rung: code=%d out=%q", code, out)
 	}

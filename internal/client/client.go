@@ -83,6 +83,7 @@ type HTTPError struct {
 	Body   string
 }
 
+// Error renders the status and the server's error body.
 func (e *HTTPError) Error() string {
 	return fmt.Sprintf("memverifyd: HTTP %d: %s", e.Status, e.Body)
 }
@@ -158,8 +159,13 @@ func (c Config) withDefaults() Config {
 type BreakerState int32
 
 const (
+	// BreakerClosed: requests flow normally.
 	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast with ErrBreakerOpen until the
+	// cooldown elapses.
 	BreakerOpen
+	// BreakerHalfOpen: one probe request is admitted; success closes
+	// the breaker, failure re-opens it.
 	BreakerHalfOpen
 )
 

@@ -23,7 +23,13 @@
 //     applicable algorithms on a shared bounded pool and keeps the
 //     first finisher;
 //   - a graceful-degradation ladder (solver.StrategyResilient) ending
-//     in an explicit Unknown verdict instead of an error.
+//     in an explicit Unknown verdict instead of an error;
+//   - a polynomial constraint-propagation frontline
+//     (solver.StrategyFast, fastpath.go) that decides structured
+//     instances of any size in near-linear time — sound in both
+//     directions, escalating to the exact solvers only on an explicit
+//     INCONCLUSIVE — and also opens the portfolio and resilient
+//     strategies (disable with solver.WithoutFastPath).
 //
 // The pre-facade entry points (Solve, SolveAuto, SolvePortfolio,
 // SolveResilient, VerifyExecution and friends) remain as deprecated

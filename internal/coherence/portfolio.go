@@ -29,8 +29,11 @@ const portfolioProbeFactor = 32
 var testHookRaceCandidate func(idx int)
 
 // solvePortfolioAddr decides VMC for one address with a staged
-// portfolio strategy. The polynomial specialists (read-map, single-op, RMW-Euler)
-// are tried inline where their preconditions hold — racing a
+// portfolio strategy. The polynomial constraint-propagation frontline
+// (fastpath.go) opens: on structured instances it decides outright and
+// no later stage runs. Then the polynomial specialists (read-map,
+// single-op, RMW-Euler) are tried inline where their preconditions hold
+// — racing a
 // linear-time algorithm against an exponential search is a foregone
 // conclusion, and on an undersubscribed pool the instant specialist
 // could even starve behind the searches. Then the standard memoized
@@ -83,6 +86,23 @@ func solvePortfolio(ctx context.Context, sp obs.Span, exec *memory.Execution, ad
 	if e := solver.Interrupted(ctx); e != nil {
 		return nil, withAddr(e, addr)
 	}
+
+	// Opening stage: the polynomial frontline. On structured instances it
+	// decides in one linear pass, making every later stage free; when it
+	// is inconclusive the staged race below proceeds as before. A
+	// frontline deadline also falls through — the race applies its own
+	// budget and reports exhaustion uniformly.
+	if opts.FastPath() {
+		tr.Stage(sp, "fastpath")
+		out, fe := fastPathExec(ctx, exec, addr, opts)
+		if fe != nil && fe.Reason == solver.Canceled {
+			return nil, fe
+		}
+		if fe == nil && out.verdict != fastInconclusive {
+			return out.result, nil
+		}
+	}
+
 	tr.Stage(sp, "specialist")
 	if inst.maxWritesPerValue() <= 1 {
 		if r, ok := readMapInstance(inst); ok {

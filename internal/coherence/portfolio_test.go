@@ -108,6 +108,9 @@ func TestPortfolioMatchesAutoLarge(t *testing.T) {
 		}
 	}
 
+	// The hard instances are refuted by the fastpath frontline (the
+	// phantom read is exactly what its candidate rules catch); ablate it
+	// so the probe-to-race escalation stays exercised.
 	raced := 0
 	for i := 0; i < 5; i++ {
 		exec := hardRacingInstance(rng)
@@ -115,7 +118,7 @@ func TestPortfolioMatchesAutoLarge(t *testing.T) {
 		if err != nil {
 			t.Fatalf("hard instance %d: auto: %v", i, err)
 		}
-		got, err := SolvePortfolio(context.Background(), exec, 0, nil)
+		got, err := SolvePortfolio(context.Background(), exec, 0, solver.New(solver.WithoutFastPath()))
 		if err != nil {
 			t.Fatalf("hard instance %d: portfolio: %v", i, err)
 		}
@@ -137,7 +140,9 @@ func TestPortfolioMatchesAutoLarge(t *testing.T) {
 func TestPortfolioBudgetPropagates(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	exec := racingInstance(rng, false)
-	_, err := SolvePortfolio(context.Background(), exec, 0, &Options{MaxStates: 1})
+	// The frontline never charges MaxStates and could decide outright;
+	// ablate it so the state budget is what trips.
+	_, err := SolvePortfolio(context.Background(), exec, 0, &Options{MaxStates: 1, DisableFastPath: true})
 	if err == nil {
 		t.Fatal("budget of 1 state did not trip the portfolio")
 	}

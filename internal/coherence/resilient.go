@@ -17,6 +17,13 @@ import (
 // that can still refute.
 type Rung int
 
+// RungFast is the rung above the exact search: the polynomial
+// constraint-propagation frontline (fastpath.go) decided outright. It
+// is numbered -1 so the long-standing RungExact == 0 stays pinned and
+// Stats.Merge's max-rung aggregation still reports the weakest rung an
+// execution fell to.
+const RungFast Rung = -1
+
 const (
 	// RungExact is the normal case: the exact search (SolveAuto)
 	// decided within budget.
@@ -42,6 +49,8 @@ const (
 // String names the rung for reports and obs events.
 func (r Rung) String() string {
 	switch r {
+	case RungFast:
+		return "fast"
 	case RungExact:
 		return "exact"
 	case RungWriteOrder:
@@ -62,8 +71,10 @@ const (
 	VerdictCoherent ResilientVerdict = iota
 	// VerdictIncoherent: no coherent schedule exists.
 	VerdictIncoherent
-	// VerdictUnknown: the budget ran out and no lower rung could decide;
-	// the instance may or may not be coherent.
+	// VerdictUnknown: no rung could decide — the fast-path frontline
+	// was inconclusive, the exact search ran out of budget, and every
+	// fallback was inapplicable or silent. The instance may or may not
+	// be coherent; Checks carries the necessary-condition evidence.
 	VerdictUnknown
 )
 
@@ -107,10 +118,14 @@ type ResilientResult struct {
 const maxEnumWrites = 8
 
 // solveResilientAddr decides VMC for one address with graceful
-// degradation: it runs the exact search first and, if the budget is exhausted
-// (states or deadline — cancellation always propagates as an error,
-// because the caller asked to stop), steps down the ladder:
+// degradation: it runs the polynomial fast-path frontline first (unless
+// solver.WithoutFastPath disabled it), then the exact search, and — if
+// the budget is exhausted (states or deadline; cancellation always
+// propagates as an error, because the caller asked to stop) — steps
+// down the ladder:
 //
+//	RungFast: the constraint-propagation frontline decided outright
+//	    (sound in both directions; inconclusive falls through).
 //	RungWriteOrder: if writeOrder (an observed §5.2 write order, may be
 //	    nil) is supplied and a coherent schedule extends it → Coherent.
 //	RungSpecialist: if the instance has ≤ maxEnumWrites writes,
@@ -145,10 +160,36 @@ func solveResilientAddr(ctx context.Context, exec *memory.Execution, addr memory
 		return err
 	}
 
+	// Rung -1: the polynomial frontline. A decided outcome short-circuits
+	// the whole ladder; inconclusive (or a frontline deadline — the
+	// weaker rungs below may still answer) escalates to the exact search.
+	var pre Stats // frontline work carried into later rungs
+	if opts.FastPath() {
+		out, fe := fastPathExec(ctx, exec, addr, opts)
+		switch {
+		case fe != nil && fe.Reason == solver.Canceled:
+			return nil, fail(fe) // the caller wants out; do not keep working
+		case fe != nil:
+			pre = fe.Stats
+			tr.Degrade(sp, RungExact.String(), "fast path exhausted its deadline; escalating to the exact search")
+		case out.verdict == fastInconclusive:
+			pre = out.stats
+			tr.Degrade(sp, RungExact.String(), "fast path inconclusive ("+out.detail+"); escalating to the exact search")
+		default:
+			rr := &ResilientResult{Rung: RungFast, Result: out.result, Stats: out.stats}
+			if !out.result.Coherent {
+				rr.Verdict = VerdictIncoherent
+			}
+			return wrap(rr), nil
+		}
+	}
+
 	// Rung 0: the exact search.
 	r, err := solveAutoAddr(ctx, exec, addr, opts)
 	if err == nil {
-		rr := &ResilientResult{Rung: RungExact, Result: r, Stats: r.Stats}
+		agg := pre
+		agg.Merge(r.Stats)
+		rr := &ResilientResult{Rung: RungExact, Result: r, Stats: agg}
 		if !r.Coherent {
 			rr.Verdict = VerdictIncoherent
 		}
@@ -161,7 +202,8 @@ func solveResilientAddr(ctx context.Context, exec *memory.Execution, addr memory
 	if be.Reason == solver.Canceled {
 		return nil, fail(err) // the caller wants out; do not keep working
 	}
-	agg := be.Stats // partial work of the exhausted search
+	agg := pre
+	agg.Merge(be.Stats) // partial work of the exhausted search
 
 	inst := project(exec, addr)
 

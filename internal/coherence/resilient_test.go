@@ -19,7 +19,9 @@ func TestResilientExactRung(t *testing.T) {
 		memory.History{memory.W(0, 1)},
 		memory.History{memory.R(0, 1)},
 	).SetInitial(0, 0)
-	rr, err := SolveResilient(context.Background(), exec, 0, nil, nil)
+	// The frontline is ablated so the test pins the exact rung itself;
+	// TestResilientFastRung covers the default path.
+	rr, err := SolveResilient(context.Background(), exec, 0, nil, solver.New(solver.WithoutFastPath()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestResilientExactRung(t *testing.T) {
 // the instance has few writes, so exhaustive write-order enumeration
 // (the §5.2 algorithm over every order) still decides — both ways.
 func TestResilientSpecialistDecides(t *testing.T) {
-	opts := solver.New(solver.WithMaxStates(3))
+	opts := solver.New(solver.WithMaxStates(3), solver.WithoutFastPath())
 
 	rr, err := SolveResilient(context.Background(), hardExecution(), 0, nil, opts)
 	if err != nil {
@@ -117,7 +119,9 @@ func TestResilientNecessaryRefutes(t *testing.T) {
 	// Append a read of a value nothing ever writes (init is declared 0,
 	// so the unwritten-read-values condition fires).
 	exec.Histories[0] = append(exec.Histories[0], memory.R(0, 9999))
-	rr, err := SolveResilient(context.Background(), exec, 0, nil, solver.New(solver.WithMaxStates(10)))
+	// Ablate the frontline (which refutes this outright — see the
+	// fastpath tests) so the necessary-conditions rung stays exercised.
+	rr, err := SolveResilient(context.Background(), exec, 0, nil, solver.New(solver.WithMaxStates(10), solver.WithoutFastPath()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +155,7 @@ func TestResilientWriteOrderHint(t *testing.T) {
 			order = append(order, r)
 		}
 	}
-	rr, err := SolveResilient(context.Background(), exec, 0, order, solver.New(solver.WithMaxStates(2)))
+	rr, err := SolveResilient(context.Background(), exec, 0, order, solver.New(solver.WithMaxStates(2), solver.WithoutFastPath()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +267,9 @@ func TestPortfolioSurvivesCandidatePanic(t *testing.T) {
 
 	ctx := obs.With(context.Background(), &obs.Observer{Tracer: obs.NewTracer(sink)})
 	before := runtime.NumGoroutine()
-	got, err := SolvePortfolio(ctx, exec, 0, nil)
+	// The frontline would decide this instance before the race stage; the
+	// test is about race panic isolation, so ablate it.
+	got, err := SolvePortfolio(ctx, exec, 0, solver.New(solver.WithoutFastPath()))
 	if err != nil {
 		t.Fatalf("portfolio died with a panicked candidate: %v", err)
 	}

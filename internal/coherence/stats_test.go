@@ -7,6 +7,7 @@ import (
 
 	"memverify/internal/memory"
 	"memverify/internal/obs"
+	"memverify/internal/solver"
 )
 
 // statsEqual compares two Stats ignoring wall-clock Duration (the only
@@ -130,7 +131,9 @@ func TestPortfolioStatsSingleCount(t *testing.T) {
 	}
 	m := obs.NewMetrics()
 	ctx := obs.With(context.Background(), &obs.Observer{Metrics: m})
-	port, err := SolvePortfolio(ctx, exec, 0, nil)
+	// The fastpath stage would decide this instance before the probe; the
+	// test pins the probe's stats accounting, so ablate the frontline.
+	port, err := SolvePortfolio(ctx, exec, 0, solver.New(solver.WithoutFastPath()))
 	if err != nil {
 		t.Fatal(err)
 	}

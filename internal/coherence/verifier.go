@@ -214,6 +214,19 @@ func (v *Verifier) solveAddrOpts(ctx context.Context, exec *memory.Execution, ad
 			return nil, err
 		}
 		return addrReportFromResult(addr, r), nil
+	case solver.StrategyFast:
+		r, err := solveFastAddr(ctx, exec, addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		ar := addrReportFromResult(addr, r)
+		if r.Algorithm == "fastpath" {
+			// The frontline decided; record its rung for reports and spans.
+			ar.Rung = RungFast
+			ar.Stats.Rung = int(RungFast)
+			ar.Result.Stats.Rung = int(RungFast)
+		}
+		return ar, nil
 	default:
 		r, err := solveAutoAddr(ctx, exec, addr, opts)
 		if err != nil {

@@ -32,6 +32,14 @@ const (
 	// StrategyExact always runs the general memoized search, skipping
 	// the polynomial specialist dispatch (ablation and cross-check use).
 	StrategyExact
+	// StrategyFast runs the polynomial constraint-propagation frontline
+	// first (see internal/coherence's fast path): it derives per-address
+	// ordering constraints with vector clocks and answers definitively
+	// when they force a verdict, escalating to the auto dispatch only on
+	// an INCONCLUSIVE outcome. The frontline never charges the MaxStates
+	// budget, so huge-but-structured traces decide in near-linear time
+	// under budgets that would stop the exact search immediately.
+	StrategyFast
 )
 
 // String names the strategy as spelled in HTTP requests and CLI flags.
@@ -45,6 +53,8 @@ func (s Strategy) String() string {
 		return "resilient"
 	case StrategyExact:
 		return "exact"
+	case StrategyFast:
+		return "fast"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -62,8 +72,10 @@ func ParseStrategy(name string) (Strategy, error) {
 		return StrategyResilient, nil
 	case "exact":
 		return StrategyExact, nil
+	case "fast":
+		return StrategyFast, nil
 	}
-	return StrategyAuto, fmt.Errorf("solver: unknown strategy %q (want auto, portfolio, resilient or exact)", name)
+	return StrategyAuto, fmt.Errorf("solver: unknown strategy %q (want auto, portfolio, resilient, exact or fast)", name)
 }
 
 // Config is the unified configuration of a Verifier facade

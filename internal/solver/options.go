@@ -52,6 +52,13 @@ type Options struct {
 	// affect completeness, only how fast a certificate or refutation is
 	// found).
 	DisableWriteGuidance bool
+	// DisableFastPath turns off the polynomial constraint-propagation
+	// frontline (internal/coherence's fast path): StrategyFast degrades to
+	// the plain auto dispatch, SolveResilient's ladder starts at the exact
+	// search, and SolvePortfolio skips its opening fast stage. Ablation
+	// and crossover-benchmark knob — the frontline is sound, so disabling
+	// it can only cost time, never change a verdict.
+	DisableFastPath bool
 	// DisablePackedMemo forces the varint-string memo table even when the
 	// instance fits the packed uint64 state layout (ablation and
 	// cross-check knob: the two memo representations must explore
@@ -124,6 +131,10 @@ func WithoutWriteGuidance() Option { return func(o *Options) { o.DisableWriteGui
 // WithoutPackedMemo forces the string-key memo table (cross-check knob).
 func WithoutPackedMemo() Option { return func(o *Options) { o.DisablePackedMemo = true } }
 
+// WithoutFastPath disables the polynomial constraint-propagation
+// frontline (ablation knob; see Options.DisableFastPath).
+func WithoutFastPath() Option { return func(o *Options) { o.DisableFastPath = true } }
+
 // Limit returns the state bound (0 = unlimited). Nil-safe.
 func (o *Options) Limit() int {
 	if o == nil {
@@ -153,6 +164,9 @@ func (o *Options) WriteGuidance() bool { return o == nil || !o.DisableWriteGuida
 // PackedMemo reports whether the packed uint64 memo representation may
 // be used when the instance fits its layout. Nil-safe.
 func (o *Options) PackedMemo() bool { return o == nil || !o.DisablePackedMemo }
+
+// FastPath reports whether the polynomial frontline is on. Nil-safe.
+func (o *Options) FastPath() bool { return o == nil || !o.DisableFastPath }
 
 // Sink returns the checkpoint sink (nil when checkpointing is off).
 // Nil-safe.

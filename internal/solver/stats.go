@@ -45,9 +45,11 @@ type Stats struct {
 	// Rung is the degradation-ladder rung that produced the answer: 0
 	// means the exact search decided (the normal case); positive values
 	// index the weaker rungs of coherence.SolveResilient (write-order,
-	// restriction specialists, necessary conditions). Merge keeps the
-	// maximum, so an aggregate reveals the weakest rung any per-address
-	// solve fell to.
+	// restriction specialists, necessary conditions); -1 means the
+	// polynomial fast-path frontline decided before the exact search ran.
+	// Merge keeps the maximum, so an aggregate reveals the weakest rung
+	// any per-address solve fell to (the fast rung, being stronger than
+	// exact for aggregation purposes, never dominates a merge).
 	Rung int
 }
 

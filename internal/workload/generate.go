@@ -248,3 +248,88 @@ func Inject(rng *rand.Rand, exec *memory.Execution, kind ViolationKind) (*memory
 	}
 	return out, nil
 }
+
+// RelayConfig parameterizes GenerateRelay, the structured large-trace
+// family built for the polynomial fast-path frontline benchmarks
+// (internal/coherence/fastpath.go): traces where a relay of
+// uniquely-valued writes forces the entire read-from relation, so the
+// frontline decides in one linear pass, while the general search still
+// faces a combinatorial interleaving space.
+type RelayConfig struct {
+	// Processors is the relay width m (>= 2; default 4).
+	Processors int
+	// Rounds is the number of token hand-over rounds (default 16). Each
+	// round contributes up to 3 operations per processor.
+	Rounds int
+	// Decoys interleaves this many same-valued, never-read writes per
+	// processor per round. The duplicate value defeats the read-map
+	// specialist (Figure 5.3 needs at most one write per value) and
+	// every decoy run must land in a narrow schedule window, so the
+	// exact search faces ~(Decoys+1)^Processors reachable interleavings
+	// per round where the frontline's one-pass cost is unchanged.
+	Decoys int
+	// Phantom appends a read of a value nothing ever writes to the first
+	// processor. The trace becomes incoherent; the frontline refutes it
+	// from the candidate rules alone, while a complete search must
+	// exhaust every reachable interleaving to prove no schedule serves
+	// the read.
+	Phantom bool
+}
+
+func (c RelayConfig) withDefaults() RelayConfig {
+	if c.Processors < 2 {
+		c.Processors = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 16
+	}
+	return c
+}
+
+// relayDecoy is the one duplicated value of the relay family; relay
+// token values start above it.
+const relayDecoy = memory.Value(1)
+
+// GenerateRelay builds a deterministic single-address relay execution:
+// in round r, processor i reads the token value its predecessor wrote
+// (processor i-1 this round; the last processor of round r-1 for i = 0)
+// and writes its own, globally unique, token value. Without Phantom the
+// execution is coherent by construction — the generation order is a
+// witness schedule — and every read has exactly one admissible source,
+// so the fast-path frontline determines the full write order in one
+// pass regardless of size.
+func GenerateRelay(cfg RelayConfig) *memory.Execution {
+	cfg = cfg.withDefaults()
+	m := cfg.Processors
+	exec := &memory.Execution{Histories: make([]memory.History, m)}
+	exec.SetInitial(0, 0)
+	// token(r, i) is the unique value processor i writes in round r.
+	token := func(r, i int) memory.Value {
+		return relayDecoy + 1 + memory.Value(r*m+i)
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < m; i++ {
+			// A decoy run must be scheduled before the token this
+			// processor is waiting for is written (once the token is in
+			// memory, writing the decoy would destroy it: token values are
+			// never written twice). Its admissible window closes at a
+			// different point each round, so a search placing decoys
+			// greedily keeps discovering the failure a few steps later.
+			for d := 0; d < cfg.Decoys; d++ {
+				exec.Histories[i] = append(exec.Histories[i], memory.W(0, relayDecoy))
+			}
+			if r > 0 || i > 0 {
+				prev := token(r, i-1)
+				if i == 0 {
+					prev = token(r-1, m-1)
+				}
+				exec.Histories[i] = append(exec.Histories[i], memory.R(0, prev))
+			}
+			exec.Histories[i] = append(exec.Histories[i], memory.W(0, token(r, i)))
+		}
+	}
+	if cfg.Phantom {
+		exec.Histories[0] = append(exec.Histories[0], memory.R(0, token(cfg.Rounds, 0)))
+	}
+	return exec
+}

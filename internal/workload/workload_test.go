@@ -3,6 +3,7 @@ package workload
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"memverify/internal/coherence"
@@ -187,5 +188,85 @@ func TestGenerateCoherentWitnessIsSC(t *testing.T) {
 		if err := memory.CheckSC(exec, witness); err != nil {
 			t.Fatalf("run %d: generation order is not an SC witness: %v", i, err)
 		}
+	}
+}
+
+// TestGenerateRelayShape pins the structural properties the fast-path
+// benchmarks rely on: deterministic output, the advertised op count,
+// globally unique token values, a duplicated decoy value (so the
+// read-map specialist of Figure 5.3 is inapplicable), and validity.
+func TestGenerateRelayShape(t *testing.T) {
+	cfg := RelayConfig{Processors: 3, Rounds: 5, Decoys: 2}
+	exec := GenerateRelay(cfg)
+	if err := exec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if again := GenerateRelay(cfg); !reflect.DeepEqual(exec, again) {
+		t.Error("GenerateRelay is not deterministic")
+	}
+	// Each processor: Rounds*(Decoys+2) ops, minus the read P0 skips in
+	// round 0.
+	want := cfg.Processors*cfg.Rounds*(cfg.Decoys+2) - 1
+	if got := exec.NumOps(); got != want {
+		t.Errorf("NumOps = %d, want %d", got, want)
+	}
+
+	writes := map[memory.Value]int{}
+	for _, h := range exec.Histories {
+		for _, o := range h {
+			if o.Kind == memory.Write {
+				writes[o.Data]++
+			}
+		}
+	}
+	if writes[relayDecoy] != cfg.Processors*cfg.Rounds*cfg.Decoys {
+		t.Errorf("decoy value written %d times", writes[relayDecoy])
+	}
+	for v, n := range writes {
+		if v != relayDecoy && n != 1 {
+			t.Errorf("token value %d written %d times, want globally unique", v, n)
+		}
+	}
+	// Every read's value is either a token someone writes or (phantom
+	// only) never written at all.
+	read := map[memory.Value]bool{}
+	for _, h := range exec.Histories {
+		for _, o := range h {
+			if o.Kind == memory.Read {
+				read[o.Data] = true
+				if writes[o.Data] != 1 {
+					t.Errorf("read of value %d, written %d times", o.Data, writes[o.Data])
+				}
+			}
+		}
+	}
+	if read[relayDecoy] {
+		t.Error("a decoy write is read; decoys must stay unobserved")
+	}
+}
+
+// TestGenerateRelayVerdicts: without Phantom the relay is coherent
+// (verified end to end), with Phantom it is incoherent, and the phantom
+// read's value is indeed never written.
+func TestGenerateRelayVerdicts(t *testing.T) {
+	good := GenerateRelay(RelayConfig{Processors: 3, Rounds: 4, Decoys: 1})
+	rep, err := coherence.NewVerifier().Verify(context.Background(), good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Coherent() {
+		t.Error("relay without phantom should be coherent")
+	}
+
+	bad := GenerateRelay(RelayConfig{Processors: 3, Rounds: 4, Decoys: 1, Phantom: true})
+	if bad.NumOps() != good.NumOps()+1 {
+		t.Errorf("phantom should add exactly one op: %d vs %d", bad.NumOps(), good.NumOps())
+	}
+	rep, err = coherence.NewVerifier().Verify(context.Background(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coherent() {
+		t.Error("relay with phantom should be incoherent")
 	}
 }
