@@ -25,6 +25,14 @@ type serverConfig struct {
 	// workers is the size of the verification worker fleet — the only
 	// goroutines that run solver searches.
 	workers int
+	// psearch, when > 1, lets the hardest address of each request split
+	// its exact search across this many workers sharing one memo table
+	// (solver.WithParallelSearch). Only the LPT-head shard gets a team —
+	// every other shard stays sequential, so one request's fleet
+	// footprint grows by at most psearch-1 transient goroutines.
+	// Parallelism never changes answers, so psearch stays out of the
+	// result-cache key.
+	psearch int
 	// maxInflight bounds admitted requests; the admission semaphore is
 	// the ingest queue, and an arrival beyond the bound is answered 429
 	// + Retry-After instead of buffered.
@@ -134,6 +142,11 @@ type serverStats struct {
 	Panics          obs.Counter
 	WorkerPanics    obs.Counter
 	Solves          obs.Counter
+	// BatchedSolves counts addresses answered through the pooled batch
+	// driver (PR 10): a request's burst of litmus-sized addresses rides
+	// one fleet shard through coherence.SolveBatch instead of one shard
+	// each.
+	BatchedSolves obs.Counter
 }
 
 // stageNames are the request stages with latency histograms: parse
@@ -184,6 +197,11 @@ type Server struct {
 	drain           *drainRate
 	brown           *brownout
 	completedShards atomic.Int64
+
+	// searchWorkersEff tracks the peak effective parallel-search team
+	// observed on any single address solve — the gauge behind
+	// memverifyd_search_workers_effective and /v1/stats.
+	searchWorkersEff atomic.Int64
 
 	// Chaos: the seeded injector (nil unless cfg.chaosEnabled) and the
 	// per-kind fired counters in the registry.
@@ -249,6 +267,7 @@ func newServer(cfg serverConfig) *Server {
 		Panics:          reg.Counter("memverifyd_panics_total"),
 		WorkerPanics:    reg.Counter("memverifyd_worker_panics_total"),
 		Solves:          reg.Counter("memverifyd_solves_total"),
+		BatchedSolves:   reg.Counter("memverifyd_batched_solves_total"),
 	}
 	reg.SetHelp("memverifyd_shed_total",
 		"Requests rejected because their deadline could not survive the estimated queue wait.")
@@ -259,6 +278,8 @@ func newServer(cfg serverConfig) *Server {
 	reg.SetHelp("memverifyd_panics_total", "Handler panics recovered by the HTTP middleware.")
 	reg.SetHelp("memverifyd_worker_panics_total", "Fleet worker panics recovered mid-shard.")
 	reg.SetHelp("memverifyd_solves_total", "Solver invocations actually started on fleet workers.")
+	reg.SetHelp("memverifyd_batched_solves_total",
+		"Addresses answered through the pooled batch driver (one fleet shard per burst of small addresses).")
 	reg.SetHelp("memverifyd_chaos_injected_total", "Chaos faults injected, by kind.")
 	s.chaosFired = make(map[chaos.Kind]obs.Counter, len(chaos.Kinds()))
 	for _, k := range chaos.Kinds() {
@@ -276,6 +297,13 @@ func newServer(cfg serverConfig) *Server {
 	})
 	reg.SetHelp("memverifyd_workers", "Configured fleet size.")
 	reg.Gauge("memverifyd_workers").Set(int64(cfg.workers))
+	reg.SetHelp("memverifyd_search_workers", "Configured per-solve parallel-search team size (-psearch; 0/1 = sequential).")
+	reg.Gauge("memverifyd_search_workers").Set(int64(cfg.psearch))
+	reg.SetHelp("memverifyd_search_workers_effective",
+		"Peak parallel-search workers actually engaged on any single address solve.")
+	reg.GaugeFunc("memverifyd_search_workers_effective", func() float64 {
+		return float64(s.searchWorkersEff.Load())
+	})
 	reg.SetHelp("memverifyd_cache_len", "Result-cache entries.")
 	reg.GaugeFunc("memverifyd_cache_len", func() float64 { return float64(s.cache.len()) })
 	reg.SetHelp("memverifyd_brownout_state", "Brownout controller: 0 closed (full service), 1 half-open, 2 open (degrading).")
@@ -474,6 +502,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"panics":              s.stats.Panics.Value(),
 		"worker_panics":       s.stats.WorkerPanics.Value(),
 		"solves":              s.stats.Solves.Value(),
+		"batched_solves":      s.stats.BatchedSolves.Value(),
+
+		"search_workers":           s.cfg.psearch,
+		"search_workers_effective": s.searchWorkersEff.Load(),
 		"brownout_state":      bstate.String(),
 		"brownout_opens":      opens,
 		"queue_delay_ewma_ms": float64(ewma) / float64(time.Millisecond),
@@ -846,24 +878,126 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
+// batchMaxOps / batchMinAddrs bound the server's batch plan: an address
+// joins the batch when it has at most batchMaxOps memory operations, and
+// the batch forms only when at least batchMinAddrs qualify (batching a
+// single address just adds indirection to a normal shard).
+const (
+	batchMaxOps   = 32
+	batchMinAddrs = 2
+)
+
+// planBatch marks which hardness-ordered addresses ride the pooled batch
+// driver. Only the always-deciding pooled strategies without write
+// orders qualify — coherence.SolveBatch's fast path mirrors their
+// dispatch exactly, so the verdicts are identical either way.
+func (s *Server) planBatch(v *coherence.Verifier, exec *memory.Execution, addrs []memory.Addr) []bool {
+	inBatch := make([]bool, len(addrs))
+	cfg := v.Config()
+	if (cfg.Strategy != solver.StrategyAuto && cfg.Strategy != solver.StrategyExact) ||
+		len(cfg.WriteOrders) != 0 {
+		return inBatch
+	}
+	sizes := make(map[memory.Addr]int, len(addrs))
+	for _, h := range exec.Histories {
+		for _, o := range h {
+			if o.IsMemory() {
+				sizes[o.Addr]++
+			}
+		}
+	}
+	n := 0
+	for i, a := range addrs {
+		if sizes[a] <= batchMaxOps {
+			inBatch[i] = true
+			n++
+		}
+	}
+	if n < batchMinAddrs {
+		return make([]bool, len(addrs))
+	}
+	return inBatch
+}
+
 // verifyCoherenceSharded fans the per-address VMC checks of one request
 // out over the shared worker fleet, largest projection first (the LPT
 // order parallel verification uses), so one hot request cannot
-// monopolize the fleet against concurrent small ones.
+// monopolize the fleet against concurrent small ones. Two PR 10
+// refinements: the request's litmus-sized addresses are solved as a
+// single fleet shard through the pooled batch driver (planBatch), and
+// with -psearch the hardest address splits its search across a worker
+// team sharing one memo table.
 func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cfgOpts []solver.ConfigOption, tm *reqTimings, live *liveReq) (*VerifyResponse, error) {
 	v := coherence.NewVerifier(cfgOpts...)
 	addrs := coherence.AddressesByHardness(tr.Exec)
 	reports := make([]*coherence.AddrReport, len(addrs))
 	errs := make([]error, len(addrs))
+	inBatch := s.planBatch(v, tr.Exec, addrs)
+
+	// The team verifier is used for the hardest shard only (addrs[0], the
+	// LPT head): giving every shard a team would multiply the request's
+	// fleet footprint by the team size for no wall-clock gain.
+	vTeam := v
+	if s.cfg.psearch > 1 {
+		team := append(append([]solver.ConfigOption{}, cfgOpts...),
+			solver.WithBudget(solver.WithParallelSearch(s.cfg.psearch)))
+		vTeam = coherence.NewVerifier(team...)
+	}
+
 	var wg sync.WaitGroup
+	enqueueFailed := false
+	if batchIdx := indicesOf(inBatch); len(batchIdx) > 0 {
+		jobs := make([]coherence.BatchJob, len(batchIdx))
+		for j, i := range batchIdx {
+			jobs[j] = coherence.BatchJob{Exec: tr.Exec, Addr: addrs[i]}
+		}
+		wg.Add(1)
+		if err := s.enqueueTimed(ctx, tm, func() {
+			defer wg.Done()
+			berr := s.runProtected(ctx, func() error {
+				res := v.SolveBatch(ctx, jobs)
+				for j, i := range batchIdx {
+					if res[j].Err != nil {
+						errs[i] = res[j].Err
+					} else {
+						reports[i] = res[j].Report(jobs[j].Addr)
+					}
+				}
+				s.stats.BatchedSolves.Add(int64(len(jobs)))
+				return nil
+			})
+			if berr != nil {
+				// Panic or expired-at-dequeue: every batched address the
+				// driver did not answer fails with the shard's error.
+				for _, i := range batchIdx {
+					if errs[i] == nil && reports[i] == nil {
+						errs[i] = berr
+					}
+				}
+			}
+		}); err != nil {
+			wg.Done()
+			for _, i := range batchIdx {
+				errs[i] = err
+			}
+			enqueueFailed = true
+		}
+	}
 	for i, a := range addrs {
+		if inBatch[i] || enqueueFailed {
+			continue
+		}
 		i, a := i, a
+		sv := v
+		if i == 0 {
+			sv = vTeam
+		}
 		wg.Add(1)
 		if err := s.enqueueTimed(ctx, tm, func() {
 			defer wg.Done()
 			errs[i] = s.runProtected(ctx, func() error {
 				var serr error
-				reports[i], serr = v.SolveAddr(ctx, tr.Exec, a)
+				reports[i], serr = sv.SolveAddr(ctx, tr.Exec, a)
 				return serr
 			})
 		}); err != nil {
@@ -904,6 +1038,12 @@ func (s *Server) verifyCoherenceSharded(ctx context.Context, tr *trace.Trace, cf
 		out := AddrResult{Addr: tr.Name(a), Verdict: "unknown", States: ar.Stats.States}
 		if ar.Result != nil {
 			out.Algorithm = ar.Result.Algorithm
+		}
+		if w := ar.Stats.SearchWorkers; w > 1 {
+			// Effective search parallelism: workers that actually engaged
+			// on this address's parallel search (psearch teams only).
+			out.Workers = w
+			atomicMax(&s.searchWorkersEff, int64(w))
 		}
 		switch ar.Verdict {
 		case coherence.VerdictCoherent:
@@ -968,6 +1108,17 @@ func (s *Server) verifyConsistency(ctx context.Context, model consistency.Model,
 		resp.Verdict = "inconsistent"
 	}
 	return resp, nil
+}
+
+// indicesOf returns the indices whose mark is set.
+func indicesOf(marks []bool) []int {
+	var out []int
+	for i, m := range marks {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 func indexOf(addrs []memory.Addr, a memory.Addr) int {

@@ -4,7 +4,7 @@
 //
 //	vmcheck [-model coherence|sc|tso|pso|lrc|vscc] [-use-order]
 //	        [-strategy auto|portfolio|resilient|exact|fast] [-portfolio]
-//	        [-no-fastpath] [-max-states N] [-timeout D] [-stats] [-cert]
+//	        [-no-fastpath] [-psearch N] [-max-states N] [-timeout D] [-stats] [-cert]
 //	        [-diagnose] [-explain] [-trace FILE] [-progress]
 //	        [-progress-interval D] [-debug-addr HOST:PORT] [-online]
 //	        [-resilient] [-checkpoint FILE] [-resume FILE] [trace-file]
@@ -29,6 +29,10 @@
 // inconclusive); -no-fastpath ablates it for A/B comparisons.
 // -max-states and -timeout bound the search; a blown budget reports
 // UNDECIDED. -stats prints the solver's per-solve search statistics.
+// -psearch N splits each exact search across N workers sharing one memo
+// table (see internal/coherence's parallel search); the verdict never
+// changes, and -stats shows the workers actually used per address
+// ("workers=N" appears in the stats line when more than one engaged).
 //
 // Robustness (see the README "Robustness" section): -checkpoint FILE
 // makes the coherence check write a versioned, checksummed checkpoint
@@ -85,6 +89,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	noFastPath := fs.Bool("no-fastpath", false, "disable the polynomial fast-path frontline (ablation baseline; the verdict never changes, only the time to reach it)")
 	maxStates := fs.Int("max-states", 0, "abort search after N states (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole check, e.g. 500ms (0 = none)")
+	psearch := fs.Int("psearch", 0, "split each exact search across N workers sharing one memo table (0/1 = sequential; -stats shows the workers actually used per address)")
 	showStats := fs.Bool("stats", false, "print per-solve search statistics")
 	cert := fs.Bool("cert", false, "print the certificate schedule or witness on success")
 	diagnose := fs.Bool("diagnose", false, "on a coherence violation, shrink it to a minimal core (implies -model coherence)")
@@ -175,6 +180,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *noFastPath {
 		cfgOpts = append(cfgOpts, solver.WithBudget(solver.WithoutFastPath()))
+	}
+	if *psearch > 1 {
+		// Parallel exact search inside each hard instance. Checkpointing
+		// stays sequential (a mid-flight multi-worker memo is not
+		// resumable state): with -checkpoint the search falls back to the
+		// sequential path automatically.
+		cfgOpts = append(cfgOpts, solver.WithBudget(solver.WithParallelSearch(*psearch)))
 	}
 	if useResilient {
 		// The trace's order lines become ladder hints.

@@ -1,0 +1,236 @@
+package coherence
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"memverify/internal/memory"
+	"memverify/internal/solver"
+)
+
+// batchJobs builds a mixed bag of batch jobs: random multi-address
+// instances plus coherent-by-construction single-address traces, the
+// litmus-sized shapes the batch driver exists for.
+func batchJobs(rng *rand.Rand, n int) []BatchJob {
+	var jobs []BatchJob
+	for len(jobs) < n {
+		if rng.Intn(3) == 0 {
+			exec, _ := randomCoherentTrace(rng, 2+rng.Intn(2), 2+rng.Intn(4), 1+rng.Intn(3))
+			jobs = append(jobs, BatchJob{Exec: exec, Addr: 0})
+			continue
+		}
+		exec := randomInstance(rng)
+		for _, a := range exec.Addresses() {
+			jobs = append(jobs, BatchJob{Exec: exec, Addr: a})
+		}
+	}
+	return jobs[:n]
+}
+
+// TestSolveBatchParity: SolveBatch must agree with a loop over
+// Verifier.Solve on verdict, decidedness and algorithm, and its
+// certificates must check against the original executions.
+func TestSolveBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	jobs := batchJobs(rng, 500)
+	for _, workers := range []int{1, 4} {
+		v := NewVerifier(solver.WithWorkers(workers))
+		got := v.SolveBatch(context.Background(), jobs)
+		if len(got) != len(jobs) {
+			t.Fatalf("got %d results for %d jobs", len(got), len(jobs))
+		}
+		for i, job := range jobs {
+			want, err := v.Solve(context.Background(), job.Exec, job.Addr)
+			if err != nil {
+				t.Fatalf("job %d: looped solve failed: %v", i, err)
+			}
+			br := &got[i]
+			if br.Err != nil {
+				t.Fatalf("job %d (workers=%d): batch error: %v", i, workers, br.Err)
+			}
+			if br.Result.Coherent != want.Coherent {
+				t.Fatalf("job %d (workers=%d): verdict mismatch: batch=%v loop=%v",
+					i, workers, br.Result.Coherent, want.Coherent)
+			}
+			if br.Result.Algorithm != want.Algorithm {
+				t.Fatalf("job %d: algorithm mismatch: batch=%q loop=%q",
+					i, br.Result.Algorithm, want.Algorithm)
+			}
+			if br.Result.Coherent {
+				if err := memory.CheckCoherent(job.Exec, job.Addr, br.Result.Schedule); err != nil {
+					t.Fatalf("job %d: invalid batch certificate: %v", i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchExactStrategy: StrategyExact skips the polynomial
+// specialists in the batch exactly as it does everywhere.
+func TestSolveBatchExactStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	jobs := batchJobs(rng, 100)
+	v := NewVerifier(solver.WithStrategy(solver.StrategyExact))
+	for i, br := range v.SolveBatch(context.Background(), jobs) {
+		if br.Err != nil {
+			t.Fatalf("job %d: %v", i, br.Err)
+		}
+		if br.Result.Algorithm != "general-search" {
+			t.Fatalf("job %d: exact batch used %q", i, br.Result.Algorithm)
+		}
+		want, err := v.Solve(context.Background(), jobs[i].Exec, jobs[i].Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Result.Coherent != want.Coherent {
+			t.Fatalf("job %d: verdict mismatch", i)
+		}
+	}
+}
+
+// TestSolveBatchFallbackStrategies: the non-pooled strategies fall back
+// to per-job SolveAddr and still return correct verdicts.
+func TestSolveBatchFallbackStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	jobs := batchJobs(rng, 60)
+	for _, strat := range []solver.Strategy{solver.StrategyPortfolio, solver.StrategyResilient, solver.StrategyFast} {
+		v := NewVerifier(solver.WithStrategy(strat))
+		auto := NewVerifier()
+		for i, br := range v.SolveBatch(context.Background(), jobs) {
+			if br.Err != nil {
+				t.Fatalf("%v job %d: %v", strat, i, br.Err)
+			}
+			want, err := auto.Solve(context.Background(), jobs[i].Exec, jobs[i].Addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br.Result.Decided && br.Result.Coherent != want.Coherent {
+				t.Fatalf("%v job %d: verdict mismatch: %v vs %v", strat, i, br.Result.Coherent, want.Coherent)
+			}
+		}
+	}
+}
+
+// TestSolveBatchValidationError: one invalid execution fails its own
+// jobs only; sibling jobs over valid executions still decide.
+func TestSolveBatchValidationError(t *testing.T) {
+	good, _ := randomCoherentTrace(rand.New(rand.NewSource(1)), 2, 3, 2)
+	bad := &memory.Execution{Histories: []memory.History{{memory.Op{Kind: memory.Kind(99), Addr: 0}}}}
+	jobs := []BatchJob{
+		{Exec: good, Addr: 0},
+		{Exec: bad, Addr: 0},
+		{Exec: good, Addr: 0},
+	}
+	res := NewVerifier().SolveBatch(context.Background(), jobs)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("valid jobs failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	if !res[0].Result.Coherent || !res[2].Result.Coherent {
+		t.Fatal("valid jobs judged incoherent")
+	}
+	if res[1].Err == nil {
+		t.Fatal("invalid execution's job did not fail")
+	}
+}
+
+// TestSolveBatchCancellation: a dead context marks remaining jobs with a
+// Canceled budget error instead of fabricating verdicts.
+func TestSolveBatchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	jobs := batchJobs(rng, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, br := range NewVerifier().SolveBatch(ctx, jobs) {
+		if br.Err == nil {
+			t.Fatalf("job %d: verdict from a cancelled batch", i)
+		}
+		if be, ok := solver.AsBudgetError(br.Err); !ok || be.Reason != solver.Canceled {
+			t.Fatalf("job %d: got %v, want Canceled", i, br.Err)
+		}
+	}
+}
+
+// TestSolveBatchBudget: a tiny state budget trips on hard jobs in the
+// batch exactly as it does in the loop, with the error carried per job.
+func TestSolveBatchBudget(t *testing.T) {
+	hard := hardIncoherentExec(3, 6)
+	easy := &memory.Execution{Histories: []memory.History{{memory.W(0, 1)}, {memory.R(0, 1)}}}
+	jobs := []BatchJob{{Exec: easy, Addr: 0}, {Exec: hard, Addr: 0}, {Exec: easy, Addr: 0}}
+	v := NewVerifier(solver.WithBudget(solver.WithMaxStates(50)), solver.WithStrategy(solver.StrategyExact))
+	res := v.SolveBatch(context.Background(), jobs)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("easy jobs failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	be, ok := solver.AsBudgetError(res[1].Err)
+	if !ok {
+		t.Fatalf("hard job: got %v, want budget error", res[1].Err)
+	}
+	if be.Reason != solver.ExceededStates {
+		t.Fatalf("hard job: reason=%v", be.Reason)
+	}
+}
+
+// TestSolveBatchIdentityProjection: single-address executions take the
+// zero-copy identity path; refs in the certificate must still be valid
+// refs into the original execution.
+func TestSolveBatchIdentityProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		exec, _ := randomCoherentTrace(rng, 3, 5, 2)
+		res := NewVerifier().SolveBatch(context.Background(), []BatchJob{{Exec: exec, Addr: 0}})
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+		if !res[0].Result.Coherent {
+			t.Fatalf("trial %d: coherent trace judged incoherent", trial)
+		}
+		if err := memory.CheckCoherent(exec, 0, res[0].Result.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSolveBatchReport: the AddrReport conversion preserves verdicts.
+func TestSolveBatchReport(t *testing.T) {
+	exec, _ := randomCoherentTrace(rand.New(rand.NewSource(53)), 2, 4, 2)
+	res := NewVerifier().SolveBatch(context.Background(), []BatchJob{{Exec: exec, Addr: 0}})
+	ar := res[0].Report(0)
+	if ar.Verdict != VerdictCoherent || ar.Result == nil || !ar.Result.Coherent {
+		t.Fatalf("bad report: %+v", ar)
+	}
+	undecided := BatchResult{Result: Result{Decided: false, Algorithm: "resilient-unknown"}}
+	if ar := undecided.Report(3); ar.Verdict != VerdictUnknown || ar.Result != nil {
+		t.Fatalf("undecided report: %+v", ar)
+	}
+}
+
+// BenchmarkSolveBatchVsLoop measures the batch driver against a loop of
+// Verifier.Solve over the same jobs — the PR 10 throughput claim in
+// miniature (cmd/bench -psearch measures the full version).
+func BenchmarkSolveBatchVsLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	jobs := batchJobs(rng, 256)
+	v := NewVerifier()
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := v.Solve(context.Background(), j.Exec, j.Addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := v.SolveBatch(context.Background(), jobs)
+			for j := range res {
+				if res[j].Err != nil {
+					b.Fatal(res[j].Err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package coherence
+
+import "sync"
+
+// The parallel exact search (psearch.go) shares one failed-state memo
+// across its workers, so a subtree refuted by one worker prunes every
+// other worker's search. cpackedSet is the concurrent variant of
+// packedSet: the same packed uint64 state keys, sharded across
+// independently locked open-addressing tables (striped locking — the
+// shard index comes from the top bits of the mixed key, so probe
+// sequences never cross a lock boundary and each shard can grow under
+// its own lock).
+//
+// Where the sequential set only knows "absent" and "failed", the
+// concurrent set runs a three-state claim protocol per key:
+//
+//	empty   — nobody has visited the state;
+//	claimed — some worker is exploring the state right now (slot holds
+//	          key+1 with the claim bit set);
+//	failed  — the state is fully explored and has no coherent
+//	          completion (slot holds key+1, exactly the sequential
+//	          encoding).
+//
+// A worker that finds a state claimed by another worker skips it
+// instead of waiting (claim-skip). Soundness: the skipping worker
+// treats the state as pruned, which is only consulted for the final
+// "incoherent" verdict, and that verdict is declared only when every
+// outstanding task has completed — at which point the claiming worker
+// either marked the state failed (consistent with the skip) or found a
+// certificate (in which case the verdict is coherent and the skip is
+// irrelevant). A claim abandoned mid-exploration only happens when the
+// whole search is aborting, and an abort never declares incoherent.
+// Claims that are never resolved lose only pruning for other workers,
+// never soundness — memo entries are an optimization, not an input to
+// the verdict.
+//
+// The claim bit is bit 63, so keys must leave it free: the parallel
+// search requires packedLayout.bitsUsed() < packedLayoutBits and falls
+// back to the sequential search otherwise.
+
+// cmemoShardBits selects the shard from the top bits of the mixed key;
+// 64 shards keeps lock contention negligible for any realistic worker
+// count while staying small enough to live in one allocation.
+const (
+	cmemoShardBits = 6
+	cmemoShards    = 1 << cmemoShardBits
+	cmemoClaimBit  = uint64(1) << 63
+)
+
+// cmemoMinSlots is each shard's initial table size; 64 shards × 64
+// slots matches the sequential set's 4096-state capacity at 3/4 load.
+const cmemoMinSlots = 64
+
+// claimStatus is the outcome of cpackedSet.claim.
+type claimStatus int
+
+const (
+	// claimed: the caller now owns the state and must either markFailed
+	// it after refuting its subtree or abandon it (verdict found /
+	// search aborting).
+	claimed claimStatus = iota
+	// claimBusy: another worker owns the state; skip it.
+	claimBusy
+	// claimFailed: the state is already refuted; prune.
+	claimFailed
+)
+
+// cmemoShard is one independently locked open-addressing table. The pad
+// keeps hot shards on distinct cache lines.
+type cmemoShard struct {
+	mu    sync.Mutex
+	slots []uint64
+	n     int
+	_     [24]byte
+}
+
+// cpackedSet is the concurrent memo set. The zero value is not ready;
+// call reset first.
+type cpackedSet struct {
+	shards [cmemoShards]cmemoShard
+}
+
+// reset prepares every shard for a fresh solve, retaining tables up to
+// the same bound as the sequential set (scaled per shard).
+func (cs *cpackedSet) reset() {
+	const maxRetain = packedSetMaxRetainSlots / cmemoShards
+	for i := range cs.shards {
+		sh := &cs.shards[i]
+		if sh.slots == nil || len(sh.slots) > maxRetain {
+			sh.slots = make([]uint64, cmemoMinSlots)
+		} else {
+			clear(sh.slots)
+		}
+		sh.n = 0
+	}
+}
+
+// shardOf picks the shard from the top bits of the mixed key; the low
+// bits index within the shard, so the two never alias.
+func (cs *cpackedSet) shardOf(mixed uint64) *cmemoShard {
+	return &cs.shards[mixed>>(64-cmemoShardBits)]
+}
+
+// claim transitions k from empty to claimed and reports which state it
+// found. Exactly one caller ever receives `claimed` for a key (until
+// the set is reset): the transition happens under the shard lock.
+func (cs *cpackedSet) claim(k uint64) claimStatus {
+	mixed := mixKey(k)
+	sh := cs.shardOf(mixed)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if 4*(sh.n+1) > 3*len(sh.slots) {
+		sh.grow()
+	}
+	mask := uint64(len(sh.slots) - 1)
+	for i := mixed & mask; ; i = (i + 1) & mask {
+		switch sh.slots[i] {
+		case 0:
+			sh.slots[i] = (k + 1) | cmemoClaimBit
+			sh.n++
+			return claimed
+		case (k + 1) | cmemoClaimBit:
+			return claimBusy
+		case k + 1:
+			return claimFailed
+		}
+	}
+}
+
+// markFailed resolves the caller's claim on k: the state is fully
+// explored and refuted. Inserts k as failed directly when no claim
+// exists (the resume-seed path).
+func (cs *cpackedSet) markFailed(k uint64) {
+	mixed := mixKey(k)
+	sh := cs.shardOf(mixed)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if 4*(sh.n+1) > 3*len(sh.slots) {
+		sh.grow()
+	}
+	mask := uint64(len(sh.slots) - 1)
+	for i := mixed & mask; ; i = (i + 1) & mask {
+		switch sh.slots[i] {
+		case 0:
+			sh.slots[i] = k + 1
+			sh.n++
+			return
+		case (k + 1) | cmemoClaimBit, k + 1:
+			sh.slots[i] = k + 1
+			return
+		}
+	}
+}
+
+// grow doubles the shard's table, preserving claim bits. Caller holds
+// the shard lock.
+func (sh *cmemoShard) grow() {
+	old := sh.slots
+	sh.slots = make([]uint64, 2*len(old))
+	mask := uint64(len(sh.slots) - 1)
+	for _, s := range old {
+		if s == 0 {
+			continue
+		}
+		k := (s &^ cmemoClaimBit) - 1
+		for i := mixKey(k) & mask; ; i = (i + 1) & mask {
+			if sh.slots[i] == 0 {
+				sh.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// size returns the number of keys present (claimed or failed) across
+// all shards. Callers must not race it against claims they care about;
+// it exists for stats and tests.
+func (cs *cpackedSet) size() int {
+	n := 0
+	for i := range cs.shards {
+		sh := &cs.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}

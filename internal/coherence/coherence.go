@@ -100,12 +100,17 @@ func (r *Result) Certificate() memory.Schedule { return r.Schedule }
 // the per-process histories restricted to one address, the optional
 // initial and final values, and the mapping back to the original refs.
 type instance struct {
-	addr  memory.Addr
-	hist  []memory.History
-	back  map[memory.Ref]memory.Ref
-	init  *memory.Value
-	final *memory.Value
-	nops  int
+	addr memory.Addr
+	hist []memory.History
+	back map[memory.Ref]memory.Ref
+	// backIdx is the slice-backed alternative to back used by the batch
+	// driver's grouped projection: backIdx[p][i] is the original ref of
+	// the i-th projected op of process p. At most one of back/backIdx is
+	// set; both nil means the identity projection.
+	backIdx [][]memory.Ref
+	init    *memory.Value
+	final   *memory.Value
+	nops    int
 }
 
 // project builds the single-address instance for addr.
@@ -129,8 +134,20 @@ func project(exec *memory.Execution, addr memory.Addr) *instance {
 }
 
 // translate maps a schedule over projection refs back to original refs.
+// A nil back-map means the instance IS the original execution (the
+// batch driver's identity projection), so refs translate to themselves.
 func (in *instance) translate(s []memory.Ref) memory.Schedule {
 	out := make(memory.Schedule, len(s))
+	if in.backIdx != nil {
+		for i, r := range s {
+			out[i] = in.backIdx[r.Proc][r.Index]
+		}
+		return out
+	}
+	if in.back == nil {
+		copy(out, s)
+		return out
+	}
 	for i, r := range s {
 		out[i] = in.back[r]
 	}

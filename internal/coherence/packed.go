@@ -59,10 +59,26 @@ func (l *packedLayout) valIndex(d memory.Value) (uint64, bool) {
 // needs more than packedLayoutBits bits (the caller then keeps the
 // string-key memo).
 func layoutFor(inst *instance) *packedLayout {
-	l := &packedLayout{
-		posShift: make([]uint8, len(inst.hist)),
-		posBits:  make([]uint8, len(inst.hist)),
+	l := &packedLayout{}
+	if !l.build(inst) {
+		return nil
 	}
+	return l
+}
+
+// build (re)computes the layout for inst in place, reusing l's slices —
+// the allocation-free form used by the pooled batch driver. It reports
+// false when the instance overflows packedLayoutBits (the caller then
+// keeps the string-key memo); l is unusable in that case.
+func (l *packedLayout) build(inst *instance) bool {
+	if cap(l.posShift) >= len(inst.hist) {
+		l.posShift = l.posShift[:len(inst.hist)]
+		l.posBits = l.posBits[:len(inst.hist)]
+	} else {
+		l.posShift = make([]uint8, len(inst.hist))
+		l.posBits = make([]uint8, len(inst.hist))
+	}
+	l.vals = l.vals[:0]
 	if inst.init != nil {
 		l.vals = append(l.vals, *inst.init)
 	}
@@ -82,7 +98,7 @@ func layoutFor(inst *instance) *packedLayout {
 	for i, h := range inst.hist {
 		nb := bits.Len(uint(len(h)))
 		if shift+nb > packedLayoutBits {
-			return nil
+			return false
 		}
 		l.posShift[i] = uint8(shift)
 		l.posBits[i] = uint8(nb)
@@ -93,13 +109,19 @@ func layoutFor(inst *instance) *packedLayout {
 		vb = bits.Len(uint(len(l.vals) - 1))
 	}
 	if shift+vb+1 > packedLayoutBits {
-		return nil
+		return false
 	}
 	l.valShift = uint8(shift)
 	l.valBits = uint8(vb)
 	l.boundBit = uint8(shift + vb)
-	return l
+	return true
 }
+
+// bitsUsed returns the total number of key bits the layout occupies
+// (positions + value index + bound flag). The concurrent memo set needs
+// one spare bit above the key for its claim flag, so the parallel
+// search requires bitsUsed() < packedLayoutBits.
+func (l *packedLayout) bitsUsed() int { return int(l.boundBit) + 1 }
 
 // pack encodes a search state into its packed key.
 func (l *packedLayout) pack(pos []int, cur memory.Value, bound bool) uint64 {
@@ -177,6 +199,10 @@ func (l *packedLayout) parseStringKey(key string) (uint64, bool) {
 // packedSetMinSlots is the initial (and pooled-reset) table size.
 const packedSetMinSlots = 1024
 
+// packedSetMinBatchSlots is the smallest table resetSized will produce:
+// the batch driver's floor for tiny instances.
+const packedSetMinBatchSlots = 64
+
 // packedSetMaxRetainSlots bounds the table a pooled reset keeps: larger
 // tables are dropped so a small solve after a huge one does not pay a
 // multi-megabyte memset.
@@ -193,13 +219,34 @@ type packedSet struct {
 
 // reset prepares the set for a fresh solve, reusing the table when it is
 // small enough to be worth clearing.
-func (ps *packedSet) reset() {
-	if ps.slots == nil || len(ps.slots) > packedSetMaxRetainSlots {
-		ps.slots = make([]uint64, packedSetMinSlots)
-	} else {
+func (ps *packedSet) reset() { ps.resetSized(packedSetMinSlots) }
+
+// resetSized is reset with an explicit target table size, rounded up to
+// a power of two and clamped to [packedSetMinBatchSlots,
+// packedSetMinSlots]. The batch driver passes a size scaled to the
+// instance so a burst of tiny solves does not pay a 1024-slot memset
+// each. All pooled-reset bookkeeping lives here: the fill count is
+// zeroed on every path — including the drop-and-reallocate path — so a
+// retained table can never carry a stale count into the next solve.
+func (ps *packedSet) resetSized(want int) {
+	if want < packedSetMinBatchSlots {
+		want = packedSetMinBatchSlots
+	}
+	if want > packedSetMinSlots {
+		want = packedSetMinSlots
+	}
+	want = 1 << bits.Len(uint(want-1)) // next power of two
+	ps.n = 0
+	switch {
+	case ps.slots == nil || len(ps.slots) > packedSetMaxRetainSlots:
+		// Fresh table, or the previous solve grew past the retain bound:
+		// reallocate at the requested size rather than memset megabytes.
+		ps.slots = make([]uint64, want)
+	case len(ps.slots) < want:
+		ps.slots = make([]uint64, want)
+	default:
 		clear(ps.slots)
 	}
-	ps.n = 0
 }
 
 // mixKey is splitmix64's finalizer: packed keys are near-sequential in

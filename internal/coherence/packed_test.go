@@ -186,3 +186,102 @@ func TestPackedMemoOracleAblations(t *testing.T) {
 		})
 	}
 }
+
+// TestPackedSetResetSizedBookkeeping pins the pooled-reset contract on
+// every path through resetSized: the fill count is zeroed, stale keys
+// vanish, and the retained-versus-reallocated decision follows the
+// documented bounds.
+func TestPackedSetResetSizedBookkeeping(t *testing.T) {
+	var ps packedSet
+
+	// Fresh set: resetSized allocates the clamped, power-of-two size.
+	ps.resetSized(100)
+	if len(ps.slots) != 128 || ps.n != 0 {
+		t.Fatalf("fresh resetSized(100): len=%d n=%d, want 128, 0", len(ps.slots), ps.n)
+	}
+
+	// A retained table must not resurrect previous keys or their count.
+	for k := uint64(1); k <= 60; k++ {
+		ps.add(k)
+	}
+	grown := len(ps.slots)
+	ps.resetSized(64)
+	if ps.n != 0 {
+		t.Fatalf("retained reset kept n=%d", ps.n)
+	}
+	if len(ps.slots) != grown {
+		t.Fatalf("small reset reallocated: len=%d, want retained %d", len(ps.slots), grown)
+	}
+	for k := uint64(1); k <= 60; k++ {
+		if ps.contains(k) {
+			t.Fatalf("key %d survived reset", k)
+		}
+	}
+
+	// Asking for more than the retained table has reallocates.
+	ps.resetSized(packedSetMinSlots)
+	if len(ps.slots) != packedSetMinSlots {
+		t.Fatalf("upsizing reset: len=%d, want %d", len(ps.slots), packedSetMinSlots)
+	}
+
+	// The clamp: resetSized never exceeds packedSetMinSlots nor drops
+	// below packedSetMinBatchSlots.
+	var ps2 packedSet
+	ps2.resetSized(1 << 20)
+	if len(ps2.slots) != packedSetMinSlots {
+		t.Fatalf("oversize ask: len=%d, want clamp %d", len(ps2.slots), packedSetMinSlots)
+	}
+	var ps3 packedSet
+	ps3.resetSized(1)
+	if len(ps3.slots) != packedSetMinBatchSlots {
+		t.Fatalf("undersize ask: len=%d, want clamp %d", len(ps3.slots), packedSetMinBatchSlots)
+	}
+}
+
+// TestPackedSetGrowNearRetainBound is the high-load-factor stress around
+// packedSetMaxRetainSlots: grow the table just past the retain bound
+// under sustained 3/4-load insertion, verify nothing is lost at peak,
+// then confirm the pooled reset drops the oversized table instead of
+// clearing megabytes, and that the set still works afterwards.
+func TestPackedSetGrowNearRetainBound(t *testing.T) {
+	var ps packedSet
+	ps.reset()
+	rng := rand.New(rand.NewSource(77))
+	// 3/4 of 2^16 is the last fill that fits the retain bound; pushing a
+	// few thousand past it forces the doubling to 2^17 > retain bound.
+	target := packedSetMaxRetainSlots/4*3 + 4096
+	keys := make([]uint64, 0, target)
+	for len(keys) < target {
+		k := rng.Uint64() >> 1
+		keys = append(keys, k)
+		ps.add(k)
+	}
+	if len(ps.slots) <= packedSetMaxRetainSlots {
+		t.Fatalf("table did not grow past the retain bound: len=%d", len(ps.slots))
+	}
+	for i, k := range keys {
+		if !ps.contains(k) {
+			t.Fatalf("key %d (%x) lost during growth", i, k)
+		}
+	}
+	if ps.size() > target {
+		t.Fatalf("size=%d exceeds inserts=%d", ps.size(), target)
+	}
+
+	ps.reset()
+	if len(ps.slots) != packedSetMinSlots {
+		t.Fatalf("reset after oversized table: len=%d, want fresh %d", len(ps.slots), packedSetMinSlots)
+	}
+	if ps.n != 0 {
+		t.Fatalf("reset kept n=%d", ps.n)
+	}
+	for _, k := range keys[:1000] {
+		if ps.contains(k) {
+			t.Fatalf("key %x survived the drop-reallocate reset", k)
+		}
+	}
+	ps.add(42)
+	if !ps.contains(42) || ps.size() != 1 {
+		t.Fatal("set unusable after reset")
+	}
+}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"memverify/internal/memory"
@@ -47,24 +48,70 @@ func SolveReadMap(ctx context.Context, exec *memory.Execution, addr memory.Addr)
 	return r, nil
 }
 
+// readMapScratch holds every buffer the cluster-chain algorithm needs.
+// The algorithm is linear-time, so on litmus-sized instances its
+// per-call allocations used to cost more than the traversal itself;
+// pooling them makes a read-map solve allocation-free except for the
+// returned Result and certificate.
+type readMapScratch struct {
+	writeCluster map[memory.Value]int
+	headRef      []memory.Ref
+	headOp       []memory.Op
+	chainNext    []int
+	chainPrev    []int
+	chainOf      []int
+	segOf        []int
+	chainHead    []int // chain id -> head cluster
+	// Per-(cluster, process) read lists as linked lists through
+	// readsNext, so collecting reads costs zero allocations: readsRef[i]
+	// is the i-th read encountered, readsNext[i] the next read of the
+	// same (cluster, process) bucket.
+	readsHead []int32
+	readsTail []int32
+	readsNext []int32
+	readsRef  []memory.Ref
+	adj      [][]int
+	indeg    []int
+	edgeSeen map[[2]int]bool
+	topo     []int
+	sched    []memory.Ref
+}
+
+var readMapPool = sync.Pool{New: func() any {
+	return &readMapScratch{
+		writeCluster: make(map[memory.Value]int),
+		edgeSeen:     make(map[[2]int]bool),
+	}
+}}
+
 // readMapInstance runs the cluster-chain algorithm. ok is false only in
 // the ambiguous initial-value corner described on SolveReadMap, or when a
 // value is written more than once (callers check first).
 func readMapInstance(inst *instance) (r *Result, ok bool) {
-	defer func() { stampOps(r, inst) }()
+	sc := readMapPool.Get().(*readMapScratch)
+	r, ok = sc.run(inst)
+	readMapPool.Put(sc)
+	stampOps(r, inst)
+	return r, ok
+}
+
+// run is the cluster-chain algorithm proper, on pooled state.
+func (sc *readMapScratch) run(inst *instance) (r *Result, ok bool) {
 	incoherent := &Result{Coherent: false, Decided: true, Algorithm: "read-map"}
 
 	// Cluster 0 is the initial-value cluster; each written value d gets
 	// cluster writeCluster[d] >= 1 whose head is the op writing d.
 	const initCluster = 0
-	writeCluster := make(map[memory.Value]int)
-	headRef := []memory.Ref{{}} // indexed by cluster; slot 0 unused
-	headOp := []memory.Op{{}}
+	writeCluster := sc.writeCluster
+	clear(writeCluster)
+	headRef := append(sc.headRef[:0], memory.Ref{}) // indexed by cluster; slot 0 unused
+	headOp := append(sc.headOp[:0], memory.Op{})
 	next := 1
 	for p, h := range inst.hist {
 		for i, o := range h {
 			if d, ok := o.Writes(); ok {
 				if _, dup := writeCluster[d]; dup {
+					sc.headRef, sc.headOp = headRef, headOp
 					return incoherent, false
 				}
 				writeCluster[d] = next
@@ -74,6 +121,7 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 			}
 		}
 	}
+	sc.headRef, sc.headOp = headRef, headOp
 
 	// Ambiguity checks — cases where the read-map is not actually forced:
 	//  1. the declared initial value is also written and observed by some
@@ -131,8 +179,9 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 	// Chain fusion: an RMW heading cluster c reads the value of cluster
 	// src, so src must immediately precede c. chainNext/chainPrev record
 	// the fusion; a second consumer of the same cluster is incoherent.
-	chainNext := make([]int, next)
-	chainPrev := make([]int, next)
+	chainNext := growSlice(sc.chainNext, next)
+	chainPrev := growSlice(sc.chainPrev, next)
+	sc.chainNext, sc.chainPrev = chainNext, chainPrev
 	for c := range chainNext {
 		chainNext[c], chainPrev[c] = -1, -1
 	}
@@ -158,44 +207,71 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 	}
 
 	// Detect chain cycles and assign (chain, segment) coordinates.
-	chainOf := make([]int, next)
-	segOf := make([]int, next)
+	chainOf := growSlice(sc.chainOf, next)
+	segOf := growSlice(sc.segOf, next)
+	sc.chainOf, sc.segOf = chainOf, segOf
 	for c := range chainOf {
 		chainOf[c] = -1
 	}
-	var chains [][]int // chain id -> clusters in chain order
+	chainHead := sc.chainHead[:0] // chain id -> head cluster
 	for c := 0; c < next; c++ {
 		if chainPrev[c] != -1 {
 			continue // not a chain head
 		}
-		id := len(chains)
-		var segs []int
+		id := len(chainHead)
+		chainHead = append(chainHead, c)
+		seg := 0
 		for cur := c; cur != -1; cur = chainNext[cur] {
 			chainOf[cur] = id
-			segOf[cur] = len(segs)
-			segs = append(segs, cur)
+			segOf[cur] = seg
+			seg++
 		}
-		chains = append(chains, segs)
 	}
+	sc.chainHead = chainHead
 	for c := 0; c < next; c++ {
 		if chainOf[c] == -1 {
 			return incoherent, true // cluster trapped in a chain cycle
 		}
 	}
 
-	// Per-cluster reads, grouped by process to preserve program order.
-	clusterReads := make([][][]memory.Ref, next)
-	for c := range clusterReads {
-		clusterReads[c] = make([][]memory.Ref, len(inst.hist))
+	// Per-cluster reads, grouped by process to preserve program order:
+	// linked lists through readsNext, bucketed by cluster*np + process.
+	np := len(inst.hist)
+	readsHead := growSlice(sc.readsHead, next*np)
+	readsTail := growSlice(sc.readsTail, next*np)
+	sc.readsNext = sc.readsNext[:0]
+	sc.readsRef = sc.readsRef[:0]
+	sc.readsHead, sc.readsTail = readsHead, readsTail
+	for i := range readsHead {
+		readsHead[i], readsTail[i] = -1, -1
+	}
+	addRead := func(c, p int, ref memory.Ref) {
+		i := int32(len(sc.readsRef))
+		sc.readsRef = append(sc.readsRef, ref)
+		sc.readsNext = append(sc.readsNext, -1)
+		b := c*np + p
+		if readsTail[b] == -1 {
+			readsHead[b] = i
+		} else {
+			sc.readsNext[readsTail[b]] = i
+		}
+		readsTail[b] = i
 	}
 
 	// Chain-level precedence graph + intra-chain position checks.
 	// Position of an op inside a chain: (segment, phase) with phase 0 for
 	// the segment head and 1 for its reads.
-	nchains := len(chains)
-	adj := make([][]int, nchains)
-	indeg := make([]int, nchains)
-	edgeSeen := make(map[[2]int]bool)
+	nchains := len(chainHead)
+	adj := growSlice(sc.adj, nchains)
+	sc.adj = adj
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	indeg := growSlice(sc.indeg, nchains)
+	sc.indeg = indeg
+	clear(indeg)
+	edgeSeen := sc.edgeSeen
+	clear(edgeSeen)
 	addEdge := func(a, b int) bool {
 		if a == b {
 			return true
@@ -229,7 +305,7 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 				}
 				c = src
 				phase = 1
-				clusterReads[c][p] = append(clusterReads[c][p], memory.Ref{Proc: p, Index: i})
+				addRead(c, p, memory.Ref{Proc: p, Index: i})
 			}
 			id := chainOf[c]
 			pos := segOf[c]*2 + phase
@@ -268,30 +344,30 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 		return incoherent, true
 	}
 
-	// Topological sort (Kahn), keeping the final chain last.
-	queue := make([]int, 0, nchains)
+	// Topological sort (Kahn), keeping the final chain last. queue and
+	// topo share one pooled buffer: Kahn's queue only ever grows at the
+	// tail, so the consumed prefix IS the topological order.
+	topo := sc.topo[:0]
 	for id := 0; id < nchains; id++ {
 		if indeg[id] == 0 && id != finalChain {
-			queue = append(queue, id)
+			topo = append(topo, id)
 		}
 	}
-	topo := make([]int, 0, nchains)
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		topo = append(topo, id)
-		for _, d := range adj[id] {
+	for qi := 0; qi < len(topo); qi++ {
+		for _, d := range adj[topo[qi]] {
 			indeg[d]--
 			if indeg[d] == 0 && d != finalChain {
-				queue = append(queue, d)
+				topo = append(topo, d)
 			}
 		}
 	}
+	sc.topo = topo
 	if finalChain >= 0 {
 		if indeg[finalChain] != 0 {
 			return incoherent, true
 		}
 		topo = append(topo, finalChain)
+		sc.topo = topo
 	}
 	if len(topo) != nchains {
 		return incoherent, true // cycle among chains
@@ -300,17 +376,20 @@ func readMapInstance(inst *instance) (r *Result, ok bool) {
 	// Emit the schedule: chains in topological order; within a chain,
 	// each segment head followed by the segment's reads (per process in
 	// program order; cross-process order within a segment is free).
-	sched := make([]memory.Ref, 0, inst.nops)
+	sched := sc.sched[:0]
 	for _, id := range topo {
-		for _, c := range chains[id] {
+		for c := chainHead[id]; c != -1; c = chainNext[c] {
 			if c != initCluster {
 				sched = append(sched, headRef[c])
 			}
-			for p := range clusterReads[c] {
-				sched = append(sched, clusterReads[c][p]...)
+			for p := 0; p < np; p++ {
+				for ri := readsHead[c*np+p]; ri != -1; ri = sc.readsNext[ri] {
+					sched = append(sched, sc.readsRef[ri])
+				}
 			}
 		}
 	}
+	sc.sched = sched
 	return &Result{
 		Coherent:  true,
 		Decided:   true,

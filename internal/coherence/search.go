@@ -127,6 +127,18 @@ func (s *searcher) pollObs() {
 // tripped budget (state bound, deadline, or cancellation) returns a nil
 // Result and the budget error carrying the partial stats.
 func searchInstance(ctx context.Context, inst *instance, opts *Options) (*Result, *solver.ErrBudgetExceeded) {
+	// Parallel exact search (Options.ParallelSearch): engaged when the
+	// memo can be shared (packed layout with a spare claim bit,
+	// memoization on) and nothing demands sequential execution — a
+	// checkpoint sink does, because a mid-flight multi-worker memo is
+	// not resumable state (see psearch.go). Every fallback is silent
+	// and complete: the sequential search answers the same question.
+	if w := opts.PSearch(); w > 1 && opts.Memoize() && opts.PackedMemo() &&
+		opts.Sink() == nil && inst.nops >= psearchMinOps {
+		if layout := layoutFor(inst); layout != nil && layout.bitsUsed() < packedLayoutBits {
+			return searchInstanceParallel(ctx, inst, opts, layout, w)
+		}
+	}
 	start := time.Now()
 	budget := solver.Start(ctx, opts)
 	defer budget.Stop()

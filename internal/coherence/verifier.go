@@ -291,6 +291,14 @@ func (v *Verifier) verifySequential(ctx context.Context, exec *memory.Execution)
 // so starting the heaviest address last would leave one worker grinding
 // alone after the rest drain. Dispatch order affects only load balance,
 // never results.
+//
+// When the configuration also carries solver.WithParallelSearch, the
+// intra-instance worker team goes to the hardest address only (the LPT
+// head): that address is the one whose single search dominates the
+// makespan, and giving every concurrent per-address solve its own team
+// would oversubscribe the machine workers × team wide. The remaining
+// addresses solve sequentially as before. Parallelism never changes
+// verdicts, so this is purely a scheduling decision.
 func (v *Verifier) verifyParallel(ctx context.Context, exec *memory.Execution, workers int) (*Report, error) {
 	addrs := exec.Addresses()
 	if workers > len(addrs) {
@@ -298,6 +306,16 @@ func (v *Verifier) verifyParallel(ctx context.Context, exec *memory.Execution, w
 	}
 	if workers <= 1 {
 		return v.verifySequential(ctx, exec)
+	}
+
+	order := hardnessOrder(addrs, projectionSizes(exec))
+	teamOpts, soloOpts := v.cfg.Options, v.cfg.Options
+	hardest := -1
+	if teamOpts.PSearch() > 1 && len(addrs) > 1 {
+		hardest = order[0]
+		solo := teamOpts.Clone()
+		solo.ParallelSearch = 0
+		soloOpts = solo
 	}
 
 	// Workers write into per-address slots, so no result ordering
@@ -319,11 +337,15 @@ func (v *Verifier) verifyParallel(ctx context.Context, exec *memory.Execution, w
 				wctx = sctx
 			}
 			for i := range next {
-				reports[i], errs[i] = v.solveAddrOpts(wctx, exec, addrs[i], v.cfg.Options)
+				opts := soloOpts
+				if i == hardest {
+					opts = teamOpts
+				}
+				reports[i], errs[i] = v.solveAddrOpts(wctx, exec, addrs[i], opts)
 			}
 		}()
 	}
-	for _, i := range hardnessOrder(addrs, projectionSizes(exec)) {
+	for _, i := range order {
 		next <- i
 	}
 	close(next)

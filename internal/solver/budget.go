@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"memverify/internal/memory"
 )
@@ -101,11 +102,21 @@ type Budget struct {
 // opts carries a Timeout, the returned budget's context is a child of
 // ctx with that timeout applied.
 func Start(ctx context.Context, opts *Options) *Budget {
-	b := &Budget{ctx: ctx, limit: opts.Limit()}
+	b := &Budget{}
+	b.Reset(ctx, opts)
+	return b
+}
+
+// Reset re-initializes b for a fresh solve, releasing any previous
+// timeout timer first. It lets a driver that runs many small solves
+// (coherence.SolveBatch) keep one Budget per worker instead of
+// allocating one per instance; semantics are identical to Start.
+func (b *Budget) Reset(ctx context.Context, opts *Options) {
+	b.Stop()
+	*b = Budget{ctx: ctx, limit: opts.Limit()}
 	if d := opts.SolveTimeout(); d > 0 {
 		b.ctx, b.cancel = context.WithTimeout(ctx, d)
 	}
-	return b
 }
 
 // Context returns the budget's context (with any Options.Timeout
@@ -147,6 +158,78 @@ func (b *Budget) Charge(states int) *ErrBudgetExceeded {
 
 // Err returns the trip error (nil when the budget has not tripped).
 func (b *Budget) Err() *ErrBudgetExceeded { return b.tripped }
+
+// SharedBudget enforces one state-count limit across the workers of a
+// parallel search. Every worker charges the same atomic counter, so the
+// MaxStates bound is exact for the search as a whole: the counter equals
+// the total number of states any worker visited, and the trip error is
+// published once (first tripper wins) and then returned to every
+// worker. Wall-clock timeouts compose the same way as Budget's — the
+// shared context carries the deadline and every worker polls it on its
+// own amortized cadence.
+type SharedBudget struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	limit   int64
+	states  atomic.Int64
+	tripped atomic.Pointer[ErrBudgetExceeded]
+}
+
+// StartShared derives a SharedBudget from the incoming context and
+// options, applying Options.Timeout as a child deadline like Start.
+func StartShared(ctx context.Context, opts *Options) *SharedBudget {
+	b := &SharedBudget{ctx: ctx, limit: int64(opts.Limit())}
+	if d := opts.SolveTimeout(); d > 0 {
+		b.ctx, b.cancel = context.WithTimeout(ctx, d)
+	}
+	return b
+}
+
+// Context returns the budget's context (with any Options.Timeout
+// applied), for deriving per-worker cancellation.
+func (b *SharedBudget) Context() context.Context { return b.ctx }
+
+// Stop releases the timeout timer, if any.
+func (b *SharedBudget) Stop() {
+	if b.cancel != nil {
+		b.cancel()
+	}
+}
+
+// Charge records that some worker is visiting one more state and
+// returns the trip error once any budget dimension has tripped.
+// localStates is the calling worker's own visited-state count; the
+// context poll is amortized on it (every ctxPollInterval states per
+// worker), while the state-count bound is checked against the shared
+// atomic total on every call. The charged state stays counted on a trip
+// — the worker did visit it — which is exactly the sequential Budget's
+// accounting, so merged Stats match the shared counter precisely.
+func (b *SharedBudget) Charge(localStates int) *ErrBudgetExceeded {
+	if e := b.tripped.Load(); e != nil {
+		return e
+	}
+	n := b.states.Add(1)
+	if b.limit > 0 && n > b.limit {
+		b.tripped.CompareAndSwap(nil, &ErrBudgetExceeded{Reason: ExceededStates})
+		return b.tripped.Load()
+	}
+	if localStates&(ctxPollInterval-1) == 0 || localStates == 1 {
+		select {
+		case <-b.ctx.Done():
+			b.tripped.CompareAndSwap(nil, fromContext(b.ctx.Err()))
+			return b.tripped.Load()
+		default:
+		}
+	}
+	return nil
+}
+
+// States returns the shared visited-state total so far.
+func (b *SharedBudget) States() int64 { return b.states.Load() }
+
+// Err returns the published trip error (nil when no dimension has
+// tripped).
+func (b *SharedBudget) Err() *ErrBudgetExceeded { return b.tripped.Load() }
 
 // Interrupted checks a context directly and returns a budget error when
 // it is done. The polynomial solvers use it: they have no state counter

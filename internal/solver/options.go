@@ -88,6 +88,16 @@ type Options struct {
 	// algorithm-specific serializations; resuming against a different
 	// instance is guarded by the checkpoint file's fingerprint, not here.
 	ResumeMemo []string
+	// ParallelSearch, when > 1, lets a single exact search split its DFS
+	// frontier across this many workers sharing one memo table and one
+	// atomically-charged budget (see internal/coherence's parallel
+	// search). Parallelism never changes verdicts: the workers explore
+	// the same state space, certificates stay valid, and budget aborts
+	// still report exact state counts. 0 or 1 searches sequentially.
+	// Searches that must snapshot (CheckpointSink set) stay sequential —
+	// checkpointing is documented as sequential-only — as do instances
+	// whose memo cannot be shared (string-key fallback).
+	ParallelSearch int
 }
 
 // SearchSnapshot is the resumable state of an in-flight search: the
@@ -135,6 +145,11 @@ func WithoutPackedMemo() Option { return func(o *Options) { o.DisablePackedMemo 
 // frontline (ablation knob; see Options.DisableFastPath).
 func WithoutFastPath() Option { return func(o *Options) { o.DisableFastPath = true } }
 
+// WithParallelSearch lets a single exact search fan its DFS frontier out
+// across n workers (see Options.ParallelSearch). 0 or 1 searches
+// sequentially.
+func WithParallelSearch(n int) Option { return func(o *Options) { o.ParallelSearch = n } }
+
 // Limit returns the state bound (0 = unlimited). Nil-safe.
 func (o *Options) Limit() int {
 	if o == nil {
@@ -167,6 +182,15 @@ func (o *Options) PackedMemo() bool { return o == nil || !o.DisablePackedMemo }
 
 // FastPath reports whether the polynomial frontline is on. Nil-safe.
 func (o *Options) FastPath() bool { return o == nil || !o.DisableFastPath }
+
+// PSearch returns the intra-instance search worker count (0 or 1 =
+// sequential). Nil-safe.
+func (o *Options) PSearch() int {
+	if o == nil {
+		return 0
+	}
+	return o.ParallelSearch
+}
 
 // Sink returns the checkpoint sink (nil when checkpointing is off).
 // Nil-safe.

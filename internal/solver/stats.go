@@ -51,6 +51,12 @@ type Stats struct {
 	// any per-address solve fell to (the fast rung, being stronger than
 	// exact for aggregation purposes, never dominates a merge).
 	Rung int
+	// SearchWorkers is the effective intra-instance search parallelism:
+	// the number of workers that actually explored states when the solve
+	// ran the parallel exact search (Options.ParallelSearch), 0 for a
+	// sequential solve. Merge keeps the maximum, so an execution-level
+	// aggregate reports the widest team any address used.
+	SearchWorkers int
 }
 
 // RecordDepth folds one visited state's depth into the histogram.
@@ -118,6 +124,9 @@ func (s *Stats) Merge(other Stats) {
 	if other.Rung > s.Rung {
 		s.Rung = other.Rung
 	}
+	if other.SearchWorkers > s.SearchWorkers {
+		s.SearchWorkers = other.SearchWorkers
+	}
 }
 
 // String renders the stats as a single human-readable line, including
@@ -132,6 +141,9 @@ func (s Stats) String() string {
 		s.PeakDepth, s.BranchFactor(), rate, s.Duration.Round(time.Microsecond))
 	if s.Rung > 0 {
 		line += fmt.Sprintf(" rung=%d", s.Rung)
+	}
+	if s.SearchWorkers > 1 {
+		line += fmt.Sprintf(" workers=%d", s.SearchWorkers)
 	}
 	return line
 }
